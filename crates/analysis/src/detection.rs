@@ -1,0 +1,172 @@
+//! Detection-quality analysis over suspicious scores.
+//!
+//! The paper evaluates defenses by final model accuracy only; for the
+//! per-experiment index this crate additionally characterizes *detector
+//! quality* — how well the suspicious score separates malicious from benign
+//! updates independent of the clustering threshold — via the ROC curve and
+//! its AUC.
+
+/// One labelled score observation: `(score, is_malicious)`.
+pub type LabelledScore = (f64, bool);
+
+/// A point on the ROC curve: `(false_positive_rate, true_positive_rate)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Fraction of benign observations at or above the threshold.
+    pub fpr: f64,
+    /// Fraction of malicious observations at or above the threshold.
+    pub tpr: f64,
+}
+
+/// Computes the ROC curve of "flag when score ≥ threshold", sweeping the
+/// threshold over every distinct score (plus the endpoints).
+///
+/// Returns points ordered by increasing FPR, starting at `(0, 0)` and
+/// ending at `(1, 1)`. Returns just the endpoints when either class is
+/// absent.
+///
+/// # Panics
+///
+/// Panics if any score is NaN.
+pub fn roc_curve(observations: &[LabelledScore]) -> Vec<RocPoint> {
+    let positives = observations.iter().filter(|(_, m)| *m).count();
+    let negatives = observations.len() - positives;
+    let endpoints = vec![
+        RocPoint { fpr: 0.0, tpr: 0.0 },
+        RocPoint { fpr: 1.0, tpr: 1.0 },
+    ];
+    if positives == 0 || negatives == 0 {
+        return endpoints;
+    }
+    let mut sorted: Vec<LabelledScore> = observations.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("roc_curve: NaN score"));
+
+    let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0 }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        // Consume all observations tied at this score before emitting.
+        let score = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == score {
+            if sorted[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: fp as f64 / negatives as f64,
+            tpr: tp as f64 / positives as f64,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve by trapezoidal integration.
+///
+/// `0.5` means the score carries no information; `1.0` is a perfect
+/// separator. Returns `0.5` when either class is absent.
+pub fn auc(observations: &[LabelledScore]) -> f64 {
+    let points = roc_curve(observations);
+    if points.len() < 2 {
+        return 0.5;
+    }
+    let mut area = 0.0;
+    for w in points.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * 0.5 * (w[0].tpr + w[1].tpr);
+    }
+    area
+}
+
+/// Best achievable Youden index `max(tpr − fpr)` over all thresholds —
+/// a single-number summary of the operating curve.
+pub fn youden_index(observations: &[LabelledScore]) -> f64 {
+    roc_curve(observations)
+        .iter()
+        .map(|p| p.tpr - p.fpr)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separator_has_auc_one() {
+        let obs: Vec<LabelledScore> = (0..10).map(|i| (i as f64, i >= 5)).collect();
+        assert!((auc(&obs) - 1.0).abs() < 1e-12);
+        assert!((youden_index(&obs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_separator_has_auc_zero() {
+        let obs: Vec<LabelledScore> = (0..10).map(|i| (i as f64, i < 5)).collect();
+        assert!(auc(&obs) < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_near_half() {
+        // Identical score distribution per class: each score value appears
+        // once with each label.
+        let obs: Vec<LabelledScore> = (0..200)
+            .map(|i| (((i / 2) % 10) as f64, i % 2 == 0))
+            .collect();
+        let a = auc(&obs);
+        assert!((a - 0.5).abs() < 0.05, "auc {a}");
+    }
+
+    #[test]
+    fn single_class_degenerates_gracefully() {
+        let benign: Vec<LabelledScore> = (0..5).map(|i| (i as f64, false)).collect();
+        assert_eq!(auc(&benign), 0.5);
+        assert_eq!(roc_curve(&benign).len(), 2);
+        assert_eq!(auc(&[]), 0.5);
+    }
+
+    #[test]
+    fn ties_are_handled_jointly() {
+        // All scores equal: the ROC jumps straight from (0,0) to (1,1);
+        // AUC = 0.5.
+        let obs: Vec<LabelledScore> = vec![(1.0, true), (1.0, false), (1.0, true), (1.0, false)];
+        let points = roc_curve(&obs);
+        assert_eq!(points.len(), 2);
+        assert!((auc(&obs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let obs: Vec<LabelledScore> = (0..50)
+            .map(|i| {
+                (
+                    (i % 7) as f64 + if i % 3 == 0 { 3.0 } else { 0.0 },
+                    i % 3 == 0,
+                )
+            })
+            .collect();
+        let points = roc_curve(&obs);
+        for w in points.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        assert_eq!(points.first().unwrap().fpr, 0.0);
+        assert_eq!(points.last().unwrap().tpr, 1.0);
+    }
+
+    #[test]
+    fn partial_separator_between_half_and_one() {
+        let obs: Vec<LabelledScore> = vec![
+            (0.9, true),
+            (0.8, false),
+            (0.7, true),
+            (0.3, false),
+            (0.2, false),
+            (0.1, false),
+        ];
+        let a = auc(&obs);
+        assert!(a > 0.5 && a < 1.0, "auc {a}");
+        let y = youden_index(&obs);
+        assert!(y > 0.0 && y <= 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Principal-component analysis via power iteration with deflation.
+//!
+//! Used to pre-reduce model-update vectors before t-SNE (the standard
+//! pipeline for Figs. 3–4) and as a standalone 2-D embedding.
+
+use asyncfl_tensor::{Matrix, Vector};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Projects `points` onto their top `components` principal directions.
+///
+/// Centering is performed internally. Components are extracted by power
+/// iteration on the covariance operator with Gram–Schmidt deflation — ample
+/// for the 2–3 component embeddings the figures need.
+///
+/// Returns an `n × components` matrix of scores (row per input point).
+///
+/// # Panics
+///
+/// Panics if `points` is empty, dimensions are inconsistent, or
+/// `components` is 0 or exceeds the feature dimension.
+pub fn project(points: &[Vector], components: usize, seed: u64) -> Matrix {
+    assert!(!points.is_empty(), "pca: empty input");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "pca: inconsistent dimensions"
+    );
+    assert!(
+        components >= 1 && components <= dim,
+        "pca: components ({components}) must be in 1..={dim}"
+    );
+    let n = points.len();
+
+    // Center.
+    let mut mean = Vector::zeros(dim);
+    for p in points {
+        mean.axpy(1.0 / n as f64, p);
+    }
+    let centered: Vec<Vector> = points.iter().map(|p| p - &mean).collect();
+
+    // Covariance-vector product without materializing the covariance.
+    let cov_mul = |v: &Vector| -> Vector {
+        let mut out = Vector::zeros(dim);
+        for c in &centered {
+            out.axpy(c.dot(v) / n as f64, c);
+        }
+        out
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut basis: Vec<Vector> = Vec::with_capacity(components);
+    for _ in 0..components {
+        let mut v = Vector::from_fn(dim, |_| rng.random::<f64>() - 0.5);
+        for _ in 0..200 {
+            let mut w = cov_mul(&v);
+            // Deflate: remove projections on previously found components.
+            for b in &basis {
+                let proj = w.dot(b);
+                w.axpy(-proj, b);
+            }
+            let norm = w.norm();
+            if norm < 1e-12 {
+                // Degenerate direction (rank-deficient data): keep previous.
+                break;
+            }
+            w.scale(1.0 / norm);
+            let delta = w.distance(&v);
+            v = w;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        // Orthonormalize against earlier components for safety.
+        for b in &basis {
+            let proj = v.dot(b);
+            v.axpy(-proj, b);
+        }
+        if v.norm() > 1e-12 {
+            let norm = v.norm();
+            v.scale(1.0 / norm);
+        }
+        basis.push(v);
+    }
+
+    Matrix::from_fn(n, components, |r, c| centered[r].dot(&basis[c]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Points spread along the x-axis with tiny y noise: the first
+        // component must align with x (up to sign).
+        let points: Vec<Vector> = (0..40)
+            .map(|i| Vector::from(vec![i as f64, (i % 3) as f64 * 0.01]))
+            .collect();
+        let scores = project(&points, 1, 1);
+        assert_eq!((scores.rows(), scores.cols()), (40, 1));
+        // Scores should be monotone in i (or reverse-monotone).
+        let increasing = scores.get(1, 0) > scores.get(0, 0);
+        for i in 1..40 {
+            let cur = scores.get(i, 0);
+            let prev = scores.get(i - 1, 0);
+            if increasing {
+                assert!(cur > prev);
+            } else {
+                assert!(cur < prev);
+            }
+        }
+    }
+
+    #[test]
+    fn separates_two_clusters_in_2d() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(Vector::from(vec![0.0 + 0.01 * i as f64, 0.0, 5.0]));
+            points.push(Vector::from(vec![10.0 + 0.01 * i as f64, 1.0, 5.0]));
+        }
+        let scores = project(&points, 2, 2);
+        // First-component scores must separate the clusters.
+        let a: Vec<f64> = (0..20).step_by(2).map(|i| scores.get(i, 0)).collect();
+        let b: Vec<f64> = (1..20).step_by(2).map(|i| scores.get(i, 0)).collect();
+        let max_a = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_b = b.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max_a < min_b
+                || b.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                    < a.iter().cloned().fold(f64::INFINITY, f64::min)
+        );
+    }
+
+    #[test]
+    fn components_are_orthonormal_scores_centered() {
+        let points: Vec<Vector> = (0..30)
+            .map(|i| Vector::from(vec![i as f64, (i * i % 7) as f64, 1.0]))
+            .collect();
+        let scores = project(&points, 2, 3);
+        // Scores are centered per component.
+        for c in 0..2 {
+            let mean: f64 = (0..30).map(|r| scores.get(r, c)).sum::<f64>() / 30.0;
+            assert!(mean.abs() < 1e-9, "component {c} not centered: {mean}");
+        }
+    }
+
+    #[test]
+    fn identical_points_give_zero_scores() {
+        let points = vec![Vector::from(vec![1.0, 2.0]); 5];
+        let scores = project(&points, 2, 4);
+        assert!(scores.as_slice().iter().all(|x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let points: Vec<Vector> = (0..10)
+            .map(|i| Vector::from(vec![i as f64, (i % 4) as f64]))
+            .collect();
+        assert_eq!(project(&points, 2, 7), project(&points, 2, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "components")]
+    fn too_many_components_panics() {
+        let points = vec![Vector::from(vec![1.0, 2.0])];
+        let _ = project(&points, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let _ = project(&[], 1, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Plain-text table emitters (markdown and CSV) for the `repro` binary and
+//! `EXPERIMENTS.md`.
+
+use crate::experiment::{DefenseKind, ExperimentGrid, GridCell};
+use asyncfl_attacks::AttackKind;
+
+/// A simple rectangular table with a header row and row labels.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers (excluding the leading row-label column).
+    pub columns: Vec<String>,
+    /// Rows: `(label, cells)`.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// Creates an empty table with headers.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "push_row: expected {} cells, got {}",
+            self.columns.len(),
+            cells.len()
+        );
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str("| |");
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for cell in cells {
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (header row first; fields quoted only when they contain
+    /// commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str("label");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&escape(c));
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&escape(label));
+            for cell in cells {
+                out.push(',');
+                out.push_str(&escape(cell));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a Unicode sparkline of a value series (8 levels), for terminal
+/// accuracy-trajectory summaries.
+///
+/// Returns an empty string for an empty series; a constant series renders
+/// at the lowest level.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Formats an accuracy as the paper does (one decimal, percent).
+pub fn pct(acc: f64) -> String {
+    format!("{:.1}%", acc * 100.0)
+}
+
+/// Builds a paper-style accuracy table (defenses as rows, attacks as
+/// columns) from grid cells, appending `±std` when multiple seeds ran.
+pub fn accuracy_table(
+    title: impl Into<String>,
+    cells: &[GridCell],
+    defenses: &[DefenseKind],
+    attacks: &[AttackKind],
+    multi_seed: bool,
+) -> Table {
+    let mut table = Table::new(
+        title,
+        attacks.iter().map(|a| a.label().to_string()).collect(),
+    );
+    for &defense in defenses {
+        let mut row = Vec::with_capacity(attacks.len());
+        for &attack in attacks {
+            let cell = match ExperimentGrid::mean_accuracy(cells, defense, attack) {
+                Some(mean) if multi_seed => {
+                    let std = ExperimentGrid::std_accuracy(cells, defense, attack).unwrap_or(0.0);
+                    format!("{} ±{:.1}", pct(mean), std * 100.0)
+                }
+                Some(mean) => pct(mean),
+                None => "—".to_string(),
+            };
+            row.push(cell);
+        }
+        table.push_row(defense.label(), row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Demo", vec!["A".into(), "B".into()]);
+        t.push_row("row1", vec!["1".into(), "2".into()]);
+        t.push_row("row,2", vec!["3".into(), "x\"y".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| | A | B |"));
+        assert!(md.contains("| row1 | 1 | 2 |"));
+        assert_eq!(md.lines().count(), 6);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let csv = sample_table().to_csv();
+        assert!(csv.starts_with("label,A,B\n"));
+        assert!(csv.contains("\"row,2\""));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 cells")]
+    fn wrong_cell_count_panics() {
+        let mut t = Table::new("t", vec!["A".into(), "B".into()]);
+        t.push_row("r", vec!["1".into()]);
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0]), "▁");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        // Constant series: all lowest level, no NaN panic.
+        assert_eq!(sparkline(&[3.0, 3.0, 3.0]), "▁▁▁");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.9312), "93.1%");
+        assert_eq!(pct(0.1), "10.0%");
+    }
+
+    #[test]
+    fn empty_title_omitted() {
+        let t = Table::new("", vec!["A".into()]);
+        assert!(!t.to_markdown().contains("###"));
+    }
+}

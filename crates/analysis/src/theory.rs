@@ -1,0 +1,228 @@
+//! Empirical estimators for the constants in the paper's §4.5 analysis.
+//!
+//! Theorem 1 proves `E[score_benign] ≤ E[score_malicious]` under three
+//! quantitative assumptions:
+//!
+//! * **Assumption 1 (intra-cluster similarity)** — per-client gradients
+//!   deviate from the population mean by at most a factor `A`:
+//!   `‖∇fᵢ − ∇f̄‖² ≤ A²‖∇f̄‖²`;
+//! * **Assumption 2 (bounded variances)** — within-client stochastic
+//!   variance is bracketed by `[σ_l,min², σ_l,max²]` and across-client
+//!   (heterogeneity) variance by `σ_g,max²`;
+//! * and the theorem requires `A ≤ √(2 + σ_l,min² / σ_g,max)`.
+//!
+//! Given the honest updates recorded from a run (e.g. via
+//! [`RecordingFilter`](crate::experiment::RecordingFilter)), this module
+//! estimates `A`, `σ_l`, and `σ_g` and evaluates the theorem's premise —
+//! turning the paper's abstract conditions into a measurable property of a
+//! concrete federation. `tests/theorem1.rs` checks the theorem's
+//! *conclusion* end-to-end; this module checks its *hypotheses*.
+
+use asyncfl_tensor::{stats, Vector};
+use std::collections::HashMap;
+
+/// Estimated constants of Assumptions 1–2 plus the Theorem 1 premise check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TheoryConstants {
+    /// Estimated intra-cluster similarity constant `A` (Assumption 1):
+    /// the maximum over clients of `‖δ̄ᵢ − δ̄‖ / ‖δ̄‖`.
+    pub a: f64,
+    /// Minimum within-client standard deviation `σ_l,min` (Assumption 2,
+    /// lower bracket) over clients with ≥ 2 observations.
+    pub sigma_l_min: f64,
+    /// Maximum within-client standard deviation `σ_l,max`.
+    pub sigma_l_max: f64,
+    /// Across-client heterogeneity `σ_g,max`: RMS distance of per-client
+    /// mean updates from the population mean.
+    pub sigma_g_max: f64,
+    /// The theorem's bound `√(2 + σ_l,min² / σ_g,max)`.
+    pub premise_bound: f64,
+}
+
+impl TheoryConstants {
+    /// Whether the estimated `A` satisfies the theorem's premise
+    /// `A ≤ √(2 + σ_l,min² / σ_g,max)`.
+    pub fn premise_holds(&self) -> bool {
+        self.a <= self.premise_bound
+    }
+}
+
+/// Estimates the §4.5 constants from `(client, update-delta)` observations
+/// of **honest** clients (multiple observations per client expected).
+///
+/// Returns `None` when fewer than two clients are represented or the
+/// population mean vanishes (the ratios of Assumption 1 are undefined).
+///
+/// # Panics
+///
+/// Panics if delta dimensions are inconsistent.
+pub fn estimate_constants(observations: &[(usize, Vector)]) -> Option<TheoryConstants> {
+    let mut per_client: HashMap<usize, Vec<&Vector>> = HashMap::new();
+    for (client, delta) in observations {
+        per_client.entry(*client).or_default().push(delta);
+    }
+    if per_client.len() < 2 {
+        return None;
+    }
+
+    // Per-client mean updates δ̄ᵢ and the population mean δ̄.
+    let client_means: Vec<(usize, Vector)> = per_client
+        .iter()
+        .map(|(&c, deltas)| {
+            let owned: Vec<Vector> = deltas.iter().map(|d| (*d).clone()).collect();
+            (c, stats::mean_vector(&owned).expect("nonempty client"))
+        })
+        .collect();
+    let means_only: Vec<Vector> = client_means.iter().map(|(_, m)| m.clone()).collect();
+    let population = stats::mean_vector(&means_only).expect("nonempty population");
+    let pop_norm = population.norm();
+    if pop_norm <= 1e-12 {
+        return None;
+    }
+
+    // Assumption 1: A = max_i ‖δ̄ᵢ − δ̄‖ / ‖δ̄‖.
+    let a = client_means
+        .iter()
+        .map(|(_, m)| m.distance(&population) / pop_norm)
+        .fold(0.0f64, f64::max);
+
+    // Assumption 2, local bracket: within-client std over its observations.
+    let mut sigma_l_min = f64::INFINITY;
+    let mut sigma_l_max: f64 = 0.0;
+    let mut any_multi = false;
+    for deltas in per_client.values() {
+        if deltas.len() < 2 {
+            continue;
+        }
+        any_multi = true;
+        let owned: Vec<Vector> = deltas.iter().map(|d| (*d).clone()).collect();
+        let mean = stats::mean_vector(&owned).expect("nonempty");
+        let var = owned
+            .iter()
+            .map(|d| d.distance_squared(&mean))
+            .sum::<f64>()
+            / owned.len() as f64;
+        let sigma = var.sqrt();
+        sigma_l_min = sigma_l_min.min(sigma);
+        sigma_l_max = sigma_l_max.max(sigma);
+    }
+    if !any_multi {
+        sigma_l_min = 0.0;
+    }
+
+    // Assumption 2, global: RMS of per-client mean deviations.
+    let sigma_g_max = (client_means
+        .iter()
+        .map(|(_, m)| m.distance_squared(&population))
+        .sum::<f64>()
+        / client_means.len() as f64)
+        .sqrt();
+
+    let premise_bound = if sigma_g_max > 0.0 {
+        (2.0 + sigma_l_min * sigma_l_min / sigma_g_max).sqrt()
+    } else {
+        f64::INFINITY
+    };
+
+    Some(TheoryConstants {
+        a,
+        sigma_l_min,
+        sigma_l_max,
+        sigma_g_max,
+        premise_bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncfl_data::sampling::standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Synthetic honest population: shared descent direction, per-client
+    /// bias (heterogeneity) and per-round noise (stochasticity).
+    fn population(
+        clients: usize,
+        rounds: usize,
+        bias: f64,
+        noise: f64,
+        seed: u64,
+    ) -> Vec<(usize, Vector)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 8;
+        let shared = Vector::from_fn(dim, |_| 1.0);
+        let biases: Vec<Vector> = (0..clients)
+            .map(|_| Vector::from_fn(dim, |_| bias * standard_normal(&mut rng)))
+            .collect();
+        let mut out = Vec::new();
+        for c in 0..clients {
+            for _ in 0..rounds {
+                let mut d = &shared + &biases[c];
+                for i in 0..dim {
+                    d[i] += noise * standard_normal(&mut rng);
+                }
+                out.push((c, d));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn homogeneous_population_has_small_a() {
+        let obs = population(10, 5, 0.01, 0.01, 1);
+        let t = estimate_constants(&obs).unwrap();
+        assert!(t.a < 0.1, "A = {}", t.a);
+        assert!(t.premise_holds());
+        assert!(t.sigma_l_min <= t.sigma_l_max);
+    }
+
+    #[test]
+    fn heterogeneity_raises_a_and_sigma_g() {
+        let mild = estimate_constants(&population(10, 5, 0.05, 0.01, 2)).unwrap();
+        let wild = estimate_constants(&population(10, 5, 1.0, 0.01, 2)).unwrap();
+        assert!(wild.a > mild.a);
+        assert!(wild.sigma_g_max > mild.sigma_g_max);
+    }
+
+    #[test]
+    fn noise_raises_sigma_l() {
+        let quiet = estimate_constants(&population(10, 5, 0.1, 0.01, 3)).unwrap();
+        let loud = estimate_constants(&population(10, 5, 0.1, 1.0, 3)).unwrap();
+        assert!(loud.sigma_l_max > quiet.sigma_l_max);
+    }
+
+    #[test]
+    fn premise_fails_for_extreme_heterogeneity() {
+        // Biases much larger than the shared direction: A >> bound.
+        let obs = population(10, 5, 25.0, 0.01, 4);
+        let t = estimate_constants(&obs).unwrap();
+        assert!(!t.premise_holds(), "{t:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(estimate_constants(&[]).is_none());
+        // Single client.
+        let one = vec![(0, Vector::from(vec![1.0])), (0, Vector::from(vec![1.1]))];
+        assert!(estimate_constants(&one).is_none());
+        // Zero population mean.
+        let zero = vec![
+            (0, Vector::from(vec![1.0])),
+            (1, Vector::from(vec![-1.0])),
+        ];
+        assert!(estimate_constants(&zero).is_none());
+    }
+
+    #[test]
+    fn single_observation_clients_have_zero_sigma_l_min() {
+        let obs = vec![
+            (0, Vector::from(vec![1.0, 0.0])),
+            (1, Vector::from(vec![1.2, 0.1])),
+            (2, Vector::from(vec![0.9, -0.1])),
+        ];
+        let t = estimate_constants(&obs).unwrap();
+        assert_eq!(t.sigma_l_min, 0.0);
+        assert!(t.premise_bound >= (2.0f64).sqrt());
+    }
+}

@@ -1,0 +1,174 @@
+//! An adaptive attacker that knows AsyncFilter's detection rule.
+//!
+//! The paper's defense goal (§3.2) includes resilience against *adaptive*
+//! strategies. This attacker assumes full knowledge of the deployed
+//! AsyncFilter pipeline (distance-to-estimate scores, top-cluster
+//! rejection) and optimizes within it: it pushes opposite to the colluding
+//! mean — like GD — but **budgets its deviation** to a multiple of the
+//! benign spread it observes, aiming to land in the score range that
+//! AsyncFilter's middle cluster tolerates rather than the top cluster it
+//! rejects.
+//!
+//! `stealth` trades potency for evasion:
+//!
+//! * `stealth → 0` reproduces GD (maximal damage, easily rejected);
+//! * `stealth = 1` bounds the crafted delta's distance from the colluding
+//!   mean by the colluders' own RMS spread — statistically inside the
+//!   benign cloud, so detection by any distance rule implies false
+//!   positives on benign non-IID clients.
+
+use crate::traits::Attack;
+use asyncfl_tensor::{stats, Vector};
+use rand::rngs::StdRng;
+
+/// A deviation-budgeted reverse attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveStealthAttack {
+    stealth: f64,
+}
+
+impl AdaptiveStealthAttack {
+    /// Creates the attack. `stealth` is the deviation budget as a multiple
+    /// of the colluders' RMS spread around their mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stealth <= 0` or is non-finite.
+    pub fn new(stealth: f64) -> Self {
+        assert!(
+            stealth > 0.0 && stealth.is_finite(),
+            "AdaptiveStealthAttack: stealth must be positive, got {stealth}"
+        );
+        Self { stealth }
+    }
+
+    /// The deviation budget multiplier.
+    pub fn stealth(&self) -> f64 {
+        self.stealth
+    }
+}
+
+impl Default for AdaptiveStealthAttack {
+    /// Budget = 1× the benign spread: the boundary of statistical
+    /// indistinguishability.
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl Attack for AdaptiveStealthAttack {
+    fn name(&self) -> &str {
+        "Adaptive"
+    }
+
+    fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
+        if colluding_deltas.is_empty() {
+            return Vec::new();
+        }
+        let mu = stats::mean_vector(colluding_deltas).expect("nonempty");
+        if colluding_deltas.len() == 1 {
+            // No observable spread: the only safe move is the mean itself
+            // (behaving honestly this round).
+            return vec![mu];
+        }
+        // RMS spread of the colluders around their mean — the attacker's
+        // best estimate of what "benign deviation" looks like.
+        let spread = (colluding_deltas
+            .iter()
+            .map(|d| d.distance_squared(&mu))
+            .sum::<f64>()
+            / colluding_deltas.len() as f64)
+            .sqrt();
+        // Push opposite to the mean direction, with the deviation from μ
+        // capped at stealth × spread.
+        let mut direction = -&mu;
+        if direction.rescale_to_norm(1.0) == 0.0 {
+            return vec![mu; colluding_deltas.len()];
+        }
+        let mut crafted = mu.clone();
+        crafted.axpy(self.stealth * spread, &direction);
+        vec![crafted; colluding_deltas.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Vector::from_fn(6, |_| 1.0 + 0.4 * (rng.random::<f64>() - 0.5)))
+            .collect()
+    }
+
+    #[test]
+    fn deviation_is_budgeted_by_spread() {
+        let deltas = cloud(10, 1);
+        let mu = stats::mean_vector(&deltas).unwrap();
+        let spread = (deltas.iter().map(|d| d.distance_squared(&mu)).sum::<f64>()
+            / deltas.len() as f64)
+            .sqrt();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = AdaptiveStealthAttack::new(1.0).craft_all(&deltas, &mut rng);
+        let deviation = out[0].distance(&mu);
+        assert!(
+            (deviation - spread).abs() < 1e-9,
+            "deviation {deviation} vs spread {spread}"
+        );
+    }
+
+    #[test]
+    fn pushes_against_the_mean() {
+        let deltas = cloud(8, 3);
+        let mu = stats::mean_vector(&deltas).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = AdaptiveStealthAttack::default().craft_all(&deltas, &mut rng);
+        // Projection on μ is reduced relative to μ itself.
+        assert!(out[0].dot(&mu) < mu.norm_squared());
+    }
+
+    #[test]
+    fn higher_stealth_budget_deviates_more() {
+        let deltas = cloud(8, 5);
+        let mu = stats::mean_vector(&deltas).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mild = AdaptiveStealthAttack::new(0.5).craft_all(&deltas, &mut rng);
+        let bold = AdaptiveStealthAttack::new(2.0).craft_all(&deltas, &mut rng);
+        assert!(bold[0].distance(&mu) > mild[0].distance(&mu));
+        assert_eq!(AdaptiveStealthAttack::new(2.0).stealth(), 2.0);
+    }
+
+    #[test]
+    fn single_colluder_behaves_honestly() {
+        let deltas = vec![Vector::from(vec![1.0, -1.0])];
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = AdaptiveStealthAttack::default().craft_all(&deltas, &mut rng);
+        assert_eq!(out[0], deltas[0]);
+    }
+
+    #[test]
+    fn zero_mean_cloud_degenerates_gracefully() {
+        let deltas = vec![Vector::from(vec![1.0, 0.0]), Vector::from(vec![-1.0, 0.0])];
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = AdaptiveStealthAttack::default().craft_all(&deltas, &mut rng);
+        assert!(out[0].is_finite());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(AdaptiveStealthAttack::default()
+            .craft_all(&[], &mut rng)
+            .is_empty());
+        assert_eq!(AdaptiveStealthAttack::default().name(), "Adaptive");
+    }
+
+    #[test]
+    #[should_panic(expected = "stealth")]
+    fn invalid_stealth_panics() {
+        let _ = AdaptiveStealthAttack::new(-1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The Gradient Deviation (GD) attack.
+//!
+//! Fang et al. (USENIX Security '20) direct the aggregated update opposite
+//! to the true gradient. The paper's Theorem 1 models it as each malicious
+//! client `j` sending `−δⱼ` instead of `δⱼ`; we additionally expose a scale
+//! factor λ (λ = 1 reproduces the theorem's form, larger λ is the
+//! more aggressive variant commonly used in evaluations).
+
+use crate::traits::Attack;
+use asyncfl_tensor::Vector;
+use rand::rngs::StdRng;
+
+/// Reverses each colluding client's honest delta, scaled by λ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientDeviationAttack {
+    lambda: f64,
+}
+
+impl GradientDeviationAttack {
+    /// Creates the attack with reversal scale λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0` or is non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "GradientDeviationAttack: lambda must be positive, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// The reversal scale.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Default for GradientDeviationAttack {
+    /// λ = 1: the exact sign reversal of Theorem 1.
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl Attack for GradientDeviationAttack {
+    fn name(&self) -> &str {
+        "GD"
+    }
+
+    fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
+        colluding_deltas
+            .iter()
+            .map(|d| d.scaled(-self.lambda))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reverses_each_delta() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let deltas = vec![Vector::from(vec![1.0, -2.0]), Vector::from(vec![0.0, 3.0])];
+        let out = GradientDeviationAttack::default().craft_all(&deltas, &mut rng);
+        assert_eq!(out[0].as_slice(), &[-1.0, 2.0]);
+        assert_eq!(out[1].as_slice(), &[0.0, -3.0]);
+    }
+
+    #[test]
+    fn lambda_scales_reversal() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let deltas = vec![Vector::from(vec![2.0])];
+        let out = GradientDeviationAttack::new(2.5).craft_all(&deltas, &mut rng);
+        assert_eq!(out[0].as_slice(), &[-5.0]);
+        assert_eq!(GradientDeviationAttack::new(2.5).lambda(), 2.5);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(GradientDeviationAttack::default()
+            .craft_all(&[], &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn crafted_delta_opposes_honest_direction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let honest = Vector::from(vec![0.3, -0.7, 0.1]);
+        let out =
+            GradientDeviationAttack::default().craft_all(std::slice::from_ref(&honest), &mut rng);
+        assert!(out[0].dot(&honest) < 0.0);
+        assert_eq!(GradientDeviationAttack::default().name(), "GD");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn invalid_lambda_panics() {
+        let _ = GradientDeviationAttack::new(0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The Inner-Product Manipulation (IPM) attack (Xie et al., UAI 2020).
+//!
+//! Each malicious client sends `−ε · μ` where `μ` is the mean of the
+//! observable honest deltas. For small ε the attack flips the sign of the
+//! inner product between the aggregate and the true gradient *without*
+//! producing large-norm outliers (`ε < 1`), making it a classic stealth
+//! benchmark alongside LIE; for large ε it degenerates into a scaled GD.
+//!
+//! The paper's defense goal (§3.2) demands resilience against "a range of
+//! poisoning attacks, including both existing and adaptive strategies" —
+//! IPM is the canonical "existing" attack beyond the four in the tables, so
+//! the extension suite includes it.
+
+use crate::traits::Attack;
+use asyncfl_tensor::{stats, Vector};
+use rand::rngs::StdRng;
+
+/// Sends `−ε · mean(honest colluding deltas)` from every malicious client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InnerProductManipulationAttack {
+    epsilon: f64,
+}
+
+impl InnerProductManipulationAttack {
+    /// Creates the attack with scale ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon <= 0` or is non-finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "InnerProductManipulationAttack: epsilon must be positive, got {epsilon}"
+        );
+        Self { epsilon }
+    }
+
+    /// The scale ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl Default for InnerProductManipulationAttack {
+    /// ε = 0.5: the stealthy sub-unit regime of the original paper.
+    fn default() -> Self {
+        Self::new(0.5)
+    }
+}
+
+impl Attack for InnerProductManipulationAttack {
+    fn name(&self) -> &str {
+        "IPM"
+    }
+
+    fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
+        if colluding_deltas.is_empty() {
+            return Vec::new();
+        }
+        let mu = stats::mean_vector(colluding_deltas).expect("nonempty");
+        vec![mu.scaled(-self.epsilon); colluding_deltas.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crafted_is_negative_scaled_mean() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let deltas = vec![Vector::from(vec![2.0, 0.0]), Vector::from(vec![4.0, 2.0])];
+        let out = InnerProductManipulationAttack::new(0.5).craft_all(&deltas, &mut rng);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+        // mean = [3, 1]; crafted = [-1.5, -0.5]
+        assert_eq!(out[0].as_slice(), &[-1.5, -0.5]);
+    }
+
+    #[test]
+    fn inner_product_with_mean_is_negative() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let deltas: Vec<Vector> = (0..5)
+            .map(|i| Vector::from(vec![1.0 + 0.1 * i as f64, -0.5]))
+            .collect();
+        let mu = stats::mean_vector(&deltas).unwrap();
+        let out = InnerProductManipulationAttack::default().craft_all(&deltas, &mut rng);
+        assert!(out[0].dot(&mu) < 0.0);
+    }
+
+    #[test]
+    fn stealth_regime_norm_below_mean_norm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let deltas: Vec<Vector> = (0..4).map(|_| Vector::from(vec![3.0, 4.0])).collect();
+        let out = InnerProductManipulationAttack::new(0.5).craft_all(&deltas, &mut rng);
+        assert!(out[0].norm() < deltas[0].norm());
+        assert_eq!(InnerProductManipulationAttack::default().epsilon(), 0.5);
+        assert_eq!(InnerProductManipulationAttack::default().name(), "IPM");
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(InnerProductManipulationAttack::default()
+            .craft_all(&[], &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_panics() {
+        let _ = InnerProductManipulationAttack::new(0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The Little-Is-Enough (LIE) attack.
+//!
+//! Baruch et al. (NeurIPS '19): all malicious clients send
+//! `μ + z·σ` where `μ`/`σ` are the coordinate-wise mean and standard
+//! deviation of the (observable) honest deltas, and `z` is the largest
+//! deviation that still keeps the malicious update inside the cloud of a
+//! majority of honest clients:
+//!
+//! `s = ⌊n/2 + 1⌋ − m`,  `z = Φ⁻¹((n − m − s) / (n − m))`.
+//!
+//! The perturbation is *subtle by construction* — exactly the "potent enough
+//! … yet subtle enough" calibration the paper discusses (§2.2).
+
+use crate::quantile::normal_quantile;
+use crate::traits::Attack;
+use asyncfl_tensor::{stats, Vector};
+use rand::rngs::StdRng;
+
+/// Coordinate-wise `μ + z·σ` attack with a fixed `z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LittleIsEnoughAttack {
+    z: f64,
+}
+
+impl LittleIsEnoughAttack {
+    /// Creates the attack with an explicit `z` deviation factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is non-finite.
+    pub fn new(z: f64) -> Self {
+        assert!(z.is_finite(), "LittleIsEnoughAttack: z must be finite");
+        Self { z }
+    }
+
+    /// Computes `z` from the population using the original paper's
+    /// supporter-count rule for `n` total and `m` malicious clients.
+    ///
+    /// Degenerate populations (e.g. `m >= n`) fall back to the commonly used
+    /// `z = 0.74` (the value the original evaluation converges to for
+    /// 50-client / 24%-malicious settings).
+    pub fn for_population(n: usize, m: usize) -> Self {
+        if n == 0 || m >= n {
+            return Self::new(0.74);
+        }
+        let s = (n / 2 + 1).saturating_sub(m);
+        let denom = (n - m) as f64;
+        let p = ((n - m) as f64 - s as f64) / denom;
+        if p <= 0.0 || p >= 1.0 {
+            return Self::new(0.74);
+        }
+        Self::new(normal_quantile(p))
+    }
+
+    /// The deviation factor `z`.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+}
+
+impl Default for LittleIsEnoughAttack {
+    /// The paper-default population: 100 clients, 20 malicious.
+    fn default() -> Self {
+        Self::for_population(100, 20)
+    }
+}
+
+impl Attack for LittleIsEnoughAttack {
+    fn name(&self) -> &str {
+        "LIE"
+    }
+
+    fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
+        if colluding_deltas.is_empty() {
+            return Vec::new();
+        }
+        let mu = stats::mean_vector(colluding_deltas).expect("nonempty");
+        let sigma = stats::std_vector(colluding_deltas).expect("nonempty");
+        let mut crafted = mu;
+        crafted.axpy(self.z, &sigma);
+        vec![crafted; colluding_deltas.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crafted_update_is_mean_plus_z_sigma() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let deltas = vec![Vector::from(vec![1.0, 0.0]), Vector::from(vec![3.0, 0.0])];
+        // mean = [2, 0], std = [1, 0]
+        let attack = LittleIsEnoughAttack::new(0.5);
+        let out = attack.craft_all(&deltas, &mut rng);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+        assert!((out[0][0] - 2.5).abs() < 1e-12);
+        assert_eq!(out[0][1], 0.0);
+    }
+
+    #[test]
+    fn population_formula_matches_hand_computation() {
+        // n=100, m=20: s = 51 - 20 = 31, p = (80 - 31)/80 = 0.6125.
+        let attack = LittleIsEnoughAttack::for_population(100, 20);
+        let expected = normal_quantile(0.6125);
+        assert!((attack.z() - expected).abs() < 1e-12);
+        assert!(attack.z() > 0.0 && attack.z() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_populations_fall_back() {
+        assert_eq!(LittleIsEnoughAttack::for_population(0, 0).z(), 0.74);
+        assert_eq!(LittleIsEnoughAttack::for_population(10, 10).z(), 0.74);
+        assert_eq!(LittleIsEnoughAttack::for_population(10, 12).z(), 0.74);
+    }
+
+    #[test]
+    fn more_attackers_push_harder() {
+        // With more malicious clients, fewer honest supporters are needed,
+        // so z grows.
+        let z20 = LittleIsEnoughAttack::for_population(100, 20).z();
+        let z40 = LittleIsEnoughAttack::for_population(100, 40).z();
+        assert!(z40 > z20, "z40={z40} z20={z20}");
+    }
+
+    #[test]
+    fn single_colluder_sends_own_mean() {
+        // With one colluder, sigma = 0 so the crafted delta equals its own.
+        let mut rng = StdRng::seed_from_u64(1);
+        let deltas = vec![Vector::from(vec![0.5, -0.5])];
+        let out = LittleIsEnoughAttack::default().craft_all(&deltas, &mut rng);
+        assert_eq!(out[0], deltas[0]);
+    }
+
+    #[test]
+    fn subtlety_crafted_delta_close_to_mean() {
+        // The LIE update must stay within ~z of the mean in sigma units —
+        // far closer than a GD reversal.
+        let mut rng = StdRng::seed_from_u64(2);
+        let deltas: Vec<Vector> = (0..10)
+            .map(|i| Vector::from(vec![i as f64 * 0.1, 1.0 - i as f64 * 0.05]))
+            .collect();
+        let attack = LittleIsEnoughAttack::default();
+        let out = attack.craft_all(&deltas, &mut rng);
+        let mu = asyncfl_tensor::stats::mean_vector(&deltas).unwrap();
+        let sigma_norm = asyncfl_tensor::stats::std_vector(&deltas).unwrap().norm();
+        assert!(out[0].distance(&mu) <= attack.z().abs() * sigma_norm + 1e-9);
+        assert_eq!(attack.name(), "LIE");
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(LittleIsEnoughAttack::default()
+            .craft_all(&[], &mut rng)
+            .is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! The Min-Max and Min-Sum AGR-agnostic attacks.
+//!
+//! Shejwalkar & Houmansadr (NDSS '21) craft `∇ᵐ = μ + γ·∇ᵖ` where `μ` is the
+//! mean of observable honest deltas and `∇ᵖ` a unit perturbation direction,
+//! choosing the largest γ that satisfies a camouflage constraint:
+//!
+//! * **Min-Max**: `max_i ‖∇ᵐ − δᵢ‖ ≤ max_{i,j} ‖δᵢ − δⱼ‖` — the malicious
+//!   delta is no farther from any honest delta than honest deltas are from
+//!   each other;
+//! * **Min-Sum**: `Σ_i ‖∇ᵐ − δᵢ‖² ≤ max_j Σ_i ‖δⱼ − δᵢ‖²` — its summed
+//!   squared distance stays within the worst honest client's.
+//!
+//! γ is found with the paper's halving search (Algorithm 1 of the NDSS
+//! paper), which this module implements verbatim.
+
+use crate::traits::Attack;
+use asyncfl_tensor::{stats, Vector};
+use rand::rngs::StdRng;
+
+/// Perturbation direction `∇ᵖ` for the optimization attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PerturbationDirection {
+    /// `−μ/‖μ‖` — opposite to the mean honest delta (the strongest choice in
+    /// the NDSS evaluation; our default).
+    #[default]
+    InverseUnit,
+    /// `−sign(μ)` — opposite sign per coordinate.
+    InverseSign,
+    /// `−σ` — negative coordinate-wise standard deviation.
+    InverseStd,
+}
+
+impl PerturbationDirection {
+    /// Computes the (unnormalized) direction for the given honest deltas.
+    fn direction(&self, deltas: &[Vector]) -> Vector {
+        let mu = stats::mean_vector(deltas).expect("nonempty deltas");
+        match self {
+            PerturbationDirection::InverseUnit => {
+                let mut d = -&mu;
+                d.rescale_to_norm(1.0);
+                d
+            }
+            PerturbationDirection::InverseSign => mu.map(|x| -x.signum()),
+            PerturbationDirection::InverseStd => -&stats::std_vector(deltas).expect("nonempty"),
+        }
+    }
+}
+
+/// Shared γ-search machinery for both attacks.
+fn halving_search(
+    deltas: &[Vector],
+    direction: &Vector,
+    constraint: impl Fn(&Vector) -> bool,
+    gamma_init: f64,
+    tau: f64,
+) -> Vector {
+    let mu = stats::mean_vector(deltas).expect("nonempty deltas");
+    let craft = |gamma: f64| -> Vector {
+        let mut v = mu.clone();
+        v.axpy(gamma, direction);
+        v
+    };
+    // NDSS Algorithm 1: start high, halve the step while oscillating around
+    // the constraint boundary, keep the largest feasible γ.
+    let mut gamma = gamma_init;
+    let mut step = gamma_init / 2.0;
+    let mut best = if constraint(&craft(gamma)) {
+        gamma
+    } else {
+        0.0
+    };
+    for _ in 0..64 {
+        if constraint(&craft(gamma)) {
+            best = best.max(gamma);
+            gamma += step;
+        } else {
+            gamma -= step;
+        }
+        step /= 2.0;
+        if step < tau {
+            break;
+        }
+    }
+    craft(best.max(0.0))
+}
+
+fn max_pairwise_distance(deltas: &[Vector]) -> f64 {
+    let mut max_d = 0.0f64;
+    for i in 0..deltas.len() {
+        for j in (i + 1)..deltas.len() {
+            max_d = max_d.max(deltas[i].distance(&deltas[j]));
+        }
+    }
+    max_d
+}
+
+fn max_distance_to_all(v: &Vector, deltas: &[Vector]) -> f64 {
+    deltas.iter().map(|d| v.distance(d)).fold(0.0f64, f64::max)
+}
+
+fn sum_sq_distances(v: &Vector, deltas: &[Vector]) -> f64 {
+    deltas.iter().map(|d| v.distance_squared(d)).sum()
+}
+
+/// The Min-Max attack.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MinMaxAttack {
+    direction: PerturbationDirection,
+}
+
+impl MinMaxAttack {
+    /// Creates the attack with an explicit perturbation direction.
+    pub fn new(direction: PerturbationDirection) -> Self {
+        Self { direction }
+    }
+
+    /// The configured direction.
+    pub fn direction(&self) -> PerturbationDirection {
+        self.direction
+    }
+}
+
+impl Attack for MinMaxAttack {
+    fn name(&self) -> &str {
+        "Min-Max"
+    }
+
+    fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
+        if colluding_deltas.is_empty() {
+            return Vec::new();
+        }
+        if colluding_deltas.len() == 1 {
+            // No spread to hide in: send the reversed delta (degenerate case).
+            return vec![colluding_deltas[0].scaled(-1.0)];
+        }
+        let dir = self.direction.direction(colluding_deltas);
+        let bound = max_pairwise_distance(colluding_deltas);
+        let crafted = halving_search(
+            colluding_deltas,
+            &dir,
+            |v| max_distance_to_all(v, colluding_deltas) <= bound,
+            10.0,
+            1e-5,
+        );
+        vec![crafted; colluding_deltas.len()]
+    }
+}
+
+/// The Min-Sum attack.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MinSumAttack {
+    direction: PerturbationDirection,
+}
+
+impl MinSumAttack {
+    /// Creates the attack with an explicit perturbation direction.
+    pub fn new(direction: PerturbationDirection) -> Self {
+        Self { direction }
+    }
+
+    /// The configured direction.
+    pub fn direction(&self) -> PerturbationDirection {
+        self.direction
+    }
+}
+
+impl Attack for MinSumAttack {
+    fn name(&self) -> &str {
+        "Min-Sum"
+    }
+
+    fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
+        if colluding_deltas.is_empty() {
+            return Vec::new();
+        }
+        if colluding_deltas.len() == 1 {
+            return vec![colluding_deltas[0].scaled(-1.0)];
+        }
+        let dir = self.direction.direction(colluding_deltas);
+        let bound = colluding_deltas
+            .iter()
+            .map(|d| sum_sq_distances(d, colluding_deltas))
+            .fold(0.0f64, f64::max);
+        let crafted = halving_search(
+            colluding_deltas,
+            &dir,
+            |v| sum_sq_distances(v, colluding_deltas) <= bound,
+            10.0,
+            1e-5,
+        );
+        vec![crafted; colluding_deltas.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn honest_cloud(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Vector::from_fn(dim, |_| 1.0 + 0.2 * (rng.random::<f64>() - 0.5)))
+            .collect()
+    }
+
+    #[test]
+    fn minmax_satisfies_its_constraint() {
+        let deltas = honest_cloud(8, 5, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = MinMaxAttack::default().craft_all(&deltas, &mut rng);
+        assert_eq!(out.len(), 8);
+        let bound = max_pairwise_distance(&deltas);
+        let d = max_distance_to_all(&out[0], &deltas);
+        assert!(d <= bound + 1e-6, "max distance {d} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn minsum_satisfies_its_constraint() {
+        let deltas = honest_cloud(8, 5, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = MinSumAttack::default().craft_all(&deltas, &mut rng);
+        let bound = deltas
+            .iter()
+            .map(|d| sum_sq_distances(d, &deltas))
+            .fold(0.0f64, f64::max);
+        let s = sum_sq_distances(&out[0], &deltas);
+        assert!(s <= bound + 1e-6, "sum-sq {s} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn crafted_delta_opposes_mean_direction() {
+        let deltas = honest_cloud(8, 5, 5);
+        let mu = stats::mean_vector(&deltas).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for out in [
+            MinMaxAttack::default().craft_all(&deltas, &mut rng),
+            MinSumAttack::default().craft_all(&deltas, &mut rng),
+        ] {
+            // The crafted delta moves from μ along −μ, so its projection on
+            // μ is strictly smaller than ‖μ‖².
+            assert!(out[0].dot(&mu) < mu.norm_squared());
+        }
+    }
+
+    #[test]
+    fn minmax_uses_maximal_feasible_gamma() {
+        // Pushing γ noticeably further must break the constraint.
+        let deltas = honest_cloud(8, 5, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = MinMaxAttack::default().craft_all(&deltas, &mut rng);
+        let mu = stats::mean_vector(&deltas).unwrap();
+        let bound = max_pairwise_distance(&deltas);
+        let gamma = out[0].distance(&mu);
+        // 10% further along the same direction must violate the bound.
+        let mut pushed = out[0].clone();
+        let dir = PerturbationDirection::InverseUnit.direction(&deltas);
+        pushed.axpy(0.2 * gamma.max(0.1), &dir);
+        assert!(max_distance_to_all(&pushed, &deltas) > bound);
+    }
+
+    #[test]
+    fn all_directions_produce_finite_updates() {
+        let deltas = honest_cloud(6, 4, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        for d in [
+            PerturbationDirection::InverseUnit,
+            PerturbationDirection::InverseSign,
+            PerturbationDirection::InverseStd,
+        ] {
+            let out = MinMaxAttack::new(d).craft_all(&deltas, &mut rng);
+            assert!(out[0].is_finite(), "{d:?} produced non-finite update");
+            let out = MinSumAttack::new(d).craft_all(&deltas, &mut rng);
+            assert!(out[0].is_finite(), "{d:?} produced non-finite update");
+            assert_eq!(MinMaxAttack::new(d).direction(), d);
+            assert_eq!(MinSumAttack::new(d).direction(), d);
+        }
+    }
+
+    #[test]
+    fn single_colluder_reverses() {
+        let deltas = vec![Vector::from(vec![1.0, -1.0])];
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = MinMaxAttack::default().craft_all(&deltas, &mut rng);
+        assert_eq!(out[0].as_slice(), &[-1.0, 1.0]);
+        let out = MinSumAttack::default().craft_all(&deltas, &mut rng);
+        assert_eq!(out[0].as_slice(), &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let mut rng = StdRng::seed_from_u64(12);
+        assert!(MinMaxAttack::default().craft_all(&[], &mut rng).is_empty());
+        assert!(MinSumAttack::default().craft_all(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MinMaxAttack::default().name(), "Min-Max");
+        assert_eq!(MinSumAttack::default().name(), "Min-Sum");
+    }
+
+    #[test]
+    fn identical_honest_deltas_bound_is_zero() {
+        // Zero spread: the crafted update must stay at the mean.
+        let deltas = vec![Vector::from(vec![1.0, 1.0]); 5];
+        let mut rng = StdRng::seed_from_u64(13);
+        let out = MinMaxAttack::default().craft_all(&deltas, &mut rng);
+        assert!(out[0].distance(&deltas[0]) < 1e-3);
+    }
+}

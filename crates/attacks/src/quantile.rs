@@ -1,0 +1,154 @@
+//! Standard-normal quantile function (inverse CDF).
+//!
+//! The LIE attack sizes its perturbation as the `z` for which
+//! `Φ(z) = (n − ⌊n/2 + 1⌋) / (n − m)`; computing it needs Φ⁻¹. This module
+//! implements Acklam's rational-minimax approximation (relative error
+//! < 1.15e−9 over the open unit interval) plus the forward CDF for testing.
+
+/// Standard normal CDF `Φ(x)`, via the complementary error function
+/// relation `Φ(x) = erfc(−x/√2)/2` with an Abramowitz–Stegun `erfc`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Numerical Recipes 6.2 rational Chebyshev
+/// fit; |error| < 1.2e−7, ample for attack parameterization).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` (Acklam's algorithm).
+///
+/// # Panics
+///
+/// Panics if `p` is outside the open interval `(0, 1)`.
+///
+/// ```
+/// use asyncfl_attacks::quantile::normal_quantile;
+/// assert!(normal_quantile(0.5).abs() < 1e-9);
+/// assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+/// ```
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile: p must be in (0, 1), got {p}"
+    );
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_quantiles() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.8413447) - 1.0).abs() < 1e-4);
+        assert!((normal_quantile(0.9772499) - 2.0).abs() < 1e-4);
+        assert!((normal_quantile(0.0227501) + 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn known_cdf_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.8413447).abs() < 1e-5);
+        assert!((normal_cdf(-1.96) - 0.0249979).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn symmetry() {
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn p_zero_panics() {
+        let _ = normal_quantile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn p_one_panics() {
+        let _ = normal_quantile(1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_inverts_cdf(p in 0.001f64..0.999) {
+            let z = normal_quantile(p);
+            prop_assert!((normal_cdf(z) - p).abs() < 1e-5, "p={p} z={z}");
+        }
+
+        #[test]
+        fn prop_quantile_monotone(p1 in 0.001f64..0.998, dp in 0.0005f64..0.001) {
+            prop_assert!(normal_quantile(p1 + dp) > normal_quantile(p1));
+        }
+    }
+}

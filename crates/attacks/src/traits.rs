@@ -1,0 +1,199 @@
+//! The [`Attack`] trait, attack registry and the benign no-op.
+
+use asyncfl_tensor::Vector;
+use rand::rngs::StdRng;
+
+/// An untargeted poisoning attack over model-update deltas.
+///
+/// `colluding_deltas` are the honest deltas the attacker's clients would
+/// have submitted; the attack returns the deltas actually sent (one per
+/// colluding client, same order).
+pub trait Attack: Send + Sync {
+    /// Short name used in tables ("GD", "LIE", …).
+    fn name(&self) -> &str;
+
+    /// Crafts the malicious deltas for all colluding clients this round.
+    ///
+    /// Implementations must return exactly `colluding_deltas.len()` deltas
+    /// of matching dimension. An empty input yields an empty output.
+    fn craft_all(&self, colluding_deltas: &[Vector], rng: &mut StdRng) -> Vec<Vector>;
+}
+
+/// The identity attack: malicious clients behave honestly. Used for the
+/// "No attack" columns of Tables 2–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoAttack;
+
+impl Attack for NoAttack {
+    fn name(&self) -> &str {
+        "No attack"
+    }
+
+    fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
+        colluding_deltas.to_vec()
+    }
+}
+
+/// Enumeration of the paper's attacks, for experiment configuration and
+/// table iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Gradient-deviation (sign-flip) attack.
+    Gd,
+    /// Little-is-enough attack.
+    Lie,
+    /// Min-Max attack.
+    MinMax,
+    /// Min-Sum attack.
+    MinSum,
+    /// Inner-product manipulation (extension; Xie et al., UAI '20).
+    Ipm,
+    /// Adaptive stealth attack aware of AsyncFilter's rule (extension).
+    Adaptive,
+    /// No attack (all clients honest).
+    None,
+}
+
+impl AttackKind {
+    /// The paper's table column order: GD, LIE, Min-Max, Min-Sum, No attack.
+    pub const TABLE_ORDER: [AttackKind; 5] = [
+        AttackKind::Gd,
+        AttackKind::Lie,
+        AttackKind::MinMax,
+        AttackKind::MinSum,
+        AttackKind::None,
+    ];
+
+    /// The four real attacks (no benign column), as used by Tables 6–10.
+    pub const ATTACKS_ONLY: [AttackKind; 4] = [
+        AttackKind::Gd,
+        AttackKind::Lie,
+        AttackKind::MinMax,
+        AttackKind::MinSum,
+    ];
+
+    /// Instantiates the attack with its paper-default parameters.
+    ///
+    /// `total_clients` and `malicious_clients` parameterize LIE's `z`
+    /// computation; the others ignore them.
+    pub fn build(&self, total_clients: usize, malicious_clients: usize) -> Box<dyn Attack> {
+        match self {
+            AttackKind::Gd => Box::new(crate::GradientDeviationAttack::default()),
+            AttackKind::Lie => Box::new(crate::LittleIsEnoughAttack::for_population(
+                total_clients,
+                malicious_clients,
+            )),
+            AttackKind::MinMax => Box::new(crate::MinMaxAttack::default()),
+            AttackKind::MinSum => Box::new(crate::MinSumAttack::default()),
+            AttackKind::Ipm => Box::new(crate::InnerProductManipulationAttack::default()),
+            AttackKind::Adaptive => Box::new(crate::AdaptiveStealthAttack::default()),
+            AttackKind::None => Box::new(NoAttack),
+        }
+    }
+
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackKind::Gd => "GD",
+            AttackKind::Lie => "LIE",
+            AttackKind::MinMax => "Min-Max",
+            AttackKind::MinSum => "Min-Sum",
+            AttackKind::Ipm => "IPM",
+            AttackKind::Adaptive => "Adaptive",
+            AttackKind::None => "No attack",
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_attack_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let deltas = vec![Vector::from(vec![1.0, 2.0]), Vector::from(vec![-1.0, 0.0])];
+        let out = NoAttack.craft_all(&deltas, &mut rng);
+        assert_eq!(out, deltas);
+        assert_eq!(NoAttack.name(), "No attack");
+        let empty: Vec<Vector> = Vec::new();
+        assert!(NoAttack.craft_all(&empty, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn build_constructs_every_kind() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let deltas = vec![Vector::from(vec![1.0, -1.0, 0.5]); 4];
+        for kind in [
+            AttackKind::Gd,
+            AttackKind::Lie,
+            AttackKind::MinMax,
+            AttackKind::MinSum,
+            AttackKind::Ipm,
+            AttackKind::Adaptive,
+            AttackKind::None,
+        ] {
+            let attack = kind.build(100, 20);
+            let out = attack.craft_all(&deltas, &mut rng);
+            assert_eq!(out.len(), 4, "{kind}: wrong count");
+            assert!(out.iter().all(|d| d.len() == 3), "{kind}: wrong dim");
+            assert!(out.iter().all(|d| d.is_finite()), "{kind}: non-finite");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every attack preserves the colluder count and delta
+            /// dimension and never emits non-finite values from finite
+            /// inputs.
+            #[test]
+            fn prop_attack_output_well_formed(
+                seed in 0u64..500,
+                n in 1usize..12,
+                dim in 1usize..24,
+                kind_idx in 0usize..7,
+            ) {
+                let kinds = [
+                    AttackKind::Gd,
+                    AttackKind::Lie,
+                    AttackKind::MinMax,
+                    AttackKind::MinSum,
+                    AttackKind::Ipm,
+                    AttackKind::Adaptive,
+                    AttackKind::None,
+                ];
+                let kind = kinds[kind_idx];
+                let mut rng = StdRng::seed_from_u64(seed);
+                use rand::RngExt;
+                let deltas: Vec<Vector> = (0..n)
+                    .map(|_| Vector::from_fn(dim, |_| rng.random::<f64>() * 2.0 - 1.0))
+                    .collect();
+                let attack = kind.build(100, 20);
+                let out = attack.craft_all(&deltas, &mut rng);
+                prop_assert_eq!(out.len(), n, "{}", kind);
+                for d in &out {
+                    prop_assert_eq!(d.len(), dim, "{}", kind);
+                    prop_assert!(d.is_finite(), "{}", kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(AttackKind::Gd.label(), "GD");
+        assert_eq!(format!("{}", AttackKind::MinSum), "Min-Sum");
+        assert_eq!(AttackKind::TABLE_ORDER.len(), 5);
+        assert_eq!(AttackKind::ATTACKS_ONLY.len(), 4);
+    }
+}

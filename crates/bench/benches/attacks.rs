@@ -1,0 +1,35 @@
+//! Attack-crafting cost: what a colluding attacker pays per round.
+
+use asyncfl_attacks::AttackKind;
+use asyncfl_sim::runner::build_attack;
+use asyncfl_tensor::Vector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_craft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("craft");
+    let mut rng = StdRng::seed_from_u64(0);
+    // 20 colluders, CIFAR-profile model dimension.
+    let pool: Vec<Vector> = (0..20)
+        .map(|_| Vector::from_fn(1_866, |_| rng.random::<f64>() - 0.5))
+        .collect();
+    for kind in AttackKind::ATTACKS_ONLY {
+        let attack = build_attack(kind, 100, 20);
+        group.bench_with_input(
+            BenchmarkId::new(kind.label(), pool.len()),
+            &kind,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut craft_rng = StdRng::seed_from_u64(1);
+                    black_box(attack.craft_all(&pool, &mut craft_rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_craft);
+criterion_main!(benches);

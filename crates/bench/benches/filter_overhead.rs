@@ -1,0 +1,80 @@
+//! The headline systems claim: AsyncFilter is a cheap plug-in.
+//!
+//! Benches the per-aggregation cost of each defense against the cost of the
+//! work it gates (one client's local training round): the filter should be
+//! orders of magnitude cheaper.
+
+use asyncfl_core::update::{ClientUpdate, FilterContext, UpdateFilter};
+use asyncfl_core::{AsyncFilter, FlDetector, PassthroughFilter};
+use asyncfl_data::DatasetProfile;
+use asyncfl_ml::train::{build_model, build_optimizer, LocalTrainer};
+use asyncfl_tensor::Vector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn buffer(n: usize, dim: usize, seed: u64) -> Vec<ClientUpdate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let params = Vector::from_fn(dim, |_| rng.random::<f64>());
+            ClientUpdate::new(i, 0, (i % 5) as u64, params, 128)
+        })
+        .collect()
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter");
+    for (n, dim) in [(40usize, 330usize), (40, 1_866), (150, 1_866)] {
+        let global = Vector::zeros(dim);
+        let label = format!("n{n}_d{dim}");
+        group.bench_with_input(BenchmarkId::new("AsyncFilter", &label), &n, |bench, _| {
+            let mut filter = AsyncFilter::default();
+            bench.iter(|| {
+                let ctx = FilterContext::new(1, &global, 20);
+                black_box(filter.filter(buffer(n, dim, 7), &ctx))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("FLDetector", &label), &n, |bench, _| {
+            let mut filter = FlDetector::default();
+            bench.iter(|| {
+                let ctx = FilterContext::new(1, &global, 20);
+                black_box(filter.filter(buffer(n, dim, 7), &ctx))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("FedBuff", &label), &n, |bench, _| {
+            let mut filter = PassthroughFilter;
+            bench.iter(|| {
+                let ctx = FilterContext::new(1, &global, 20);
+                black_box(filter.filter(buffer(n, dim, 7), &ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_training_reference(c: &mut Criterion) {
+    // The work the filter sits in front of: one client's local round.
+    let mut rng = StdRng::seed_from_u64(0);
+    let profile = DatasetProfile::Mnist;
+    let task = profile.build_task(&mut rng);
+    let data = task.test_dataset(128, &mut rng);
+    c.bench_function("local_training_round_mnist", |bench| {
+        bench.iter(|| {
+            let mut inner = StdRng::seed_from_u64(1);
+            let mut model = build_model(&profile, &task, &mut inner);
+            let mut opt = build_optimizer(&profile, model.num_params());
+            LocalTrainer::from_profile(&profile).train(
+                model.as_mut(),
+                &data,
+                opt.as_mut(),
+                &mut inner,
+            );
+            black_box(model.params())
+        })
+    });
+}
+
+criterion_group!(benches, bench_filters, bench_local_training_reference);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end simulation throughput: a full small federation per iteration.
+
+use asyncfl_attacks::AttackKind;
+use asyncfl_core::{AsyncFilter, PassthroughFilter};
+use asyncfl_sim::config::SimConfig;
+use asyncfl_sim::runner::Simulation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("smoke_fedbuff", |bench| {
+        bench.iter(|| {
+            let mut sim = Simulation::new(SimConfig::smoke_test());
+            black_box(sim.run(Box::new(PassthroughFilter), AttackKind::None))
+        })
+    });
+    group.bench_function("smoke_asyncfilter_gd", |bench| {
+        bench.iter(|| {
+            let mut sim = Simulation::new(SimConfig::smoke_test());
+            black_box(sim.run(Box::new(AsyncFilter::default()), AttackKind::Gd))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! `ablations` — measure the design choices `DESIGN.md` calls out.
+//!
+//! Each ablation varies exactly one `AsyncFilterConfig` knob against the
+//! default configuration, on FashionMNIST under the no-attack / GD / Min-Sum
+//! columns (the three regimes where the knobs trade off):
+//!
+//! ```text
+//! cargo run --release -p asyncfl-bench --bin ablations [-- --quick]
+//! ```
+
+use asyncfl_analysis::report::{pct, Table};
+use asyncfl_attacks::AttackKind;
+use asyncfl_core::asyncfilter::{
+    AsyncFilter, AsyncFilterConfig, MiddlePolicy, MovingAverageMode, ScoreNormalization,
+};
+use asyncfl_data::DatasetProfile;
+use asyncfl_sim::config::SimConfig;
+use asyncfl_sim::runner::Simulation;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let attacks = [AttackKind::None, AttackKind::Gd, AttackKind::MinSum];
+
+    let variants: Vec<(&str, AsyncFilterConfig)> = vec![
+        (
+            "default (EMA 0.2, gate 2, defer-once, global)",
+            AsyncFilterConfig::default(),
+        ),
+        (
+            "ablation-ma: Robbins-Monro (eq. 5 literal)",
+            AsyncFilterConfig {
+                ma_mode: MovingAverageMode::RobbinsMonro,
+                ..Default::default()
+            },
+        ),
+        (
+            "ablation-ma: EMA beta 0.5",
+            AsyncFilterConfig {
+                ma_mode: MovingAverageMode::Ema { beta: 0.5 },
+                ..Default::default()
+            },
+        ),
+        (
+            "ablation-gate: off (always reject top cluster)",
+            AsyncFilterConfig {
+                min_separation: 0.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "ablation-gate: 3.0",
+            AsyncFilterConfig {
+                min_separation: 3.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "ablation-score: cross-group (eq. 7 literal)",
+            AsyncFilterConfig {
+                score_normalization: ScoreNormalization::CrossGroup,
+                ..Default::default()
+            },
+        ),
+        (
+            "ablation-score: within-group",
+            AsyncFilterConfig {
+                score_normalization: ScoreNormalization::WithinGroup,
+                ..Default::default()
+            },
+        ),
+        (
+            "ablation-middle: accept",
+            AsyncFilterConfig {
+                middle_policy: MiddlePolicy::Accept,
+                ..Default::default()
+            },
+        ),
+        (
+            "ablation-middle: reject",
+            AsyncFilterConfig {
+                middle_policy: MiddlePolicy::Reject,
+                ..Default::default()
+            },
+        ),
+        (
+            "ablation-bucket: staleness buckets of 4",
+            AsyncFilterConfig {
+                staleness_bucket: 4,
+                ..Default::default()
+            },
+        ),
+        (
+            "ablation-kmeans: 2-means (fig. 7)",
+            AsyncFilterConfig::two_means(),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "AsyncFilter design ablations (FashionMNIST, paper-default setting)",
+        attacks.iter().map(|a| a.label().to_string()).collect(),
+    );
+    for (label, config) in variants {
+        let mut row = Vec::new();
+        for &attack in &attacks {
+            let mut sim_config = SimConfig::paper_default(DatasetProfile::FashionMnist);
+            if quick {
+                sim_config.rounds = 16;
+                sim_config.test_samples = 800;
+            }
+            let mut sim = Simulation::new(sim_config);
+            let result = sim.run(Box::new(AsyncFilter::new(config.clone())), attack);
+            row.push(pct(result.final_accuracy));
+        }
+        table.push_row(label, row);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,23 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (§5) and hosts the Criterion micro-benchmarks.
+//!
+//! The [`experiments`] module defines one entry per paper artifact
+//! (Tables 2–10, Figs. 3–4, 6–7) — each pins the exact workload (dataset
+//! profile, Dirichlet α, attacker count, Zipf exponent, staleness limit),
+//! runs the defenses × attacks grid on the deterministic simulator, and
+//! prints the measured table next to the paper's reported numbers.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p asyncfl-bench --bin repro -- all
+//! ```
+//!
+//! or a single artifact: `… -- table5`, `… -- fig7 --quick`, etc.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{ExperimentId, RunOptions};

@@ -1,0 +1,233 @@
+//! Cluster-quality diagnostics: silhouette coefficient and the gap
+//! statistic.
+//!
+//! FLDetector decides *whether attackers are present at all* by comparing
+//! the gap statistic of a k = 1 clustering against k = 2 over its per-client
+//! suspicion scores; only when 2 clusters are favoured does it remove the
+//! high-score cluster. The silhouette score is exposed for the analysis
+//! tooling and ablation benches.
+
+use crate::kmeans::KMeans;
+use asyncfl_tensor::Vector;
+use rand::{Rng, RngExt};
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`;
+/// larger means tighter, better-separated clusters.
+///
+/// Points in singleton clusters contribute 0, following the usual
+/// convention. Returns `0.0` when every point is in one cluster.
+///
+/// # Panics
+///
+/// Panics if `points.len() != assignments.len()` or the slices are empty.
+pub fn silhouette(points: &[Vector], assignments: &[usize]) -> f64 {
+    assert!(!points.is_empty(), "silhouette: empty input");
+    assert_eq!(
+        points.len(),
+        assignments.len(),
+        "silhouette: points/assignments length mismatch"
+    );
+    let k = assignments.iter().max().expect("nonempty") + 1;
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        members[a].push(i);
+    }
+    if members.iter().filter(|m| !m.is_empty()).count() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let own = assignments[i];
+        if members[own].len() <= 1 {
+            continue; // contributes 0
+        }
+        // a(i): mean distance to own cluster (excluding self).
+        let a_i = members[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| p.distance(&points[j]))
+            .sum::<f64>()
+            / (members[own].len() - 1) as f64;
+        // b(i): smallest mean distance to another non-empty cluster.
+        let b_i = members
+            .iter()
+            .enumerate()
+            .filter(|(c, m)| *c != own && !m.is_empty())
+            .map(|(_, m)| m.iter().map(|&j| p.distance(&points[j])).sum::<f64>() / m.len() as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a_i.max(b_i);
+        if denom > 0.0 {
+            total += (b_i - a_i) / denom;
+        }
+    }
+    total / points.len() as f64
+}
+
+/// Gap statistic of a k-clustering (Tibshirani et al. 2001): compares
+/// `log(inertia)` against the expectation under `b` uniform reference
+/// datasets drawn over the data's bounding box.
+///
+/// Returns `(gap, s_k)` where `s_k` is the reference standard deviation
+/// (already scaled by `√(1 + 1/b)`), so the usual selection rule is
+/// `gap(k) >= gap(k+1) − s_{k+1}`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `k == 0` or `b == 0`.
+pub fn gap_statistic<R: Rng + ?Sized>(
+    points: &[Vector],
+    k: usize,
+    b: usize,
+    rng: &mut R,
+) -> (f64, f64) {
+    assert!(!points.is_empty(), "gap_statistic: empty input");
+    assert!(k > 0, "gap_statistic: k must be positive");
+    assert!(b > 0, "gap_statistic: b must be positive");
+    let dim = points[0].len();
+    let log_inertia = |pts: &[Vector], rng: &mut R| -> f64 {
+        let r = KMeans::new(k).fit(pts, rng);
+        // Avoid log(0) on degenerate inputs.
+        r.inertia.max(1e-300).ln()
+    };
+    let observed = log_inertia(points, rng);
+
+    // Bounding box of the data.
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for p in points {
+        for (d, &x) in p.iter().enumerate() {
+            lo[d] = lo[d].min(x);
+            hi[d] = hi[d].max(x);
+        }
+    }
+
+    let mut refs = Vec::with_capacity(b);
+    for _ in 0..b {
+        let fake: Vec<Vector> = (0..points.len())
+            .map(|_| {
+                Vector::from_fn(dim, |d| {
+                    if hi[d] > lo[d] {
+                        rng.random_range(lo[d]..hi[d])
+                    } else {
+                        lo[d]
+                    }
+                })
+            })
+            .collect();
+        refs.push(log_inertia(&fake, rng));
+    }
+    let mean_ref = refs.iter().sum::<f64>() / b as f64;
+    let var_ref = refs.iter().map(|x| (x - mean_ref).powi(2)).sum::<f64>() / b as f64;
+    let s_k = (var_ref * (1.0 + 1.0 / b as f64)).sqrt();
+    (mean_ref - observed, s_k)
+}
+
+/// FLDetector's attacker-presence test: `true` if the data is better
+/// explained by two clusters than one, using the gap-statistic rule
+/// `gap(1) < gap(2) − s₂`.
+pub fn two_clusters_preferred<R: Rng + ?Sized>(points: &[Vector], b: usize, rng: &mut R) -> bool {
+    if points.len() < 3 {
+        return false;
+    }
+    let (gap1, _) = gap_statistic(points, 1, b, rng);
+    let (gap2, s2) = gap_statistic(points, 2, b, rng);
+    gap1 < gap2 - s2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob(center: f64, n: usize, spread: f64, rng: &mut StdRng) -> Vec<Vector> {
+        (0..n)
+            .map(|_| Vector::from(vec![center + spread * (rng.random::<f64>() - 0.5)]))
+            .collect()
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pts = blob(0.0, 10, 0.5, &mut rng);
+        pts.extend(blob(100.0, 10, 0.5, &mut rng));
+        let assignments: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let s = silhouette(&pts, &assignments);
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_bad_split() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = blob(0.0, 20, 1.0, &mut rng);
+        // Arbitrary split of one blob.
+        let assignments: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let s = silhouette(&pts, &assignments);
+        assert!(s < 0.3, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_single_cluster_is_zero() {
+        let pts = vec![Vector::from(vec![0.0]), Vector::from(vec![1.0])];
+        assert_eq!(silhouette(&pts, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn silhouette_handles_singletons() {
+        let pts = vec![
+            Vector::from(vec![0.0]),
+            Vector::from(vec![0.1]),
+            Vector::from(vec![9.0]),
+        ];
+        let s = silhouette(&pts, &[0, 0, 1]);
+        assert!(s > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn silhouette_mismatch_panics() {
+        let pts = vec![Vector::from(vec![0.0])];
+        let _ = silhouette(&pts, &[0, 1]);
+    }
+
+    #[test]
+    fn gap_prefers_two_clusters_for_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pts = blob(0.0, 15, 1.0, &mut rng);
+        pts.extend(blob(50.0, 15, 1.0, &mut rng));
+        assert!(two_clusters_preferred(&pts, 10, &mut rng));
+    }
+
+    #[test]
+    fn gap_prefers_one_cluster_for_uniform_data() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts: Vec<Vector> = (0..40)
+            .map(|_| Vector::from(vec![rng.random::<f64>()]))
+            .collect();
+        assert!(!two_clusters_preferred(&pts, 10, &mut rng));
+    }
+
+    #[test]
+    fn tiny_inputs_never_prefer_two_clusters() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = vec![Vector::from(vec![0.0]), Vector::from(vec![9.0])];
+        assert!(!two_clusters_preferred(&pts, 5, &mut rng));
+    }
+
+    #[test]
+    fn gap_statistic_returns_finite_values() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts = blob(0.0, 10, 1.0, &mut rng);
+        let (gap, s) = gap_statistic(&pts, 2, 5, &mut rng);
+        assert!(gap.is_finite());
+        assert!(s.is_finite() && s >= 0.0);
+    }
+
+    #[test]
+    fn gap_statistic_degenerate_identical_points() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts = vec![Vector::from(vec![1.0, 1.0]); 8];
+        let (gap, s) = gap_statistic(&pts, 2, 5, &mut rng);
+        assert!(gap.is_finite() && s.is_finite());
+    }
+}

@@ -1,0 +1,332 @@
+//! General k-means with k-means++ seeding and Lloyd iterations.
+//!
+//! Used by the FLDetector baseline (2-means over per-client suspicion
+//! vectors) and by the analysis tooling. For the scalar 3-means step inside
+//! AsyncFilter itself, prefer the exact solver in [`crate::one_dim`].
+
+use asyncfl_tensor::Vector;
+use rand::{Rng, RngExt};
+
+/// Configuration for a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    k: usize,
+    max_iter: usize,
+    tol: f64,
+}
+
+/// Outcome of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids (`k` of them; empty clusters keep their last
+    /// position).
+    pub centroids: Vec<Vector>,
+    /// Points per cluster.
+    pub sizes: Vec<usize>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Index of the non-empty cluster whose centroid has the largest norm.
+    pub fn largest_norm_cluster(&self) -> Option<usize> {
+        (0..self.centroids.len())
+            .filter(|&c| self.sizes[c] > 0)
+            .max_by(|&a, &b| {
+                self.centroids[a]
+                    .norm()
+                    .partial_cmp(&self.centroids[b].norm())
+                    .expect("finite centroids")
+            })
+    }
+}
+
+impl KMeans {
+    /// Creates a configuration with `k` clusters, at most 100 Lloyd
+    /// iterations and a centroid-motion tolerance of `1e-9`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "KMeans: k must be positive");
+        Self {
+            k,
+            max_iter: 100,
+            tol: 1e-9,
+        }
+    }
+
+    /// Sets the maximum Lloyd iterations.
+    pub fn max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Sets the convergence tolerance on total centroid motion.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Runs k-means++ seeding followed by Lloyd iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or dimensions are inconsistent.
+    pub fn fit<R: Rng + ?Sized>(&self, points: &[Vector], rng: &mut R) -> KMeansResult {
+        assert!(!points.is_empty(), "KMeans::fit: empty input");
+        let dim = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "KMeans::fit: inconsistent dimensions"
+        );
+        let k = self.k.min(points.len());
+        let mut centroids = self.seed_plus_plus(points, k, rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut iterations = 0;
+
+        for _ in 0..self.max_iter {
+            iterations += 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest(p, &centroids).0;
+            }
+            // Update step.
+            let mut new_centroids = vec![Vector::zeros(dim); centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (p, &a) in points.iter().zip(&assignments) {
+                new_centroids[a].axpy(1.0, p);
+                counts[a] += 1;
+            }
+            let mut motion = 0.0;
+            for (c, centroid) in new_centroids.iter_mut().enumerate() {
+                if counts[c] > 0 {
+                    centroid.scale(1.0 / counts[c] as f64);
+                } else {
+                    // Keep an empty cluster's previous centroid.
+                    *centroid = centroids[c].clone();
+                }
+                motion += centroid.distance(&centroids[c]);
+            }
+            centroids = new_centroids;
+            if motion <= self.tol {
+                break;
+            }
+        }
+
+        let mut sizes = vec![0usize; centroids.len()];
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (a, d2) = nearest(p, &centroids);
+            assignments[i] = a;
+            sizes[a] += 1;
+            inertia += d2;
+        }
+        // Pad to the requested k when there were fewer points than clusters.
+        while centroids.len() < self.k {
+            centroids.push(centroids.last().expect("k >= 1").clone());
+            sizes.push(0);
+        }
+        KMeansResult {
+            assignments,
+            centroids,
+            sizes,
+            inertia,
+            iterations,
+        }
+    }
+
+    /// k-means++ seeding: first centroid uniform, later centroids sampled
+    /// proportional to squared distance from the nearest chosen centroid.
+    fn seed_plus_plus<R: Rng + ?Sized>(
+        &self,
+        points: &[Vector],
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<Vector> {
+        let mut centroids = Vec::with_capacity(k);
+        centroids.push(points[rng.random_range(0..points.len())].clone());
+        let mut d2: Vec<f64> = points
+            .iter()
+            .map(|p| p.distance_squared(&centroids[0]))
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                // All remaining points coincide with a centroid.
+                rng.random_range(0..points.len())
+            } else {
+                let mut u = rng.random::<f64>() * total;
+                let mut chosen = points.len() - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    u -= w;
+                    if u <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            centroids.push(points[next].clone());
+            for (i, p) in points.iter().enumerate() {
+                d2[i] = d2[i].min(p.distance_squared(centroids.last().expect("nonempty")));
+            }
+        }
+        centroids
+    }
+}
+
+fn nearest(p: &Vector, centroids: &[Vector]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = p.distance_squared(centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob(center: &[f64], n: usize, spread: f64, rng: &mut StdRng) -> Vec<Vector> {
+        (0..n)
+            .map(|_| {
+                Vector::from_fn(center.len(), |i| {
+                    center[i] + spread * (rng.random::<f64>() - 0.5)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut points = blob(&[0.0, 0.0], 20, 0.5, &mut rng);
+        points.extend(blob(&[10.0, 10.0], 20, 0.5, &mut rng));
+        let r = KMeans::new(2).fit(&points, &mut rng);
+        // All of the first 20 together, all of the last 20 together.
+        let first = r.assignments[0];
+        assert!(r.assignments[..20].iter().all(|&a| a == first));
+        let second = r.assignments[20];
+        assert_ne!(first, second);
+        assert!(r.assignments[20..].iter().all(|&a| a == second));
+        assert_eq!(r.sizes.iter().sum::<usize>(), 40);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn k_equals_one_gives_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let points = vec![
+            Vector::from(vec![0.0]),
+            Vector::from(vec![2.0]),
+            Vector::from(vec![4.0]),
+        ];
+        let r = KMeans::new(1).fit(&points, &mut rng);
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert!((r.inertia - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_clusters_than_points() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points = vec![Vector::from(vec![1.0]), Vector::from(vec![2.0])];
+        let r = KMeans::new(5).fit(&points, &mut rng);
+        assert_eq!(r.centroids.len(), 5);
+        assert_eq!(r.sizes.iter().sum::<usize>(), 2);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let points = vec![Vector::from(vec![3.0, 3.0]); 10];
+        let r = KMeans::new(3).fit(&points, &mut rng);
+        assert!(r.inertia < 1e-12);
+        assert_eq!(r.sizes.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn largest_norm_cluster_identifies_outliers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut points = blob(&[0.0, 0.0], 15, 0.2, &mut rng);
+        points.extend(blob(&[50.0, 50.0], 5, 0.2, &mut rng));
+        let r = KMeans::new(2).fit(&points, &mut rng);
+        let big = r.largest_norm_cluster().unwrap();
+        assert!(r.assignments[15..].iter().all(|&a| a == big));
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let km = KMeans::new(4).max_iter(7).tol(0.5);
+        assert_eq!(km.k(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = KMeans::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = KMeans::new(2).fit(&[], &mut rng);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_valid_partition(
+            seed in 0u64..500,
+            n in 2usize..30,
+            k in 1usize..5,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let points: Vec<Vector> = (0..n)
+                .map(|_| Vector::from_fn(3, |_| rng.random::<f64>() * 10.0))
+                .collect();
+            let r = KMeans::new(k).fit(&points, &mut rng);
+            prop_assert_eq!(r.assignments.len(), n);
+            prop_assert!(r.assignments.iter().all(|&a| a < r.centroids.len()));
+            prop_assert_eq!(r.sizes.iter().sum::<usize>(), n);
+            prop_assert!(r.inertia >= 0.0);
+        }
+
+        #[test]
+        fn prop_points_assigned_to_nearest_centroid(
+            seed in 0u64..500,
+            n in 2usize..20,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let points: Vec<Vector> = (0..n)
+                .map(|_| Vector::from_fn(2, |_| rng.random::<f64>()))
+                .collect();
+            let r = KMeans::new(2).fit(&points, &mut rng);
+            for (p, &a) in points.iter().zip(&r.assignments) {
+                let d_assigned = p.distance_squared(&r.centroids[a]);
+                for c in &r.centroids {
+                    prop_assert!(d_assigned <= p.distance_squared(c) + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,970 @@
+//! The AsyncFilter defense (paper §4.3–4.4, Algorithm 1).
+//!
+//! Pipeline per aggregation: group buffered updates by staleness (eq. 4),
+//! score each update by its ℓ2 distance to the group's moving-average
+//! estimate (eqs. 5–6), normalize scores across groups (eq. 7), then run
+//! 3-means over the scalar scores and reject the highest cluster, accept the
+//! lowest, and defer the middle "to a later stage".
+//!
+//! ## Interpretation notes (recorded in `DESIGN.md`)
+//!
+//! * **Eq. 7 normalization.** The denominator `√(Σₖ d(MAₖ, ωᵢ)²)` sums the
+//!   update's distance to *every* staleness-group estimate. With a single
+//!   active group this degenerates to `score ≡ 1`, so in that case we fall
+//!   back to normalizing by the within-group root-sum-of-squares, which
+//!   preserves the ordering eq. 6 intends.
+//! * **Scoring vs. estimation order.** Distances are measured against the
+//!   estimate formed from *previous* rounds (the paper motivates the moving
+//!   average with "in the server's previous aggregation round we had already
+//!   gathered local model updates corresponding to the same group"); a group
+//!   seen for the first time is scored against its own current mean. The
+//!   estimate is updated *after* scoring, so a same-round attacker cannot
+//!   drag the reference toward itself before being scored.
+//! * **Middle cluster.** "Permitted to contribute to the aggregation at a
+//!   later stage" is implemented as deferral: the server re-buffers the
+//!   middle cluster for the next aggregation (its staleness keeps growing,
+//!   so the server's staleness limit bounds how long an update can be
+//!   deferred). [`MiddlePolicy`] also offers immediate `Accept` and hard
+//!   `Reject` for the ablation benches.
+
+use crate::update::{ClientUpdate, FilterContext, FilterOutcome, UpdateFilter};
+use asyncfl_clustering::one_dim::kmeans_1d;
+use asyncfl_tensor::Vector;
+use std::collections::BTreeMap;
+
+/// What to do with the middle 3-means cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MiddlePolicy {
+    /// Re-buffer for **one** later aggregation (the paper's "permitted to
+    /// contribute to the aggregation at a later stage"); an update already
+    /// deferred once is accepted. Quarantining the middle a single round
+    /// keeps strong-attack leftovers out of the current aggregate without
+    /// endlessly churning benign non-IID updates (measured in the
+    /// `ablation-middle` bench). Default.
+    #[default]
+    Defer,
+    /// Aggregate immediately alongside the lowest cluster.
+    Accept,
+    /// Drop alongside the highest cluster (a stricter 2-of-3 variant).
+    Reject,
+}
+
+/// How the per-group estimate is maintained (paper eq. 5 vs. a fixed-rate
+/// EMA ablation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MovingAverageMode {
+    /// `MA ← t/(t+1)·MA + 1/(t+1)·ωᵢ` with `t` = updates absorbed so far
+    /// (eq. 5; Robbins–Monro 1/t rate).
+    RobbinsMonro,
+    /// `MA ← (1−β)·MA + β·ωᵢ` with constant β ∈ (0, 1]. Faster to track a
+    /// moving optimum; ablation bench `ablation-ma` compares the two.
+    Ema {
+        /// Per-update blending rate.
+        beta: f64,
+    },
+}
+
+impl Default for MovingAverageMode {
+    /// `Ema { beta: 0.2 }`. Eq. 5's literal 1/(t+1) rate freezes the
+    /// estimate while the global model keeps drifting, which late in
+    /// training drowns the attacker/benign distance contrast in model
+    /// drift (measured in the `ablation-ma` bench, worst under Adam). A
+    /// fixed-rate EMA keeps the published pipeline but tracks the drift.
+    fn default() -> Self {
+        MovingAverageMode::Ema { beta: 0.2 }
+    }
+}
+
+/// How per-update distances (eq. 6) are normalized into suspicious scores
+/// (eq. 7). The paper's eq. 7 is ambiguous about what the denominator's
+/// index `k` ranges over; all three readings are implemented and the
+/// `ablation-score` bench compares them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScoreNormalization {
+    /// `score_i = d_i / sqrt(sum over all buffered updates j of d_j^2)` — the
+    /// whole buffer is the normalization pool. Scores stay comparable
+    /// across staleness groups and an attacker's score is not capped by
+    /// the group count. Default: measured best end-to-end.
+    #[default]
+    Global,
+    /// `score_i = d(MA_own, omega_i) / sqrt(sum over groups k of d(MA_k, omega_i)^2)` —
+    /// the literal cross-group reading of eq. 7. Caps scores near
+    /// `1/sqrt(#groups)`, compressing attacker/benign separation.
+    CrossGroup,
+    /// `score_i = d_i / sqrt(sum over j in own group of d_j^2)` — per-group
+    /// normalization; degenerates for very small groups (a pair scores
+    /// `~0.71` regardless of content).
+    WithinGroup,
+}
+
+/// Configuration for [`AsyncFilter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncFilterConfig {
+    /// Number of score clusters; the paper argues for 3 over 2 (§5.7).
+    pub clusters: usize,
+    /// Fate of the middle cluster(s).
+    pub middle_policy: MiddlePolicy,
+    /// Moving-average mode (eq. 5 by default).
+    pub ma_mode: MovingAverageMode,
+    /// Width of a staleness group: `1` reproduces eq. 4's exact-τ groups;
+    /// larger values pool adjacent staleness levels (ablation
+    /// `ablation-bucket`).
+    pub staleness_bucket: u64,
+    /// Below this many buffered updates the filter accepts everything —
+    /// clustering three points into three groups is vacuous.
+    pub min_updates: usize,
+    /// Distance-to-score normalization (eq. 7 reading).
+    pub score_normalization: ScoreNormalization,
+    /// Separation gate: when positive, the highest score cluster is
+    /// rejected only if its centroid is at least this multiple of the
+    /// median suspicious score of the **non-top clusters**. A benign score continuum has a
+    /// top-cluster/median ratio near 2, while a poisoning cluster under an
+    /// effective attack stands far above the benign median, so a moderate
+    /// ratio keeps benign rounds untouched without blunting detection.
+    /// `0` disables the gate (the paper's literal rule: always reject the
+    /// top cluster); the default is `2.0`, chosen by the sweep recorded in
+    /// the `ablation-gate` bench.
+    pub min_separation: f64,
+    /// Rounds during which the separation gate stays inactive and the top
+    /// cluster is always rejected (a conservative warm-up while no group
+    /// estimates exist). Default 0 — measured to cost more on benign
+    /// rounds than it saves under early attacks; exposed for ablation.
+    pub gate_warmup_rounds: u64,
+}
+
+impl AsyncFilterConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clusters < 2 {
+            return Err(format!("clusters must be >= 2, got {}", self.clusters));
+        }
+        if self.staleness_bucket == 0 {
+            return Err("staleness_bucket must be >= 1".into());
+        }
+        if let MovingAverageMode::Ema { beta } = self.ma_mode {
+            if !(beta > 0.0 && beta <= 1.0) {
+                return Err(format!("EMA beta must be in (0, 1], got {beta}"));
+            }
+        }
+        if !(self.min_separation >= 0.0 && self.min_separation.is_finite()) {
+            return Err(format!(
+                "min_separation must be nonnegative and finite, got {}",
+                self.min_separation
+            ));
+        }
+        Ok(())
+    }
+
+    /// The 2-means ablation variant (paper Fig. 7's AsyncFilter-2means):
+    /// two clusters, so there is no middle group — high rejected, low kept.
+    pub fn two_means() -> Self {
+        Self {
+            clusters: 2,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for AsyncFilterConfig {
+    /// The paper's pipeline (3-means, deferred middle cluster, exact
+    /// staleness groups) with the two measured implementation choices
+    /// documented in `DESIGN.md`: a β = 0.2 EMA estimate and a ×2 median
+    /// separation gate.
+    fn default() -> Self {
+        Self {
+            clusters: 3,
+            middle_policy: MiddlePolicy::Defer,
+            ma_mode: MovingAverageMode::default(),
+            staleness_bucket: 1,
+            min_updates: 4,
+            score_normalization: ScoreNormalization::default(),
+            min_separation: 2.0,
+            gate_warmup_rounds: 0,
+        }
+    }
+}
+
+/// Coordinate-wise 25%-trimmed mean used to bootstrap new-group estimates.
+fn robust_bootstrap(params: &[Vector]) -> Vector {
+    let trim = params.len() / 4;
+    asyncfl_tensor::stats::trimmed_mean_vector(params, trim).expect("nonempty bootstrap input")
+}
+
+/// Per-staleness-group moving-average state.
+#[derive(Debug, Clone, PartialEq)]
+struct GroupState {
+    ma: Vector,
+    absorbed: u64,
+}
+
+/// A score assigned to one update in the last [`AsyncFilter::filter`] call,
+/// exposed for analysis and figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreRecord {
+    /// Client id.
+    pub client: usize,
+    /// Staleness group key.
+    pub group: u64,
+    /// Normalized suspicious score (eq. 7).
+    pub score: f64,
+    /// Ground-truth malice (experiment bookkeeping).
+    pub truth_malicious: bool,
+}
+
+/// The AsyncFilter server module.
+///
+/// Stateful across rounds: it owns one moving-average estimate per staleness
+/// group (eq. 5). Create one per training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncFilter {
+    config: AsyncFilterConfig,
+    groups: BTreeMap<u64, GroupState>,
+    last_scores: Vec<ScoreRecord>,
+}
+
+impl AsyncFilter {
+    /// Creates the filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`AsyncFilterConfig::validate`] for a recoverable check.
+    pub fn new(config: AsyncFilterConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid AsyncFilterConfig: {e}");
+        }
+        Self {
+            config,
+            groups: BTreeMap::new(),
+            last_scores: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AsyncFilterConfig {
+        &self.config
+    }
+
+    /// Scores assigned in the most recent `filter` call (empty before the
+    /// first call or when the buffer was too small to cluster).
+    pub fn last_scores(&self) -> &[ScoreRecord] {
+        &self.last_scores
+    }
+
+    /// Number of staleness groups with live estimates.
+    pub fn tracked_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn group_key(&self, staleness: u64) -> u64 {
+        staleness / self.config.staleness_bucket
+    }
+
+    /// Absorbs one update into its group estimate (eq. 5).
+    fn absorb(&mut self, key: u64, params: &Vector) {
+        let dim = params.len();
+        let state = self.groups.entry(key).or_insert_with(|| GroupState {
+            ma: Vector::zeros(dim),
+            absorbed: 0,
+        });
+        match self.config.ma_mode {
+            MovingAverageMode::RobbinsMonro => {
+                let t = state.absorbed as f64;
+                state.ma.lerp(params, 1.0 / (t + 1.0));
+            }
+            MovingAverageMode::Ema { beta } => {
+                if state.absorbed == 0 {
+                    state.ma = params.clone();
+                } else {
+                    state.ma.lerp(params, beta);
+                }
+            }
+        }
+        state.absorbed += 1;
+    }
+
+    /// Effective estimate for a group this round: the running MA if the
+    /// group has history, otherwise the coordinate-wise **25%-trimmed
+    /// mean** of the group's current updates (a robust bootstrap — a plain
+    /// mean would be dragged toward any attacker present in the very first
+    /// batch, while a median can be captured by identical colluding
+    /// updates once they reach half the group). A brand-new *singleton*
+    /// group has no meaningful self-estimate (it would score itself zero
+    /// and let a lone attacker at an unseen staleness level sail through);
+    /// such groups are scored against the trimmed mean over the whole
+    /// buffer instead.
+    fn effective_estimates(
+        &self,
+        grouped: &BTreeMap<u64, Vec<usize>>,
+        updates: &[ClientUpdate],
+    ) -> BTreeMap<u64, Vector> {
+        let mut est = BTreeMap::new();
+        let mut buffer_median: Option<Vector> = None;
+        for (&key, members) in grouped {
+            if let Some(state) = self.groups.get(&key) {
+                est.insert(key, state.ma.clone());
+            } else if members.len() >= 2 {
+                let group_params: Vec<Vector> =
+                    members.iter().map(|&i| updates[i].params.clone()).collect();
+                est.insert(key, robust_bootstrap(&group_params));
+            } else {
+                let fallback = buffer_median.get_or_insert_with(|| {
+                    let all: Vec<Vector> = updates.iter().map(|u| u.params.clone()).collect();
+                    robust_bootstrap(&all)
+                });
+                est.insert(key, fallback.clone());
+            }
+        }
+        est
+    }
+}
+
+impl UpdateFilter for AsyncFilter {
+    fn name(&self) -> &str {
+        "AsyncFilter"
+    }
+
+    fn filter(&mut self, updates: Vec<ClientUpdate>, ctx: &FilterContext<'_>) -> FilterOutcome {
+        self.last_scores.clear();
+        let mut outcome = FilterOutcome::default();
+        if updates.is_empty() {
+            return outcome;
+        }
+
+        // Sanitize: non-finite parameters are trivially poisoned.
+        let (mut finite, broken): (Vec<ClientUpdate>, Vec<ClientUpdate>) =
+            updates.into_iter().partition(|u| u.params.is_finite());
+        outcome.rejected.extend(broken);
+
+        if finite.len() < self.config.min_updates {
+            // Too few points to cluster meaningfully; absorb and accept.
+            for u in &finite {
+                let key = self.group_key(u.staleness);
+                self.absorb(key, &u.params);
+            }
+            outcome.accepted.append(&mut finite);
+            return outcome;
+        }
+
+        // Eq. 4: group indices by staleness bucket.
+        let mut grouped: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, u) in finite.iter().enumerate() {
+            grouped
+                .entry(self.group_key(u.staleness))
+                .or_default()
+                .push(i);
+        }
+
+        // Estimates to score against (pre-update; see module docs).
+        let estimates = self.effective_estimates(&grouped, &finite);
+
+        // Eq. 6: per-update distance to its own group estimate.
+        let mut dist = vec![0.0f64; finite.len()];
+        for (&key, members) in &grouped {
+            let own = &estimates[&key];
+            for &i in members {
+                dist[i] = finite[i].params.distance(own);
+            }
+        }
+        // Eq. 7: normalization into suspicious scores.
+        let mut scores = vec![0.0f64; finite.len()];
+        match self.config.score_normalization {
+            ScoreNormalization::Global => {
+                let denom = dist.iter().map(|d| d * d).sum::<f64>().sqrt();
+                if denom > 0.0 {
+                    for (i, &d) in dist.iter().enumerate() {
+                        scores[i] = d / denom;
+                    }
+                }
+            }
+            ScoreNormalization::WithinGroup => {
+                for members in grouped.values() {
+                    let denom = members
+                        .iter()
+                        .map(|&i| dist[i] * dist[i])
+                        .sum::<f64>()
+                        .sqrt();
+                    if denom > 0.0 {
+                        for &i in members {
+                            scores[i] = dist[i] / denom;
+                        }
+                    }
+                }
+            }
+            ScoreNormalization::CrossGroup => {
+                if grouped.len() == 1 {
+                    // Degenerates to score = 1 for everyone; fall back to the
+                    // within-group reading so ordering survives.
+                    let denom = dist.iter().map(|d| d * d).sum::<f64>().sqrt();
+                    if denom > 0.0 {
+                        for (i, &d) in dist.iter().enumerate() {
+                            scores[i] = d / denom;
+                        }
+                    }
+                } else {
+                    for (i, u) in finite.iter().enumerate() {
+                        let denom = estimates
+                            .values()
+                            .map(|ma| u.params.distance_squared(ma))
+                            .sum::<f64>()
+                            .sqrt();
+                        if denom > 0.0 {
+                            scores[i] = dist[i] / denom;
+                        }
+                    }
+                }
+            }
+        }
+
+        for (i, u) in finite.iter().enumerate() {
+            self.last_scores.push(ScoreRecord {
+                client: u.client,
+                group: self.group_key(u.staleness),
+                score: scores[i],
+                truth_malicious: u.truth_malicious,
+            });
+        }
+
+        // 3-means attacker identification over the scalar scores.
+        let clustering = kmeans_1d(&scores, self.config.clusters);
+        let reject_cluster = clustering.highest_cluster();
+        let accept_cluster = clustering.lowest_cluster();
+        // Clustering discriminates nothing when the extreme centroids
+        // coincide (e.g. all scores zero in a perfectly tight cloud).
+        // The separation gate additionally declares the round attacker-free
+        // when the top cluster does not stand out from the middle at least
+        // `min_separation` times as much as the middle stands out from the
+        // bottom — a benign score continuum produces comparable gaps, an
+        // actual poisoning cluster produces a dominant top gap.
+        let c_top = clustering.centroids[reject_cluster];
+        let c_low = clustering.centroids[accept_cluster];
+        // Gate reference: the median score of the *non-top* clusters. Using
+        // the overall median would let a large attacker cohort (e.g. the
+        // doubled-attacker study, 40 %) drag the reference up and mask
+        // itself; excluding the top cluster keeps the reference benign for
+        // any attacker share below the remaining majority.
+        let rest: Vec<f64> = scores
+            .iter()
+            .zip(&clustering.assignments)
+            .filter(|(_, &a)| a != reject_cluster)
+            .map(|(&s, _)| s)
+            .collect();
+        let reference = if rest.is_empty() {
+            asyncfl_tensor::stats::median(&scores)
+        } else {
+            asyncfl_tensor::stats::median(&rest)
+        };
+        let gated = self.config.min_separation > 0.0
+            && ctx.round >= self.config.gate_warmup_rounds
+            && c_top < self.config.min_separation * reference.max(f64::MIN_POSITIVE);
+        let degenerate = reject_cluster == accept_cluster || (c_top - c_low).abs() < 1e-12;
+
+        // Update estimates *after* scoring. Top-cluster members are never
+        // absorbed unless the clustering is truly non-discriminating: even
+        // when the separation gate tolerates them for aggregation, letting
+        // them into the moving average would poison the reference and erase
+        // the very separation the gate is waiting for.
+        for (i, u) in finite.iter().enumerate() {
+            if degenerate || clustering.assignments[i] != reject_cluster {
+                let key = self.group_key(u.staleness);
+                self.absorb(key, &u.params);
+            }
+        }
+
+        if degenerate || gated {
+            outcome.accepted.extend(finite);
+            return outcome;
+        }
+
+        for (i, u) in finite.into_iter().enumerate() {
+            let c = clustering.assignments[i];
+            if c == reject_cluster {
+                outcome.rejected.push(u);
+            } else if c == accept_cluster {
+                outcome.accepted.push(u);
+            } else {
+                match self.config.middle_policy {
+                    MiddlePolicy::Accept => outcome.accepted.push(u),
+                    MiddlePolicy::Defer if u.defers == 0 => {
+                        let mut u = u;
+                        u.defers += 1;
+                        outcome.deferred.push(u);
+                    }
+                    MiddlePolicy::Defer => outcome.accepted.push(u),
+                    MiddlePolicy::Reject => outcome.rejected.push(u),
+                }
+            }
+        }
+        outcome
+    }
+}
+
+impl Default for AsyncFilter {
+    fn default() -> Self {
+        Self::new(AsyncFilterConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn upd(client: usize, staleness: u64, params: &[f64], malicious: bool) -> ClientUpdate {
+        ClientUpdate::new(client, 0, staleness, Vector::from(params), 10)
+            .with_truth_malicious(malicious)
+    }
+
+    fn ctx_with(global: &Vector) -> FilterContext<'_> {
+        FilterContext::new(1, global, 20)
+    }
+
+    /// Nine tight benign updates + one far outlier, single staleness group.
+    fn outlier_scenario() -> Vec<ClientUpdate> {
+        let mut updates: Vec<ClientUpdate> = (0..9)
+            .map(|i| upd(i, 0, &[1.0 + 0.05 * i as f64, 2.0 - 0.05 * i as f64], false))
+            .collect();
+        updates.push(upd(9, 0, &[-30.0, 40.0], true));
+        updates
+    }
+
+    #[test]
+    fn rejects_obvious_outlier_single_group() {
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(2);
+        let out = f.filter(outlier_scenario(), &ctx_with(&g));
+        assert!(out.rejected.iter().any(|u| u.client == 9), "outlier kept");
+        assert!(
+            out.rejected.iter().all(|u| u.client == 9),
+            "benign rejected"
+        );
+        let (tp, fp, _, _) = out.confusion();
+        assert_eq!((tp, fp), (1, 0));
+    }
+
+    #[test]
+    fn accepts_everything_in_benign_tight_cloud() {
+        // With no attacker the highest cluster may still exist, but rejecting
+        // a couple of benign updates must not be the common case for a tight
+        // cloud across rounds. Here we check the degenerate identical case.
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(2);
+        let updates: Vec<ClientUpdate> = (0..8).map(|i| upd(i, 0, &[1.0, 2.0], false)).collect();
+        let out = f.filter(updates, &ctx_with(&g));
+        assert_eq!(out.accepted.len(), 8);
+        assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn small_buffers_bypass_clustering() {
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(1);
+        let updates = vec![upd(0, 0, &[1.0], false), upd(1, 0, &[100.0], true)];
+        let out = f.filter(updates, &ctx_with(&g));
+        assert_eq!(out.accepted.len(), 2);
+        assert!(f.tracked_groups() >= 1);
+    }
+
+    #[test]
+    fn nonfinite_updates_always_rejected() {
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(1);
+        let updates = vec![
+            upd(0, 0, &[1.0], false),
+            upd(1, 0, &[f64::NAN], true),
+            upd(2, 0, &[f64::INFINITY], true),
+        ];
+        let out = f.filter(updates, &ctx_with(&g));
+        assert_eq!(out.rejected.len(), 2);
+        assert!(out.rejected.iter().all(|u| u.truth_malicious));
+    }
+
+    #[test]
+    fn staleness_groups_isolate_scales() {
+        // Two staleness groups whose centers differ hugely (stale models lag
+        // behind). A staleness-unaware defense would flag the whole stale
+        // group; AsyncFilter must keep benign members of both groups.
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(2);
+        let mut updates = Vec::new();
+        for i in 0..6 {
+            updates.push(upd(i, 0, &[10.0 + 0.1 * i as f64, 0.0], false));
+        }
+        for i in 6..12 {
+            updates.push(upd(i, 3, &[0.0, 10.0 + 0.1 * i as f64], false));
+        }
+        // One attacker inside the stale group.
+        updates.push(upd(12, 3, &[0.0, -50.0], true));
+        let out = f.filter(updates, &ctx_with(&g));
+        assert!(out.rejected.iter().any(|u| u.client == 12));
+        let benign_rejected = out.rejected.iter().filter(|u| !u.truth_malicious).count();
+        assert_eq!(benign_rejected, 0, "{:?}", out.rejected);
+    }
+
+    #[test]
+    fn moving_average_persists_across_rounds() {
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(1);
+        // Round 1: benign updates near 1.0 build the estimate.
+        let updates: Vec<ClientUpdate> = (0..6)
+            .map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false))
+            .collect();
+        let _ = f.filter(updates, &ctx_with(&g));
+        assert_eq!(f.tracked_groups(), 1);
+        // Round 2: a colluding minority at 5.0 should look suspicious
+        // relative to the remembered estimate even though it is a large
+        // fraction of the buffer (the gate's median assumption holds for
+        // attacker shares below one half).
+        let mut round2: Vec<ClientUpdate> = (0..3).map(|i| upd(i, 0, &[5.0], true)).collect();
+        round2.extend((3..8).map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false)));
+        let out = f.filter(round2, &ctx_with(&g));
+        let rejected_malicious = out.rejected.iter().filter(|u| u.truth_malicious).count();
+        assert!(rejected_malicious >= 2, "history ignored: {out:?}");
+    }
+
+    #[test]
+    fn middle_policy_variants() {
+        // Three well-separated score tiers: tight benign, mild deviators,
+        // extreme attacker.
+        let build = |policy: MiddlePolicy| {
+            AsyncFilter::new(AsyncFilterConfig {
+                middle_policy: policy,
+                ..AsyncFilterConfig::default()
+            })
+        };
+        let updates = || {
+            let mut u: Vec<ClientUpdate> = (0..6)
+                .map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64, 1.0], false))
+                .collect();
+            u.push(upd(6, 0, &[3.0, 1.5], false)); // mild deviator (non-IID-ish)
+            u.push(upd(7, 0, &[3.1, 1.4], false));
+            u.push(upd(8, 0, &[-60.0, 80.0], true)); // extreme
+            u
+        };
+        let g = Vector::zeros(2);
+
+        let out = build(MiddlePolicy::Defer).filter(updates(), &ctx_with(&g));
+        assert!(!out.deferred.is_empty());
+        assert!(out.rejected.iter().any(|u| u.client == 8));
+
+        let out = build(MiddlePolicy::Accept).filter(updates(), &ctx_with(&g));
+        assert!(out.deferred.is_empty());
+        assert_eq!(out.accepted.len(), 8);
+
+        let out = build(MiddlePolicy::Reject).filter(updates(), &ctx_with(&g));
+        assert!(out.deferred.is_empty());
+        assert!(out.rejected.len() >= 3);
+    }
+
+    #[test]
+    fn two_means_rejects_more_than_three_means() {
+        // The §5.7 ablation: 2-means lumps the middle (non-IID) tier in with
+        // the top, over-rejecting benign updates. A warm-up round pins the
+        // moving average at 1.0; then IID-benign sit near 0, non-IID benign
+        // in the middle, and the attacker at the top of the score range.
+        let warmup = || {
+            (0..8)
+                .map(|i| upd(i, 0, &[1.0 + 0.001 * i as f64], false))
+                .collect::<Vec<_>>()
+        };
+        let round2 = || {
+            let mut u: Vec<ClientUpdate> = (0..6)
+                .map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false))
+                .collect();
+            u.push(upd(6, 0, &[3.0], false)); // non-IID benign
+            u.push(upd(7, 0, &[3.1], false)); // non-IID benign
+            u.push(upd(8, 0, &[5.0], true)); // attacker
+            u
+        };
+        let g = Vector::zeros(1);
+        let mut three = AsyncFilter::new(AsyncFilterConfig {
+            middle_policy: MiddlePolicy::Accept,
+            ..AsyncFilterConfig::default()
+        });
+        let mut two = AsyncFilter::new(AsyncFilterConfig {
+            middle_policy: MiddlePolicy::Accept,
+            ..AsyncFilterConfig::two_means()
+        });
+        let _ = three.filter(warmup(), &ctx_with(&g));
+        let _ = two.filter(warmup(), &ctx_with(&g));
+        let out3 = three.filter(round2(), &ctx_with(&g));
+        let out2 = two.filter(round2(), &ctx_with(&g));
+        assert!(
+            out2.rejected.len() > out3.rejected.len(),
+            "2-means {} vs 3-means {}",
+            out2.rejected.len(),
+            out3.rejected.len()
+        );
+        // And the extra rejections are benign — the over-rejection the paper
+        // warns about.
+        assert!(out2.rejected.iter().any(|u| !u.truth_malicious));
+        // 3-means keeps the non-IID benign clients.
+        assert!(out3.accepted.iter().any(|u| u.client == 6));
+    }
+
+    #[test]
+    fn scores_exposed_and_bounded() {
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(2);
+        let _ = f.filter(outlier_scenario(), &ctx_with(&g));
+        let scores = f.last_scores();
+        assert_eq!(scores.len(), 10);
+        assert!(scores.iter().all(|s| (0.0..=1.0 + 1e-9).contains(&s.score)));
+        // The attacker has the top score.
+        let top = scores
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .unwrap();
+        assert!(top.truth_malicious);
+    }
+
+    #[test]
+    fn rejected_updates_do_not_poison_the_estimate() {
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(1);
+        // Round 1: establishes estimate near 1.0 and rejects the outlier.
+        let mut updates: Vec<ClientUpdate> = (0..8)
+            .map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false))
+            .collect();
+        updates.push(upd(8, 0, &[1000.0], true));
+        let _ = f.filter(updates, &ctx_with(&g));
+        // Round 2: the same outlier must still be far from the estimate.
+        let mut round2: Vec<ClientUpdate> = (0..8)
+            .map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false))
+            .collect();
+        round2.push(upd(8, 0, &[1000.0], true));
+        let out = f.filter(round2, &ctx_with(&g));
+        assert!(out.rejected.iter().any(|u| u.client == 8));
+    }
+
+    #[test]
+    fn empty_input_is_empty_outcome() {
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(1);
+        let out = f.filter(Vec::new(), &ctx_with(&g));
+        assert!(out.is_empty());
+        assert!(f.last_scores().is_empty());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(AsyncFilterConfig::default().validate().is_ok());
+        assert!(AsyncFilterConfig {
+            clusters: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AsyncFilterConfig {
+            staleness_bucket: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AsyncFilterConfig {
+            ma_mode: MovingAverageMode::Ema { beta: 0.0 },
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert_eq!(AsyncFilterConfig::two_means().clusters, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AsyncFilterConfig")]
+    fn invalid_config_panics_on_construction() {
+        let _ = AsyncFilter::new(AsyncFilterConfig {
+            clusters: 0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn ema_mode_tracks_faster_than_robbins_monro() {
+        let mk = |mode| {
+            AsyncFilter::new(AsyncFilterConfig {
+                ma_mode: mode,
+                min_updates: 1,
+                ..AsyncFilterConfig::default()
+            })
+        };
+        let g = Vector::zeros(1);
+        let mut rm = mk(MovingAverageMode::RobbinsMonro);
+        let mut ema = mk(MovingAverageMode::Ema { beta: 0.5 });
+        // Feed a drifting sequence; EMA's final estimate should be closer to
+        // the latest value. We read the estimate indirectly through scores.
+        for round in 0..20 {
+            let v = round as f64;
+            let updates = vec![
+                upd(0, 0, &[v], false),
+                upd(1, 0, &[v], false),
+                upd(2, 0, &[v], false),
+                upd(3, 0, &[v], false),
+            ];
+            let _ = rm.filter(updates.clone(), &ctx_with(&g));
+            let _ = ema.filter(updates, &ctx_with(&g));
+        }
+        // Probe: an update at the latest value should score lower under EMA.
+        let probe = vec![
+            upd(0, 0, &[19.0], false),
+            upd(1, 0, &[19.0], false),
+            upd(2, 0, &[19.0], false),
+            upd(3, 0, &[0.0], false),
+        ];
+        let _ = rm.filter(probe.clone(), &ctx_with(&g));
+        let rm_scores: Vec<f64> = rm.last_scores().iter().map(|s| s.score).collect();
+        let _ = ema.filter(probe, &ctx_with(&g));
+        let ema_scores: Vec<f64> = ema.last_scores().iter().map(|s| s.score).collect();
+        // Under EMA, the stale probe (client 3 at 0.0) is relatively more
+        // anomalous than under the slow Robbins–Monro estimate.
+        assert!(ema_scores[3] >= rm_scores[3] - 1e-9);
+    }
+
+    #[test]
+    fn staleness_bucketing_pools_groups() {
+        let mut f = AsyncFilter::new(AsyncFilterConfig {
+            staleness_bucket: 5,
+            ..AsyncFilterConfig::default()
+        });
+        let g = Vector::zeros(1);
+        let updates = vec![
+            upd(0, 0, &[1.0], false),
+            upd(1, 2, &[1.0], false),
+            upd(2, 4, &[1.0], false),
+            upd(3, 7, &[1.0], false),
+        ];
+        let _ = f.filter(updates, &ctx_with(&g));
+        // τ ∈ {0,2,4} pool into bucket 0; τ=7 into bucket 1.
+        assert_eq!(f.tracked_groups(), 2);
+    }
+
+    #[test]
+    fn defer_once_then_accept() {
+        // An update deferred once must be accepted (not re-deferred) when it
+        // lands in the middle cluster again.
+        let mut f = AsyncFilter::new(AsyncFilterConfig {
+            min_separation: 0.0,
+            ..AsyncFilterConfig::default()
+        });
+        let g = Vector::zeros(1);
+        let make = || {
+            let mut u: Vec<ClientUpdate> =
+                (0..6).map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false)).collect();
+            u.push(upd(6, 0, &[3.0], false)); // middle tier
+            u.push(upd(7, 0, &[3.1], false));
+            u.push(upd(8, 0, &[9.0], true)); // top tier
+            u
+        };
+        let out1 = f.filter(make(), &ctx_with(&g));
+        assert!(!out1.deferred.is_empty(), "{out1:?}");
+        assert!(out1.deferred.iter().all(|u| u.defers == 1));
+        // Re-present the deferred updates in an identical second buffer.
+        let mut second = make();
+        for d in &out1.deferred {
+            let mut again = d.clone();
+            again.client += 100; // fresh identity, deferred flag retained
+            second.push(again);
+        }
+        let out2 = f.filter(second, &ctx_with(&g));
+        // None of the re-presented (defers == 1) updates may be deferred again.
+        assert!(out2.deferred.iter().all(|u| u.defers == 1 && u.client < 100),
+            "re-deferred an already-deferred update: {out2:?}");
+    }
+
+    #[test]
+    fn gate_reference_survives_large_attacker_cohort() {
+        // 40% identical attackers must not mask themselves by dragging the
+        // gate's reference score up (the non-top-cluster median ignores the
+        // top cluster).
+        let mut f = AsyncFilter::new(AsyncFilterConfig {
+            min_separation: 2.0,
+            ..AsyncFilterConfig::default()
+        });
+        let g = Vector::zeros(1);
+        // Warm-up to establish the estimate.
+        let warm: Vec<ClientUpdate> =
+            (0..10).map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false)).collect();
+        let _ = f.filter(warm, &ctx_with(&g));
+        // 6 benign near 1.0, 4 attackers far away.
+        let mut round: Vec<ClientUpdate> =
+            (0..6).map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false)).collect();
+        round.extend((6..10).map(|i| upd(i, 0, &[30.0], true)));
+        let out = f.filter(round, &ctx_with(&g));
+        let (tp, fp, _, _) = out.confusion();
+        assert!(tp >= 3, "large cohort escaped: {out:?}");
+        assert_eq!(fp, 0);
+    }
+
+    #[test]
+    fn gate_warmup_forces_strict_rejection_early() {
+        let mut strict = AsyncFilter::new(AsyncFilterConfig {
+            min_separation: 1e9, // gate would otherwise always tolerate
+            gate_warmup_rounds: 5,
+            ..AsyncFilterConfig::default()
+        });
+        let g = Vector::zeros(1);
+        let make = || {
+            let mut u: Vec<ClientUpdate> =
+                (0..8).map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false)).collect();
+            u.push(upd(8, 0, &[50.0], true));
+            u
+        };
+        // Round 0 (< warmup): top cluster rejected despite the huge gate.
+        let early = strict.filter(make(), &FilterContext::new(0, &g, 20));
+        assert!(!early.rejected.is_empty());
+        // Round 9 (>= warmup): the impossible gate tolerates everything.
+        let late = strict.filter(make(), &FilterContext::new(9, &g, 20));
+        assert!(late.rejected.is_empty(), "{late:?}");
+    }
+
+    #[test]
+    fn name_is_asyncfilter() {
+        assert_eq!(AsyncFilter::default().name(), "AsyncFilter");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_outcome_partitions_input(
+            seed_vals in proptest::collection::vec(-10.0..10.0f64, 4..24),
+            staleness in proptest::collection::vec(0u64..4, 4..24),
+        ) {
+            let n = seed_vals.len().min(staleness.len());
+            let updates: Vec<ClientUpdate> = (0..n)
+                .map(|i| upd(i, staleness[i], &[seed_vals[i], -seed_vals[i]], false))
+                .collect();
+            let g = Vector::zeros(2);
+            let mut f = AsyncFilter::default();
+            let out = f.filter(updates, &ctx_with(&g));
+            prop_assert_eq!(out.len(), n);
+            // No duplicated clients across verdicts.
+            let mut clients: Vec<usize> = out
+                .accepted.iter().chain(&out.rejected).chain(&out.deferred)
+                .map(|u| u.client)
+                .collect();
+            clients.sort_unstable();
+            clients.dedup();
+            prop_assert_eq!(clients.len(), n);
+        }
+
+        #[test]
+        fn prop_scores_in_unit_interval(
+            vals in proptest::collection::vec(-100.0..100.0f64, 4..20),
+        ) {
+            let updates: Vec<ClientUpdate> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| upd(i, (i % 3) as u64, &[v, v * 0.5], false))
+                .collect();
+            let g = Vector::zeros(2);
+            let mut f = AsyncFilter::default();
+            let _ = f.filter(updates, &ctx_with(&g));
+            for s in f.last_scores() {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&s.score), "score {}", s.score);
+            }
+        }
+    }
+}

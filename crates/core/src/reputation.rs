@@ -1,0 +1,194 @@
+//! Cross-round client reputation on top of any per-round filter.
+//!
+//! AsyncFilter (and every baseline here) decides update-by-update; a client
+//! rejected in round *t* participates again in round *t+1*. This extension
+//! wrapper adds the obvious longitudinal memory: clients whose updates keep
+//! landing in the rejected set get **banned** — their future updates are
+//! rejected on arrival without consulting the inner filter.
+//!
+//! Because bans act on *client identity* rather than update geometry, the
+//! wrapper turns a per-round detector with moderate recall into a
+//! cumulative one: an attacker must evade detection *every* round to keep
+//! participating. The flip side — an unjust ban is permanent — is why the
+//! threshold is expressed as rejections within a sliding window rather
+//! than a lifetime count.
+
+use crate::update::{ClientUpdate, FilterContext, FilterOutcome, UpdateFilter};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Wraps an inner filter with sliding-window ban logic.
+pub struct ReputationFilter {
+    inner: Box<dyn UpdateFilter>,
+    /// Ban a client once it accumulates this many rejections within the
+    /// window.
+    threshold: usize,
+    /// Sliding window length, in filter invocations.
+    window: usize,
+    /// Per-client rejection timestamps (invocation indices).
+    rejections: HashMap<usize, VecDeque<u64>>,
+    banned: HashSet<usize>,
+    invocation: u64,
+    name: String,
+}
+
+impl ReputationFilter {
+    /// Wraps `inner`: a client rejected `threshold` times within the last
+    /// `window` filter invocations is banned permanently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` or `window == 0`.
+    pub fn new(inner: Box<dyn UpdateFilter>, threshold: usize, window: usize) -> Self {
+        assert!(
+            threshold > 0,
+            "ReputationFilter: threshold must be positive"
+        );
+        assert!(window > 0, "ReputationFilter: window must be positive");
+        let name = format!("reputation({threshold}/{window})+{}", inner.name());
+        Self {
+            inner,
+            threshold,
+            window,
+            rejections: HashMap::new(),
+            banned: HashSet::new(),
+            invocation: 0,
+            name,
+        }
+    }
+
+    /// Clients currently banned.
+    pub fn banned_clients(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.banned.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether `client` is banned.
+    pub fn is_banned(&self, client: usize) -> bool {
+        self.banned.contains(&client)
+    }
+}
+
+impl UpdateFilter for ReputationFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn filter(&mut self, updates: Vec<ClientUpdate>, ctx: &FilterContext<'_>) -> FilterOutcome {
+        self.invocation += 1;
+        // 1. Short-circuit banned clients.
+        let (banned_now, live): (Vec<ClientUpdate>, Vec<ClientUpdate>) = updates
+            .into_iter()
+            .partition(|u| self.banned.contains(&u.client));
+        // 2. Let the inner filter judge the rest.
+        let mut outcome = self.inner.filter(live, ctx);
+        outcome.rejected.extend(banned_now);
+        // 3. Update reputations from this round's rejections.
+        let horizon = self.invocation.saturating_sub(self.window as u64);
+        for u in &outcome.rejected {
+            if self.banned.contains(&u.client) {
+                continue;
+            }
+            let history = self.rejections.entry(u.client).or_default();
+            history.push_back(self.invocation);
+            while history.front().is_some_and(|&t| t <= horizon) {
+                history.pop_front();
+            }
+            if history.len() >= self.threshold {
+                self.banned.insert(u.client);
+                self.rejections.remove(&u.client);
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::PassthroughFilter;
+    use asyncfl_tensor::Vector;
+
+    /// Rejects every update whose first delta component is negative.
+    struct SignFilter;
+    impl UpdateFilter for SignFilter {
+        fn name(&self) -> &str {
+            "sign"
+        }
+        fn filter(&mut self, updates: Vec<ClientUpdate>, _: &FilterContext<'_>) -> FilterOutcome {
+            let mut out = FilterOutcome::default();
+            for u in updates {
+                if u.delta[0] < 0.0 {
+                    out.rejected.push(u);
+                } else {
+                    out.accepted.push(u);
+                }
+            }
+            out
+        }
+    }
+
+    fn upd(client: usize, value: f64) -> ClientUpdate {
+        ClientUpdate::new(client, 0, 0, Vector::from(vec![value]), 10)
+    }
+
+    fn ctx(global: &Vector) -> FilterContext<'_> {
+        FilterContext::new(0, global, 20)
+    }
+
+    #[test]
+    fn bans_after_threshold_rejections() {
+        let g = Vector::zeros(1);
+        let mut f = ReputationFilter::new(Box::new(SignFilter), 2, 10);
+        // Client 1 misbehaves twice → banned; client 0 stays clean.
+        for _ in 0..2 {
+            let out = f.filter(vec![upd(0, 1.0), upd(1, -1.0)], &ctx(&g));
+            assert_eq!(out.accepted.len(), 1);
+        }
+        assert!(f.is_banned(1));
+        assert!(!f.is_banned(0));
+        assert_eq!(f.banned_clients(), vec![1]);
+        // A now-benign-looking update from client 1 is still rejected.
+        let out = f.filter(vec![upd(1, 5.0)], &ctx(&g));
+        assert_eq!(out.rejected.len(), 1);
+        assert!(out.accepted.is_empty());
+    }
+
+    #[test]
+    fn window_expires_old_rejections() {
+        let g = Vector::zeros(1);
+        let mut f = ReputationFilter::new(Box::new(SignFilter), 2, 2);
+        // One rejection, then enough clean invocations to age it out.
+        let _ = f.filter(vec![upd(1, -1.0)], &ctx(&g));
+        for _ in 0..3 {
+            let _ = f.filter(vec![upd(1, 1.0)], &ctx(&g));
+        }
+        // A second rejection alone must not ban (first one expired).
+        let _ = f.filter(vec![upd(1, -1.0)], &ctx(&g));
+        assert!(!f.is_banned(1));
+    }
+
+    #[test]
+    fn passthrough_inner_never_bans() {
+        let g = Vector::zeros(1);
+        let mut f = ReputationFilter::new(Box::new(PassthroughFilter), 1, 5);
+        for round in 0..5 {
+            let out = f.filter(vec![upd(round, -9.0)], &ctx(&g));
+            assert_eq!(out.accepted.len(), 1);
+        }
+        assert!(f.banned_clients().is_empty());
+        assert!(f.name().starts_with("reputation(1/5)+FedBuff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_panics() {
+        let _ = ReputationFilter::new(Box::new(PassthroughFilter), 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = ReputationFilter::new(Box::new(PassthroughFilter), 1, 0);
+    }
+}

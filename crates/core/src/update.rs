@@ -1,0 +1,299 @@
+//! The plug-and-play filter interface between AFL servers and defenses.
+//!
+//! The paper positions AsyncFilter as a module the server invokes "when the
+//! number of arrived clients reaches the minimum aggregation bound … after
+//! removing abnormal updates, the server aggregates the updates following
+//! its aggregation rule" (§4.4, Fig. 5). [`UpdateFilter`] is that contract;
+//! any defense implementing it slots into the simulator's FedBuff server
+//! unchanged.
+
+use asyncfl_tensor::Vector;
+
+/// One buffered client report, as the server sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientUpdate {
+    /// Client identifier.
+    pub client: usize,
+    /// Server round of the global model the client trained from.
+    pub base_round: u64,
+    /// Staleness at receipt: current server round minus `base_round`.
+    pub staleness: u64,
+    /// The updated local model parameters ωᵢ.
+    pub params: Vector,
+    /// The model update δᵢ = ωᵢ − ω_base, where ω_base is the (possibly
+    /// stale) global model the client trained from. FedBuff-style servers
+    /// aggregate deltas; AsyncFilter's geometry works on `params`.
+    pub delta: Vector,
+    /// Local sample count (aggregation weight `pᵢ` numerator).
+    pub num_samples: usize,
+    /// Ground-truth malice flag. **Never read by defenses** — carried only
+    /// so experiments can compute detection precision/recall.
+    pub truth_malicious: bool,
+    /// How many times a filter has deferred this update ("contribute at a
+    /// later stage"). Maintained by filters that defer.
+    pub defers: u32,
+}
+
+impl ClientUpdate {
+    /// Creates an update with the convention `ω_base = 0`, i.e.
+    /// `delta == params`. Convenient for filter-level tests; real servers
+    /// should use [`ClientUpdate::from_base`].
+    pub fn new(
+        client: usize,
+        base_round: u64,
+        staleness: u64,
+        params: Vector,
+        num_samples: usize,
+    ) -> Self {
+        let delta = params.clone();
+        Self {
+            client,
+            base_round,
+            staleness,
+            params,
+            delta,
+            num_samples,
+            truth_malicious: false,
+            defers: 0,
+        }
+    }
+
+    /// Creates an update from the base model the client trained from,
+    /// computing `delta = params − base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` and `params` dimensions differ.
+    pub fn from_base(
+        client: usize,
+        base_round: u64,
+        staleness: u64,
+        base: &Vector,
+        params: Vector,
+        num_samples: usize,
+    ) -> Self {
+        let delta = &params - base;
+        Self {
+            client,
+            base_round,
+            staleness,
+            params,
+            delta,
+            num_samples,
+            truth_malicious: false,
+            defers: 0,
+        }
+    }
+
+    /// Creates an update from a crafted delta (attack path): the reported
+    /// parameters are `base + delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` and `delta` dimensions differ.
+    pub fn from_delta(
+        client: usize,
+        base_round: u64,
+        staleness: u64,
+        base: &Vector,
+        delta: Vector,
+        num_samples: usize,
+    ) -> Self {
+        let params = base + &delta;
+        Self {
+            client,
+            base_round,
+            staleness,
+            params,
+            delta,
+            num_samples,
+            truth_malicious: false,
+            defers: 0,
+        }
+    }
+
+    /// Marks the ground-truth malice flag (builder-style).
+    pub fn with_truth_malicious(mut self, malicious: bool) -> Self {
+        self.truth_malicious = malicious;
+        self
+    }
+}
+
+/// Read-only server state handed to filters each aggregation.
+#[derive(Debug, Clone)]
+pub struct FilterContext<'a> {
+    /// Current server aggregation round (the round being formed).
+    pub round: u64,
+    /// Current global model parameters ω_g.
+    pub global_params: &'a Vector,
+    /// Server staleness limit *m* (updates beyond it were already dropped).
+    pub staleness_limit: u64,
+    /// A trusted delta computed from a server-held clean dataset, if the
+    /// deployment has one. `None` under the paper's threat model (§3.3);
+    /// `Some` only for the Zeno++/AFLGuard prior-work baselines.
+    pub trusted_delta: Option<&'a Vector>,
+}
+
+impl<'a> FilterContext<'a> {
+    /// Creates a context without a trusted dataset (the paper's setting).
+    pub fn new(round: u64, global_params: &'a Vector, staleness_limit: u64) -> Self {
+        Self {
+            round,
+            global_params,
+            staleness_limit,
+            trusted_delta: None,
+        }
+    }
+
+    /// Attaches a trusted delta (for clean-dataset baselines).
+    pub fn with_trusted_delta(mut self, delta: &'a Vector) -> Self {
+        self.trusted_delta = Some(delta);
+        self
+    }
+}
+
+/// A filter's verdict over one buffer of updates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FilterOutcome {
+    /// Updates to aggregate now.
+    pub accepted: Vec<ClientUpdate>,
+    /// Updates dropped permanently (suspected poisoned).
+    pub rejected: Vec<ClientUpdate>,
+    /// Updates returned to the server buffer for a later aggregation
+    /// (AsyncFilter's middle cluster).
+    pub deferred: Vec<ClientUpdate>,
+}
+
+impl FilterOutcome {
+    /// Accepts everything (the no-defense outcome).
+    pub fn accept_all(updates: Vec<ClientUpdate>) -> Self {
+        Self {
+            accepted: updates,
+            rejected: Vec::new(),
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Total updates across the three verdicts.
+    pub fn len(&self) -> usize {
+        self.accepted.len() + self.rejected.len() + self.deferred.len()
+    }
+
+    /// Returns `true` if no updates were processed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Detection confusion counts `(tp, fp, fn, tn)` treating *rejected* as
+    /// the positive (malicious) prediction and deferred/accepted as negative.
+    pub fn confusion(&self) -> (usize, usize, usize, usize) {
+        let tp = self.rejected.iter().filter(|u| u.truth_malicious).count();
+        let fp = self.rejected.len() - tp;
+        let fn_ = self
+            .accepted
+            .iter()
+            .chain(&self.deferred)
+            .filter(|u| u.truth_malicious)
+            .count();
+        let tn = self.accepted.len() + self.deferred.len() - fn_;
+        (tp, fp, fn_, tn)
+    }
+}
+
+/// A server-side update filter — the paper's pluggable defense interface.
+///
+/// Filters are stateful (`&mut self`): AsyncFilter carries per-group moving
+/// averages across rounds, FLDetector carries client histories.
+pub trait UpdateFilter: Send {
+    /// Defense name for tables ("AsyncFilter", "FedBuff", …).
+    fn name(&self) -> &str;
+
+    /// Partitions the buffered updates into accepted / rejected / deferred.
+    fn filter(&mut self, updates: Vec<ClientUpdate>, ctx: &FilterContext<'_>) -> FilterOutcome;
+}
+
+/// The FedBuff baseline: no defense, every update is aggregated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassthroughFilter;
+
+impl UpdateFilter for PassthroughFilter {
+    fn name(&self) -> &str {
+        "FedBuff"
+    }
+
+    fn filter(&mut self, updates: Vec<ClientUpdate>, _ctx: &FilterContext<'_>) -> FilterOutcome {
+        FilterOutcome::accept_all(updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(client: usize, malicious: bool) -> ClientUpdate {
+        ClientUpdate::new(client, 0, 0, Vector::from(vec![client as f64]), 5)
+            .with_truth_malicious(malicious)
+    }
+
+    #[test]
+    fn client_update_constructors() {
+        let u = ClientUpdate::new(0, 1, 2, Vector::from(vec![3.0, 4.0]), 7);
+        assert_eq!(u.delta, u.params);
+        assert_eq!(u.staleness, 2);
+        assert_eq!(u.num_samples, 7);
+        assert!(!u.truth_malicious);
+
+        let base = Vector::from(vec![1.0, 1.0]);
+        let u = ClientUpdate::from_base(1, 0, 0, &base, Vector::from(vec![3.0, 4.0]), 7);
+        assert_eq!(u.delta.as_slice(), &[2.0, 3.0]);
+        assert_eq!(u.params.as_slice(), &[3.0, 4.0]);
+
+        let u = ClientUpdate::from_delta(2, 0, 0, &base, Vector::from(vec![2.0, 3.0]), 7);
+        assert_eq!(u.params.as_slice(), &[3.0, 4.0]);
+        assert_eq!(u.delta.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn passthrough_accepts_everything() {
+        let updates = vec![upd(0, false), upd(1, true)];
+        let global = Vector::zeros(1);
+        let ctx = FilterContext::new(0, &global, 20);
+        let out = PassthroughFilter.filter(updates.clone(), &ctx);
+        assert_eq!(out.accepted, updates);
+        assert!(out.rejected.is_empty());
+        assert!(out.deferred.is_empty());
+        assert_eq!(PassthroughFilter.name(), "FedBuff");
+    }
+
+    #[test]
+    fn outcome_len_and_empty() {
+        let out = FilterOutcome::default();
+        assert!(out.is_empty());
+        let out = FilterOutcome::accept_all(vec![upd(0, false)]);
+        assert_eq!(out.len(), 1);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let out = FilterOutcome {
+            accepted: vec![upd(0, false), upd(1, true)],
+            rejected: vec![upd(2, true), upd(3, true), upd(4, false)],
+            deferred: vec![upd(5, false), upd(6, true)],
+        };
+        let (tp, fp, fn_, tn) = out.confusion();
+        assert_eq!((tp, fp, fn_, tn), (2, 1, 2, 2));
+    }
+
+    #[test]
+    fn context_trusted_delta_default_none() {
+        let g = Vector::zeros(2);
+        let ctx = FilterContext::new(3, &g, 20);
+        assert!(ctx.trusted_delta.is_none());
+        let t = Vector::from(vec![1.0, 1.0]);
+        let ctx = ctx.with_trusted_delta(&t);
+        assert_eq!(ctx.trusted_delta.unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(ctx.round, 3);
+        assert_eq!(ctx.staleness_limit, 20);
+    }
+}

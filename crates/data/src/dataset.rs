@@ -1,0 +1,336 @@
+//! Labelled datasets and minibatch iteration.
+
+use crate::sampling::permutation;
+use asyncfl_tensor::Vector;
+use rand::Rng;
+
+/// One labelled example: a dense feature vector and a class index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Feature vector.
+    pub features: Vector,
+    /// Class label in `0..num_classes`.
+    pub label: usize,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub fn new(features: Vector, label: usize) -> Self {
+        Self { features, label }
+    }
+}
+
+/// An in-memory labelled dataset.
+///
+/// # Example
+///
+/// ```
+/// use asyncfl_data::{Dataset, Sample};
+/// use asyncfl_tensor::Vector;
+///
+/// let ds = Dataset::new(
+///     vec![Sample::new(Vector::from(vec![0.0, 1.0]), 1)],
+///     /*num_classes=*/2,
+/// );
+/// assert_eq!(ds.len(), 1);
+/// assert_eq!(ds.feature_dim(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is `>= num_classes` or if samples have
+    /// inconsistent feature dimensions.
+    pub fn new(samples: Vec<Sample>, num_classes: usize) -> Self {
+        if let Some(first) = samples.first() {
+            let dim = first.features.len();
+            for (i, s) in samples.iter().enumerate() {
+                assert!(
+                    s.label < num_classes,
+                    "sample {i}: label {} >= num_classes {num_classes}",
+                    s.label
+                );
+                assert_eq!(
+                    s.features.len(),
+                    dim,
+                    "sample {i}: feature dim {} != {dim}",
+                    s.features.len()
+                );
+            }
+        }
+        Self {
+            samples,
+            num_classes,
+        }
+    }
+
+    /// Creates an empty dataset with the given class count.
+    pub fn empty(num_classes: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature dimension; `0` for an empty dataset.
+    pub fn feature_dim(&self) -> usize {
+        self.samples.first().map_or(0, |s| s.features.len())
+    }
+
+    /// Borrows the samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label or feature dimension is inconsistent with the
+    /// dataset.
+    pub fn push(&mut self, sample: Sample) {
+        assert!(
+            sample.label < self.num_classes,
+            "push: label {} >= num_classes {}",
+            sample.label,
+            self.num_classes
+        );
+        if let Some(first) = self.samples.first() {
+            assert_eq!(
+                sample.features.len(),
+                first.features.len(),
+                "push: feature dim mismatch"
+            );
+        }
+        self.samples.push(sample);
+    }
+
+    /// Per-class sample counts (histogram over labels).
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of samples (rounded
+    /// down) going to the test split, after a seeded shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is outside `[0, 1]`.
+    pub fn split<R: Rng + ?Sized>(&self, test_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..=1.0).contains(&test_fraction),
+            "split: test_fraction {test_fraction} outside [0, 1]"
+        );
+        let order = permutation(rng, self.samples.len());
+        let n_test = (self.samples.len() as f64 * test_fraction) as usize;
+        let mut test = Dataset::empty(self.num_classes);
+        let mut train = Dataset::empty(self.num_classes);
+        for (pos, &i) in order.iter().enumerate() {
+            let target = if pos < n_test { &mut test } else { &mut train };
+            target.samples.push(self.samples[i].clone());
+        }
+        (train, test)
+    }
+
+    /// Returns a copy with every label cyclically shifted by one class
+    /// (`y ← (y + 1) mod num_classes`) — the classic label-flip data
+    /// poisoning. A no-op for datasets with fewer than two classes.
+    pub fn with_flipped_labels(&self) -> Dataset {
+        if self.num_classes < 2 {
+            return self.clone();
+        }
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| Sample::new(s.features.clone(), (s.label + 1) % self.num_classes))
+            .collect();
+        Dataset::new(samples, self.num_classes)
+    }
+
+    /// Yields shuffled minibatches of at most `batch_size` sample indices,
+    /// covering every sample exactly once (the final batch may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn minibatches<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "minibatches: batch_size must be positive");
+        let order = permutation(rng, self.samples.len());
+        order.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    /// Collects samples, inferring `num_classes` as `max(label) + 1`.
+    fn from_iter<I: IntoIterator<Item = Sample>>(iter: I) -> Self {
+        let samples: Vec<Sample> = iter.into_iter().collect();
+        let num_classes = samples.iter().map(|s| s.label + 1).max().unwrap_or(0);
+        Dataset::new(samples, num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(label: usize, x: f64) -> Sample {
+        Sample::new(Vector::from(vec![x, x + 1.0]), label)
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::new((0..n).map(|i| sample(i % 3, i as f64)).collect(), 3)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let ds = dataset(7);
+        assert_eq!(ds.len(), 7);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.feature_dim(), 2);
+        assert_eq!(ds.samples().len(), 7);
+        assert_eq!(ds.iter().count(), 7);
+        assert_eq!(Dataset::empty(5).feature_dim(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_classes")]
+    fn bad_label_panics() {
+        let _ = Dataset::new(vec![sample(3, 0.0)], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dim")]
+    fn ragged_features_panic() {
+        let _ = Dataset::new(
+            vec![
+                Sample::new(Vector::from(vec![1.0]), 0),
+                Sample::new(Vector::from(vec![1.0, 2.0]), 0),
+            ],
+            1,
+        );
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut ds = dataset(2);
+        ds.push(sample(2, 9.0));
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn label_histogram_counts() {
+        let ds = dataset(9);
+        assert_eq!(ds.label_histogram(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = dataset(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, test) = ds.split(0.3, &mut rng);
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.len(), 7);
+        assert_eq!(train.num_classes(), 3);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let ds = dataset(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (train, test) = ds.split(0.0, &mut rng);
+        assert_eq!((train.len(), test.len()), (4, 0));
+        let (train, test) = ds.split(1.0, &mut rng);
+        assert_eq!((train.len(), test.len()), (0, 4));
+    }
+
+    #[test]
+    fn minibatches_cover_everything_once() {
+        let ds = dataset(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let batches = ds.minibatches(3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches.last().unwrap().len(), 1);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_size_panics() {
+        let ds = dataset(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = ds.minibatches(0, &mut rng);
+    }
+
+    #[test]
+    fn with_flipped_labels_shifts_cyclically() {
+        let ds = dataset(6);
+        let flipped = ds.with_flipped_labels();
+        for (orig, new) in ds.iter().zip(flipped.iter()) {
+            assert_eq!(new.label, (orig.label + 1) % 3);
+            assert_eq!(new.features, orig.features);
+        }
+        // Single-class datasets are returned unchanged.
+        let one = Dataset::new(vec![Sample::new(Vector::from(vec![1.0]), 0)], 1);
+        assert_eq!(one.with_flipped_labels(), one);
+    }
+
+    #[test]
+    fn collect_infers_num_classes() {
+        let ds: Dataset = (0..4).map(|i| sample(i % 2, 0.0)).collect();
+        assert_eq!(ds.num_classes(), 2);
+        let empty: Dataset = std::iter::empty().collect();
+        assert_eq!(empty.num_classes(), 0);
+    }
+
+    #[test]
+    fn iterate_by_reference() {
+        let ds = dataset(3);
+        let labels: Vec<usize> = (&ds).into_iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+}

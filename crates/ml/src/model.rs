@@ -1,0 +1,462 @@
+//! Classification models with flat-parameter views.
+//!
+//! Both models expose their parameters as a single flat
+//! [`Vector`] (`params`/`set_params`), because the entire defense stack —
+//! AsyncFilter's staleness groups, FLDetector's Hessian estimates, the
+//! attacks' perturbations — operates on parameter-space geometry, never on
+//! model internals.
+
+use crate::loss::{cross_entropy, cross_entropy_grad};
+use asyncfl_data::Sample;
+use asyncfl_tensor::ops::argmax;
+use asyncfl_tensor::{init, Matrix, Vector};
+use rand::Rng;
+
+/// An object-safe classification model with hand-derived gradients.
+///
+/// Implementations must keep `params()`/`set_params()` mutually inverse and
+/// `grad` consistent with `loss` (verified by finite-difference tests).
+pub trait Model: Send {
+    /// Total number of scalar parameters.
+    fn num_params(&self) -> usize;
+
+    /// Input feature dimension.
+    fn input_dim(&self) -> usize;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Flattens all parameters into one vector.
+    fn params(&self) -> Vector;
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_params()`.
+    fn set_params(&mut self, params: &Vector);
+
+    /// Raw class logits for one feature vector.
+    fn logits(&self, features: &Vector) -> Vec<f64>;
+
+    /// Mean loss and flat mean gradient over a batch of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty.
+    fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector);
+
+    /// Predicted class (argmax of logits).
+    fn predict(&self, features: &Vector) -> usize {
+        argmax(&self.logits(features)).expect("model has at least one class")
+    }
+
+    /// Mean loss over a batch without computing gradients.
+    fn loss(&self, batch: &[&Sample]) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        batch
+            .iter()
+            .map(|s| cross_entropy(&self.logits(&s.features), s.label))
+            .sum::<f64>()
+            / batch.len() as f64
+    }
+
+    /// Clones the model behind a box (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn Model>;
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Multinomial logistic regression: `logits = W·x + b`.
+///
+/// The LeNet-5 stand-in for the MNIST-family profiles (see `DESIGN.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftmaxRegression {
+    w: Matrix,
+    b: Vector,
+}
+
+impl SoftmaxRegression {
+    /// Creates a model with Xavier-initialized weights and zero biases.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, num_classes: usize, rng: &mut R) -> Self {
+        Self {
+            w: init::xavier_uniform(rng, num_classes, input_dim),
+            b: Vector::zeros(num_classes),
+        }
+    }
+
+    /// Creates a model with all-zero parameters (useful in tests).
+    pub fn zeroed(input_dim: usize, num_classes: usize) -> Self {
+        Self {
+            w: Matrix::zeros(num_classes, input_dim),
+            b: Vector::zeros(num_classes),
+        }
+    }
+}
+
+impl Model for SoftmaxRegression {
+    fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn params(&self) -> Vector {
+        let mut out = Vec::with_capacity(self.num_params());
+        out.extend_from_slice(self.w.as_slice());
+        out.extend_from_slice(self.b.as_slice());
+        Vector::from(out)
+    }
+
+    fn set_params(&mut self, params: &Vector) {
+        assert_eq!(
+            params.len(),
+            self.num_params(),
+            "set_params: expected {} params, got {}",
+            self.num_params(),
+            params.len()
+        );
+        let split = self.w.len();
+        self.w.copy_from_slice(&params.as_slice()[..split]);
+        self.b
+            .as_mut_slice()
+            .copy_from_slice(&params.as_slice()[split..]);
+    }
+
+    fn logits(&self, features: &Vector) -> Vec<f64> {
+        (&self.w.matvec(features) + &self.b).into_inner()
+    }
+
+    fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector) {
+        assert!(!batch.is_empty(), "loss_and_grad: empty batch");
+        let k = self.num_classes();
+        let d = self.input_dim();
+        let mut gw = Matrix::zeros(k, d);
+        let mut gb = Vector::zeros(k);
+        let mut loss = 0.0;
+        for s in batch {
+            let logits = self.logits(&s.features);
+            loss += cross_entropy(&logits, s.label);
+            let dz = Vector::from(cross_entropy_grad(&logits, s.label));
+            gw.rank1_update(1.0, &dz, &s.features);
+            gb += &dz;
+        }
+        let inv = 1.0 / batch.len() as f64;
+        gw.scale(inv);
+        gb.scale(inv);
+        let mut flat = Vec::with_capacity(self.num_params());
+        flat.extend_from_slice(gw.as_slice());
+        flat.extend_from_slice(gb.as_slice());
+        (loss * inv, Vector::from(flat))
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+/// A one-hidden-layer ReLU perceptron: `logits = W₂·relu(W₁·x + b₁) + b₂`.
+///
+/// The VGG-16 stand-in for the CIFAR-family profiles (see `DESIGN.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    w1: Matrix,
+    b1: Vector,
+    w2: Matrix,
+    b2: Vector,
+}
+
+impl Mlp {
+    /// Creates an MLP with He-initialized weights and zero biases.
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        hidden: usize,
+        num_classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            w1: init::he_uniform(rng, hidden, input_dim),
+            b1: Vector::zeros(hidden),
+            w2: init::xavier_uniform(rng, num_classes, hidden),
+            b2: Vector::zeros(num_classes),
+        }
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_dim(&self) -> usize {
+        self.w1.rows()
+    }
+
+    fn forward(&self, features: &Vector) -> (Vector, Vector) {
+        let pre = &self.w1.matvec(features) + &self.b1;
+        let hidden = pre.map(|x| x.max(0.0));
+        let logits = &self.w2.matvec(&hidden) + &self.b2;
+        (hidden, logits)
+    }
+}
+
+impl Model for Mlp {
+    fn num_params(&self) -> usize {
+        self.w1.len() + self.b1.len() + self.w2.len() + self.b2.len()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.w1.cols()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.w2.rows()
+    }
+
+    fn params(&self) -> Vector {
+        let mut out = Vec::with_capacity(self.num_params());
+        out.extend_from_slice(self.w1.as_slice());
+        out.extend_from_slice(self.b1.as_slice());
+        out.extend_from_slice(self.w2.as_slice());
+        out.extend_from_slice(self.b2.as_slice());
+        Vector::from(out)
+    }
+
+    fn set_params(&mut self, params: &Vector) {
+        assert_eq!(
+            params.len(),
+            self.num_params(),
+            "set_params: expected {} params, got {}",
+            self.num_params(),
+            params.len()
+        );
+        let p = params.as_slice();
+        let mut at = 0;
+        let mut take = |n: usize| {
+            let s = &p[at..at + n];
+            at += n;
+            s
+        };
+        self.w1.copy_from_slice(take(self.w1.len()));
+        let b1_len = self.b1.len();
+        self.b1.as_mut_slice().copy_from_slice(take(b1_len));
+        self.w2.copy_from_slice(take(self.w2.len()));
+        let b2_len = self.b2.len();
+        self.b2.as_mut_slice().copy_from_slice(take(b2_len));
+    }
+
+    fn logits(&self, features: &Vector) -> Vec<f64> {
+        self.forward(features).1.into_inner()
+    }
+
+    fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector) {
+        assert!(!batch.is_empty(), "loss_and_grad: empty batch");
+        let h = self.hidden_dim();
+        let d = self.input_dim();
+        let k = self.num_classes();
+        let mut gw1 = Matrix::zeros(h, d);
+        let mut gb1 = Vector::zeros(h);
+        let mut gw2 = Matrix::zeros(k, h);
+        let mut gb2 = Vector::zeros(k);
+        let mut loss = 0.0;
+        for s in batch {
+            let (hidden, logits) = self.forward(&s.features);
+            let logits = logits.into_inner();
+            loss += cross_entropy(&logits, s.label);
+            let dz = Vector::from(cross_entropy_grad(&logits, s.label));
+            gw2.rank1_update(1.0, &dz, &hidden);
+            gb2 += &dz;
+            let dh = self.w2.t_matvec(&dz);
+            // ReLU mask: gradient flows only through active units.
+            let dpre = Vector::from_fn(h, |i| if hidden[i] > 0.0 { dh[i] } else { 0.0 });
+            gw1.rank1_update(1.0, &dpre, &s.features);
+            gb1 += &dpre;
+        }
+        let inv = 1.0 / batch.len() as f64;
+        let mut flat = Vec::with_capacity(self.num_params());
+        for part in [
+            gw1.as_slice(),
+            gb1.as_slice(),
+            gw2.as_slice(),
+            gb2.as_slice(),
+        ] {
+            flat.extend(part.iter().map(|x| x * inv));
+        }
+        (loss * inv, Vector::from(flat))
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn batch_of(samples: &[Sample]) -> Vec<&Sample> {
+        samples.iter().collect()
+    }
+
+    fn toy_batch(dim: usize, k: usize, n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Sample::new(init::uniform_vector(&mut rng, dim, 1.0), i % k))
+            .collect()
+    }
+
+    /// Finite-difference check of a model's flat gradient.
+    fn check_gradient(model: &mut dyn Model, batch: &[&Sample]) {
+        let (_, grad) = model.loss_and_grad(batch);
+        let params = model.params();
+        let eps = 1e-5;
+        // Spot-check a spread of coordinates to keep the test fast.
+        let n = params.len();
+        let idxs: Vec<usize> = (0..n).step_by((n / 17).max(1)).collect();
+        for &i in &idxs {
+            let mut plus = params.clone();
+            plus[i] += eps;
+            model.set_params(&plus);
+            let lp = model.loss(batch);
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            model.set_params(&minus);
+            let lm = model.loss(batch);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-4,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+        model.set_params(&params);
+    }
+
+    #[test]
+    fn softmax_regression_param_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = SoftmaxRegression::new(6, 3, &mut rng);
+        assert_eq!(m.num_params(), 6 * 3 + 3);
+        assert_eq!(m.input_dim(), 6);
+        assert_eq!(m.num_classes(), 3);
+        let p = m.params();
+        let mut p2 = p.clone();
+        p2.scale(2.0);
+        m.set_params(&p2);
+        assert_eq!(m.params(), p2);
+    }
+
+    #[test]
+    fn mlp_param_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = Mlp::new(5, 4, 3, &mut rng);
+        assert_eq!(m.num_params(), 5 * 4 + 4 + 4 * 3 + 3);
+        assert_eq!(m.hidden_dim(), 4);
+        let p = m.params();
+        let shifted = p.map(|x| x + 0.25);
+        m.set_params(&shifted);
+        assert_eq!(m.params(), shifted);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_params")]
+    fn set_params_wrong_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = SoftmaxRegression::new(4, 2, &mut rng);
+        m.set_params(&Vector::zeros(3));
+    }
+
+    #[test]
+    fn softmax_regression_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = SoftmaxRegression::new(7, 4, &mut rng);
+        let samples = toy_batch(7, 4, 6, 44);
+        check_gradient(&mut m, &batch_of(&samples));
+    }
+
+    #[test]
+    fn mlp_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = Mlp::new(6, 5, 3, &mut rng);
+        let samples = toy_batch(6, 3, 6, 55);
+        check_gradient(&mut m, &batch_of(&samples));
+    }
+
+    #[test]
+    fn zeroed_model_predicts_uniformly() {
+        let m = SoftmaxRegression::zeroed(4, 3);
+        let logits = m.logits(&Vector::from(vec![1.0, -1.0, 2.0, 0.0]));
+        assert_eq!(logits, vec![0.0; 3]);
+        assert_eq!(m.predict(&Vector::zeros(4)), 0);
+    }
+
+    #[test]
+    fn loss_empty_batch_is_zero() {
+        let m = SoftmaxRegression::zeroed(2, 2);
+        assert_eq!(m.loss(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn grad_empty_batch_panics() {
+        let m = SoftmaxRegression::zeroed(2, 2);
+        let _ = m.loss_and_grad(&[]);
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples = toy_batch(8, 3, 12, 66);
+        let batch = batch_of(&samples);
+        for mut m in [
+            Box::new(SoftmaxRegression::new(8, 3, &mut rng)) as Box<dyn Model>,
+            Box::new(Mlp::new(8, 6, 3, &mut rng)) as Box<dyn Model>,
+        ] {
+            let (l0, g) = m.loss_and_grad(&batch);
+            let mut p = m.params();
+            p.axpy(-0.1, &g);
+            m.set_params(&p);
+            let l1 = m.loss(&batch);
+            assert!(l1 < l0, "loss should decrease: {l0} -> {l1}");
+        }
+    }
+
+    #[test]
+    fn clone_box_is_independent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = SoftmaxRegression::new(3, 2, &mut rng);
+        let boxed: Box<dyn Model> = Box::new(m.clone());
+        let mut cloned = boxed.clone();
+        cloned.set_params(&Vector::zeros(boxed.num_params()));
+        assert_ne!(boxed.params(), cloned.params());
+        assert_eq!(boxed.params(), m.params());
+    }
+
+    #[test]
+    fn mlp_relu_masks_inactive_units() {
+        // With large negative b1, all hidden units are dead: gradient w.r.t.
+        // W1 must be exactly zero.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut m = Mlp::new(3, 2, 2, &mut rng);
+        let mut p = m.params();
+        // b1 occupies indices [w1.len() .. w1.len()+2).
+        let w1_len = 3 * 2;
+        p[w1_len] = -100.0;
+        p[w1_len + 1] = -100.0;
+        m.set_params(&p);
+        let samples = toy_batch(3, 2, 4, 88);
+        let (_, g) = m.loss_and_grad(&batch_of(&samples));
+        for i in 0..w1_len + 2 {
+            assert_eq!(g[i], 0.0, "dead-unit gradient leaked at {i}");
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Local optimizers: SGD with momentum, and Adam.
+//!
+//! The paper's Table 1 prescribes SGD (lr 0.01, momentum 0.9) for the
+//! MNIST-family datasets and Adam (lr 0.01) for the CIFAR-family. Both
+//! optimizers here operate on flat parameter vectors and keep their own
+//! state, so a fresh optimizer per local round mirrors how PLATO clients
+//! re-instantiate their `torch.optim` objects each round.
+
+use asyncfl_tensor::Vector;
+
+/// An object-safe first-order optimizer over flat parameter vectors.
+pub trait Optimizer: Send {
+    /// Applies one update step in place: `params ← params − step(grad)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params` and `grad` dimensions disagree with
+    /// the optimizer's state.
+    fn step(&mut self, params: &mut Vector, grad: &Vector);
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Resets internal state (momentum buffers, Adam moments).
+    fn reset(&mut self);
+}
+
+/// Stochastic gradient descent with classical momentum:
+/// `v ← μ·v + g; θ ← θ − lr·v`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Option<Vector>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        assert!(
+            lr > 0.0 && lr.is_finite(),
+            "Sgd: lr must be positive, got {lr}"
+        );
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "Sgd: momentum must be in [0, 1), got {momentum}"
+        );
+        Self {
+            lr,
+            momentum,
+            velocity: None,
+        }
+    }
+
+    /// The momentum coefficient.
+    pub fn momentum(&self) -> f64 {
+        self.momentum
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Vector, grad: &Vector) {
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "Sgd::step: params/grad dimension mismatch"
+        );
+        if self.momentum == 0.0 {
+            params.axpy(-self.lr, grad);
+            return;
+        }
+        let velocity = self
+            .velocity
+            .get_or_insert_with(|| Vector::zeros(grad.len()));
+        assert_eq!(
+            velocity.len(),
+            grad.len(),
+            "Sgd::step: gradient dimension changed mid-run"
+        );
+        velocity.scale(self.momentum);
+        velocity.axpy(1.0, grad);
+        params.axpy(-self.lr, velocity);
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn reset(&mut self) {
+        self.velocity = None;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Option<Vector>,
+    v: Option<Vector>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard defaults
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e−8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates an Adam optimizer with explicit moment coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, either beta is outside `[0, 1)`, or `eps <= 0`.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(
+            lr > 0.0 && lr.is_finite(),
+            "Adam: lr must be positive, got {lr}"
+        );
+        assert!((0.0..1.0).contains(&beta1), "Adam: beta1 out of range");
+        assert!((0.0..1.0).contains(&beta2), "Adam: beta2 out of range");
+        assert!(eps > 0.0, "Adam: eps must be positive");
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: None,
+            v: None,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Vector, grad: &Vector) {
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "Adam::step: params/grad dimension mismatch"
+        );
+        let dim = grad.len();
+        let m = self.m.get_or_insert_with(|| Vector::zeros(dim));
+        let v = self.v.get_or_insert_with(|| Vector::zeros(dim));
+        assert_eq!(
+            m.len(),
+            dim,
+            "Adam::step: gradient dimension changed mid-run"
+        );
+        self.t += 1;
+        let b1 = self.beta1;
+        let b2 = self.beta2;
+        m.lerp(grad, 1.0 - b1);
+        for (vi, gi) in v.iter_mut().zip(grad.iter()) {
+            *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+        }
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        let ps = params.as_mut_slice();
+        for i in 0..dim {
+            let m_hat = m[i] / bias1;
+            let v_hat = v[i] / bias2;
+            ps[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.m = None;
+        self.v = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Vector) -> Vector {
+        // f(p) = ||p||² / 2, gradient = p.
+        p.clone()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut p = Vector::from(vec![5.0, -3.0]);
+        for _ in 0..200 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!(p.norm() < 1e-6, "residual {}", p.norm());
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let mut p = Vector::from(vec![5.0, -3.0]);
+        for _ in 0..400 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!(p.norm() < 1e-4, "residual {}", p.norm());
+        assert_eq!(opt.momentum(), 0.9);
+        assert_eq!(opt.learning_rate(), 0.05);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        let mut p = Vector::from(vec![5.0, -3.0, 1.0]);
+        for _ in 0..500 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!(p.norm() < 1e-3, "residual {}", p.norm());
+        assert_eq!(opt.learning_rate(), 0.2);
+    }
+
+    #[test]
+    fn sgd_zero_momentum_is_plain_descent() {
+        let mut opt = Sgd::new(0.5, 0.0);
+        let mut p = Vector::from(vec![1.0]);
+        opt.step(&mut p, &Vector::from(vec![1.0]));
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        let g = Vector::from(vec![1.0]);
+        let mut plain = Sgd::new(0.1, 0.0);
+        let mut momentum = Sgd::new(0.1, 0.9);
+        let mut p1 = Vector::from(vec![0.0]);
+        let mut p2 = Vector::from(vec![0.0]);
+        for _ in 0..10 {
+            plain.step(&mut p1, &g);
+            momentum.step(&mut p2, &g);
+        }
+        assert!(
+            p2[0] < p1[0],
+            "momentum should move farther: {} vs {}",
+            p2[0],
+            p1[0]
+        );
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step is ≈ lr in magnitude
+        // regardless of gradient scale.
+        for scale in [1e-3, 1.0, 1e3] {
+            let mut opt = Adam::new(0.1);
+            let mut p = Vector::from(vec![0.0]);
+            opt.step(&mut p, &Vector::from(vec![scale]));
+            assert!(
+                (p[0].abs() - 0.1).abs() < 1e-3,
+                "scale {scale}: step {}",
+                p[0]
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let mut p = Vector::from(vec![1.0]);
+        sgd.step(&mut p, &Vector::from(vec![1.0]));
+        sgd.reset();
+        assert_eq!(sgd, Sgd::new(0.1, 0.9));
+
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut p, &Vector::from(vec![1.0]));
+        adam.reset();
+        assert_eq!(adam, Adam::new(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn step_dimension_mismatch_panics() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut p = Vector::zeros(2);
+        opt.step(&mut p, &Vector::zeros(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "lr")]
+    fn invalid_lr_panics() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_momentum_panics() {
+        let _ = Sgd::new(0.1, 1.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! A configurable-depth ReLU network (`MlpStack`) — the substrate's
+//! closest analogue to "deeper models like VGG-16" for ablations that vary
+//! capacity.
+//!
+//! [`crate::model::Mlp`] hardcodes one hidden layer for clarity;
+//! `MlpStack` generalizes to any number of hidden layers with the same
+//! flat-parameter contract, so experiments can study how model depth
+//! interacts with update geometry and filtering.
+
+use crate::loss::{cross_entropy, cross_entropy_grad};
+use crate::model::Model;
+use asyncfl_data::Sample;
+use asyncfl_tensor::{init, Matrix, Vector};
+use rand::Rng;
+
+/// A fully-connected ReLU network with arbitrary hidden widths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpStack {
+    weights: Vec<Matrix>,
+    biases: Vec<Vector>,
+}
+
+impl MlpStack {
+    /// Creates a network `input → hidden[0] → … → hidden[n−1] → classes`
+    /// with He-initialized hidden layers and a Xavier-initialized head.
+    ///
+    /// An empty `hidden` slice yields plain softmax regression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0`, `num_classes < 2`, or any hidden width
+    /// is zero.
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        hidden: &[usize],
+        num_classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(input_dim > 0, "MlpStack: input_dim must be positive");
+        assert!(num_classes >= 2, "MlpStack: need at least two classes");
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "MlpStack: hidden widths must be positive"
+        );
+        let mut weights = Vec::with_capacity(hidden.len() + 1);
+        let mut biases = Vec::with_capacity(hidden.len() + 1);
+        let mut fan_in = input_dim;
+        for &width in hidden {
+            weights.push(init::he_uniform(rng, width, fan_in));
+            biases.push(Vector::zeros(width));
+            fan_in = width;
+        }
+        weights.push(init::xavier_uniform(rng, num_classes, fan_in));
+        biases.push(Vector::zeros(num_classes));
+        Self { weights, biases }
+    }
+
+    /// Number of layers (hidden + output).
+    pub fn depth(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Forward pass returning every layer's post-activation output
+    /// (hidden activations, then raw logits last).
+    fn forward(&self, features: &Vector) -> Vec<Vector> {
+        let mut activations = Vec::with_capacity(self.weights.len());
+        let mut x = features.clone();
+        for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let mut z = &w.matvec(&x) + b;
+            if l + 1 < self.weights.len() {
+                z.map_in_place(|v| v.max(0.0));
+            }
+            activations.push(z.clone());
+            x = z;
+        }
+        activations
+    }
+}
+
+impl Model for MlpStack {
+    fn num_params(&self) -> usize {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, b)| w.len() + b.len())
+            .sum()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.weights[0].cols()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.weights.last().expect("at least one layer").rows()
+    }
+
+    fn params(&self) -> Vector {
+        let mut out = Vec::with_capacity(self.num_params());
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            out.extend_from_slice(w.as_slice());
+            out.extend_from_slice(b.as_slice());
+        }
+        Vector::from(out)
+    }
+
+    fn set_params(&mut self, params: &Vector) {
+        assert_eq!(
+            params.len(),
+            self.num_params(),
+            "set_params: expected {} params, got {}",
+            self.num_params(),
+            params.len()
+        );
+        let p = params.as_slice();
+        let mut at = 0;
+        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
+            w.copy_from_slice(&p[at..at + w.len()]);
+            at += w.len();
+            let blen = b.len();
+            b.as_mut_slice().copy_from_slice(&p[at..at + blen]);
+            at += blen;
+        }
+    }
+
+    fn logits(&self, features: &Vector) -> Vec<f64> {
+        self.forward(features)
+            .pop()
+            .expect("at least one layer")
+            .into_inner()
+    }
+
+    fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector) {
+        assert!(!batch.is_empty(), "loss_and_grad: empty batch");
+        let mut gw: Vec<Matrix> = self
+            .weights
+            .iter()
+            .map(|w| Matrix::zeros(w.rows(), w.cols()))
+            .collect();
+        let mut gb: Vec<Vector> = self.biases.iter().map(|b| Vector::zeros(b.len())).collect();
+        let mut loss = 0.0;
+        for s in batch {
+            let activations = self.forward(&s.features);
+            let logits = activations.last().expect("nonempty").as_slice();
+            loss += cross_entropy(logits, s.label);
+            // Backprop through the stack.
+            let mut delta = Vector::from(cross_entropy_grad(logits, s.label));
+            for l in (0..self.weights.len()).rev() {
+                let input = if l == 0 {
+                    &s.features
+                } else {
+                    &activations[l - 1]
+                };
+                gw[l].rank1_update(1.0, &delta, input);
+                gb[l] += &delta;
+                if l > 0 {
+                    let back = self.weights[l].t_matvec(&delta);
+                    // ReLU mask of the previous layer's activation.
+                    delta = Vector::from_fn(back.len(), |i| {
+                        if activations[l - 1][i] > 0.0 {
+                            back[i]
+                        } else {
+                            0.0
+                        }
+                    });
+                }
+            }
+        }
+        let inv = 1.0 / batch.len() as f64;
+        let mut flat = Vec::with_capacity(self.num_params());
+        for (w, b) in gw.iter().zip(&gb) {
+            flat.extend(w.as_slice().iter().map(|x| x * inv));
+            flat.extend(b.iter().map(|x| x * inv));
+        }
+        (loss * inv, Vector::from(flat))
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_batch(dim: usize, k: usize, n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Sample::new(init::uniform_vector(&mut rng, dim, 1.0), i % k))
+            .collect()
+    }
+
+    #[test]
+    fn shapes_and_param_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = MlpStack::new(6, &[5, 4], 3, &mut rng);
+        assert_eq!(m.depth(), 3);
+        assert_eq!(m.input_dim(), 6);
+        assert_eq!(m.num_classes(), 3);
+        assert_eq!(m.num_params(), 6 * 5 + 5 + 5 * 4 + 4 + 4 * 3 + 3);
+        let p = m.params();
+        let shifted = p.map(|x| x + 0.5);
+        m.set_params(&shifted);
+        assert_eq!(m.params(), shifted);
+    }
+
+    #[test]
+    fn zero_hidden_layers_is_softmax_regression() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = MlpStack::new(4, &[], 3, &mut rng);
+        assert_eq!(m.depth(), 1);
+        assert_eq!(m.num_params(), 4 * 3 + 3);
+        let logits = m.logits(&Vector::from(vec![1.0, 0.0, -1.0, 0.5]));
+        assert_eq!(logits.len(), 3);
+    }
+
+    #[test]
+    fn gradient_check_two_hidden_layers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = MlpStack::new(5, &[4, 3], 3, &mut rng);
+        let samples = toy_batch(5, 3, 5, 33);
+        let batch: Vec<&Sample> = samples.iter().collect();
+        let (_, grad) = m.loss_and_grad(&batch);
+        let params = m.params();
+        let eps = 1e-5;
+        let idxs: Vec<usize> = (0..params.len()).step_by(5).collect();
+        for &i in &idxs {
+            let mut plus = params.clone();
+            plus[i] += eps;
+            m.set_params(&plus);
+            let lp = m.loss(&batch);
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            m.set_params(&minus);
+            let lm = m.loss(&batch);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-4,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = MlpStack::new(8, &[6, 6], 4, &mut rng);
+        let samples = toy_batch(8, 4, 16, 44);
+        let batch: Vec<&Sample> = samples.iter().collect();
+        let (l0, g) = m.loss_and_grad(&batch);
+        let mut p = m.params();
+        p.axpy(-0.1, &g);
+        m.set_params(&p);
+        assert!(m.loss(&batch) < l0);
+    }
+
+    #[test]
+    fn deeper_stack_agrees_with_single_hidden_mlp_shape() {
+        use crate::model::Mlp;
+        let mut rng = StdRng::seed_from_u64(5);
+        let stack = MlpStack::new(7, &[5], 3, &mut rng);
+        let mlp = Mlp::new(7, 5, 3, &mut rng);
+        assert_eq!(stack.num_params(), mlp.num_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden widths")]
+    fn zero_hidden_width_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = MlpStack::new(4, &[0], 3, &mut rng);
+    }
+
+    #[test]
+    fn clone_box_independent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = MlpStack::new(3, &[2], 2, &mut rng);
+        let boxed: Box<dyn Model> = Box::new(m.clone());
+        let mut cloned = boxed.clone();
+        cloned.set_params(&Vector::zeros(boxed.num_params()));
+        assert_ne!(boxed.params(), cloned.params());
+    }
+}

@@ -1,0 +1,209 @@
+//! Client processing-latency models (system speed heterogeneity, §5.1).
+//!
+//! "The processing latency of clients is modeled to follow a Zipf
+//! distribution with a parameter *s* of 1.2 … most devices exhibit high
+//! speed, a minority are significantly slower (stragglers), and a moderate
+//! number have medium speed." Each client draws a persistent latency
+//! factor (its "device class"); a per-cycle ±jitter models round-to-round
+//! variation.
+//!
+//! Two models are provided: the paper's discrete [Zipf](LatencyModel::zipf)
+//! and a continuous [log-normal](LatencyModel::log_normal) — the common
+//! alternative in systems literature — so heterogeneity studies can check
+//! that conclusions are not an artifact of the distribution family.
+
+use asyncfl_data::sampling::{standard_normal, Zipf};
+use rand::{Rng, RngExt};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Distribution {
+    Zipf(Zipf),
+    /// factor = exp(|N(0, sigma²)|) ≥ 1 (folded log-normal).
+    LogNormal { sigma: f64 },
+}
+
+/// Per-client latency factors with multiplicative per-cycle jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    distribution: Distribution,
+    jitter: f64,
+}
+
+impl LatencyModel {
+    /// The paper's model: factors `1..=levels` with Zipf exponent `s` and
+    /// ±10% per-cycle jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or `s <= 0` (see [`Zipf::new`]).
+    pub fn zipf(s: f64, levels: usize) -> Self {
+        Self {
+            distribution: Distribution::Zipf(Zipf::new(levels, s)),
+            jitter: 0.1,
+        }
+    }
+
+    /// A continuous alternative: `factor = exp(|N(0, sigma²)|)` (≥ 1, heavy
+    /// right tail), ±10% jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0` or is non-finite.
+    pub fn log_normal(sigma: f64) -> Self {
+        assert!(
+            sigma > 0.0 && sigma.is_finite(),
+            "LatencyModel: sigma must be positive, got {sigma}"
+        );
+        Self {
+            distribution: Distribution::LogNormal { sigma },
+            jitter: 0.1,
+        }
+    }
+
+    /// Overrides the jitter amplitude (0 disables; must be in `[0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is outside `[0, 1)`.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&jitter),
+            "LatencyModel: jitter must be in [0, 1), got {jitter}"
+        );
+        self.jitter = jitter;
+        self
+    }
+
+    /// Draws a client's persistent latency factor (its "device class").
+    pub fn draw_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match &self.distribution {
+            Distribution::Zipf(zipf) => zipf.sample(rng) as f64,
+            Distribution::LogNormal { sigma } => {
+                (sigma * standard_normal(rng)).abs().exp()
+            }
+        }
+    }
+
+    /// Duration of one local-training cycle for a client with the given
+    /// factor: `factor × (1 ± jitter)` virtual time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0`.
+    pub fn cycle_duration<R: Rng + ?Sized>(&self, factor: f64, rng: &mut R) -> f64 {
+        assert!(factor > 0.0, "cycle_duration: factor must be positive");
+        if self.jitter == 0.0 {
+            return factor;
+        }
+        let wobble = 1.0 + self.jitter * (2.0 * rng.random::<f64>() - 1.0);
+        factor * wobble
+    }
+
+    /// The Zipf exponent, if this is the Zipf model.
+    pub fn exponent(&self) -> f64 {
+        match &self.distribution {
+            Distribution::Zipf(zipf) => zipf.exponent(),
+            Distribution::LogNormal { sigma } => *sigma,
+        }
+    }
+
+    /// The number of latency levels (Zipf model); `0` for continuous models.
+    pub fn levels(&self) -> usize {
+        match &self.distribution {
+            Distribution::Zipf(zipf) => zipf.n(),
+            Distribution::LogNormal { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factors_in_range_and_mostly_fast() {
+        let model = LatencyModel::zipf(1.2, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mut fast = 0;
+        for _ in 0..n {
+            let f = model.draw_factor(&mut rng);
+            assert!((1.0..=10.0).contains(&f));
+            if f == 1.0 {
+                fast += 1;
+            }
+        }
+        // Zipf(1.2) over 10 levels puts ~45% of the mass on level 1.
+        let frac = fast as f64 / n as f64;
+        assert!(frac > 0.35 && frac < 0.55, "fraction fast {frac}");
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_on_fast() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let frac_fast = |s: f64, rng: &mut StdRng| {
+            let m = LatencyModel::zipf(s, 10);
+            (0..5_000).filter(|_| m.draw_factor(rng) == 1.0).count() as f64 / 5_000.0
+        };
+        let mild = frac_fast(1.2, &mut rng);
+        let steep = frac_fast(2.5, &mut rng);
+        assert!(steep > mild + 0.2, "steep {steep} mild {mild}");
+    }
+
+    #[test]
+    fn cycle_duration_bounds() {
+        let model = LatencyModel::zipf(1.2, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let d = model.cycle_duration(4.0, &mut rng);
+            assert!((3.6..=4.4).contains(&d), "duration {d}");
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let model = LatencyModel::zipf(1.2, 4).with_jitter(0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(model.cycle_duration(3.0, &mut rng), 3.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let model = LatencyModel::zipf(2.5, 8);
+        assert_eq!(model.exponent(), 2.5);
+        assert_eq!(model.levels(), 8);
+    }
+
+    #[test]
+    fn log_normal_factors_at_least_one_heavy_tail() {
+        let model = LatencyModel::log_normal(1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let factors: Vec<f64> = (0..5_000).map(|_| model.draw_factor(&mut rng)).collect();
+        assert!(factors.iter().all(|&f| f >= 1.0));
+        let slow = factors.iter().filter(|&&f| f > 3.0).count();
+        assert!(slow > 50, "expected a straggler tail, got {slow}");
+        assert_eq!(model.levels(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn log_normal_invalid_sigma_panics() {
+        let _ = LatencyModel::log_normal(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn invalid_jitter_panics() {
+        let _ = LatencyModel::zipf(1.2, 4).with_jitter(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn invalid_factor_panics() {
+        let model = LatencyModel::zipf(1.2, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = model.cycle_duration(0.0, &mut rng);
+    }
+}

@@ -1,0 +1,189 @@
+//! Run-level metrics: accuracy trajectory and detection quality.
+
+use std::collections::BTreeMap;
+
+/// Aggregated detection confusion counts across a whole run.
+///
+/// "Positive" means *rejected by the filter*; ground truth comes from the
+/// simulator's attacker assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectionStats {
+    /// Malicious updates rejected.
+    pub true_positives: usize,
+    /// Benign updates rejected.
+    pub false_positives: usize,
+    /// Malicious updates accepted or deferred.
+    pub false_negatives: usize,
+    /// Benign updates accepted or deferred.
+    pub true_negatives: usize,
+}
+
+impl DetectionStats {
+    /// Accumulates a per-round confusion tuple `(tp, fp, fn, tn)`.
+    pub fn absorb(&mut self, (tp, fp, fn_, tn): (usize, usize, usize, usize)) {
+        self.true_positives += tp;
+        self.false_positives += fp;
+        self.false_negatives += fn_;
+        self.true_negatives += tn;
+    }
+
+    /// Precision of the malicious-rejection decision; 1.0 when nothing was
+    /// rejected (vacuous).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall over malicious updates; 1.0 when no malicious update was seen.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Fraction of benign updates wrongly rejected; 0.0 when no benign
+    /// update was seen.
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.false_positives + self.true_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / denom as f64
+        }
+    }
+
+    /// Total updates that passed through the filter.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+    }
+}
+
+/// The outcome of one federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Test accuracy of the final global model.
+    pub final_accuracy: f64,
+    /// `(server round, accuracy)` checkpoints.
+    pub accuracy_history: Vec<(u64, f64)>,
+    /// Detection quality aggregated over all aggregations.
+    pub detection: DetectionStats,
+    /// Server aggregation rounds completed.
+    pub rounds_completed: u64,
+    /// Client reports received (before staleness screening).
+    pub updates_received: u64,
+    /// Reports discarded for exceeding the staleness limit.
+    pub updates_discarded_stale: u64,
+    /// Histogram of staleness values among buffered (non-discarded) reports.
+    pub staleness_histogram: BTreeMap<u64, u64>,
+    /// Per-aggregation `(accepted, rejected, deferred)` counts, in round
+    /// order — the run's filtering trace.
+    pub round_reports: Vec<(usize, usize, usize)>,
+    /// Final virtual clock value.
+    pub sim_time: f64,
+}
+
+impl RunResult {
+    /// Best accuracy seen at any checkpoint (including the final one).
+    pub fn best_accuracy(&self) -> f64 {
+        self.accuracy_history
+            .iter()
+            .map(|&(_, a)| a)
+            .fold(self.final_accuracy, f64::max)
+    }
+
+    /// First checkpointed round whose accuracy reached `target`, if any —
+    /// a convergence-speed summary for the accuracy trajectory.
+    pub fn rounds_to_reach(&self, target: f64) -> Option<u64> {
+        self.accuracy_history
+            .iter()
+            .find(|&&(_, acc)| acc >= target)
+            .map(|&(round, _)| round)
+    }
+
+    /// Mean staleness over buffered reports; 0 when none were buffered.
+    pub fn mean_staleness(&self) -> f64 {
+        let total: u64 = self.staleness_histogram.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .staleness_histogram
+            .iter()
+            .map(|(&tau, &count)| tau * count)
+            .sum();
+        weighted as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_and_rates() {
+        let mut s = DetectionStats::default();
+        s.absorb((8, 2, 1, 9));
+        s.absorb((2, 0, 1, 7));
+        assert_eq!(s.true_positives, 10);
+        assert_eq!(s.total(), 30);
+        assert!((s.precision() - 10.0 / 12.0).abs() < 1e-12);
+        assert!((s.recall() - 10.0 / 12.0).abs() < 1e-12);
+        assert!((s.false_positive_rate() - 2.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_rates() {
+        let s = DetectionStats::default();
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.false_positive_rate(), 0.0);
+        assert_eq!(s.total(), 0);
+    }
+
+    fn result() -> RunResult {
+        RunResult {
+            final_accuracy: 0.8,
+            accuracy_history: vec![(5, 0.5), (10, 0.85), (15, 0.8)],
+            detection: DetectionStats::default(),
+            rounds_completed: 15,
+            updates_received: 600,
+            updates_discarded_stale: 12,
+            staleness_histogram: [(0, 10), (2, 5), (4, 5)].into_iter().collect(),
+            round_reports: vec![(8, 1, 1); 15],
+            sim_time: 33.0,
+        }
+    }
+
+    #[test]
+    fn best_accuracy_scans_history() {
+        assert_eq!(result().best_accuracy(), 0.85);
+        let mut r = result();
+        r.accuracy_history.clear();
+        assert_eq!(r.best_accuracy(), 0.8);
+    }
+
+    #[test]
+    fn rounds_to_reach_scans_in_order() {
+        let r = result();
+        assert_eq!(r.rounds_to_reach(0.5), Some(5));
+        assert_eq!(r.rounds_to_reach(0.8), Some(10));
+        assert_eq!(r.rounds_to_reach(0.99), None);
+    }
+
+    #[test]
+    fn mean_staleness_weighted() {
+        let r = result();
+        // (0*10 + 2*5 + 4*5) / 20 = 1.5
+        assert!((r.mean_staleness() - 1.5).abs() < 1e-12);
+        let mut r = r;
+        r.staleness_histogram.clear();
+        assert_eq!(r.mean_staleness(), 0.0);
+    }
+}

@@ -1,0 +1,604 @@
+//! The deterministic discrete-event AFL simulation.
+//!
+//! One [`Simulation`] owns the task, the client population (data partitions,
+//! latency factors, RNG streams, attacker assignment) and drives a
+//! [`BufferedServer`] through a virtual-clock event loop:
+//!
+//! 1. every client trains continuously: snapshot the global model, train
+//!    for `E` local epochs, submit, repeat (the asynchronous workflow of
+//!    Fig. 2);
+//! 2. completion times follow the Zipf latency model, so fast clients
+//!    submit often and stragglers return stale updates;
+//! 3. malicious clients compute their *honest* update first, then replace
+//!    it with the configured attack's crafted delta (threat model §3.1:
+//!    attackers know their own data and updates, not benign ones);
+//! 4. when the buffer reaches Ω the server filters + aggregates, and every
+//!    submitting client restarts from the newest global model.
+//!
+//! Runs are bit-reproducible for a fixed [`SimConfig::seed`].
+
+use asyncfl_attacks::{Attack, AttackKind, GradientDeviationAttack};
+use asyncfl_core::aggregation::{Aggregator, MeanAggregator};
+use asyncfl_core::update::{ClientUpdate, UpdateFilter};
+use asyncfl_data::synthetic::Task;
+use asyncfl_data::Dataset;
+use asyncfl_ml::train::{build_model, build_optimizer, evaluate, LocalTrainer};
+use asyncfl_ml::Model;
+use asyncfl_tensor::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::config::SimConfig;
+use crate::latency::LatencyModel;
+use crate::metrics::RunResult;
+use crate::server::BufferedServer;
+
+/// An in-flight local training job, ordered by completion time (min-heap).
+struct InFlight {
+    completes_at: f64,
+    seq: u64,
+    client: usize,
+    base_round: u64,
+    base_params: Vector,
+    /// A non-participating cycle (the client was not sampled): no training,
+    /// no submission — just time passing.
+    idle: bool,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.completes_at == other.completes_at && self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .completes_at
+            .total_cmp(&self.completes_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// How strongly the GD attack scales its reversal in simulation runs.
+///
+/// Theorem 1 analyses λ = 1; evaluations (including the divergence the paper
+/// reports on CINIC-10) require the aggregate to actually move backwards,
+/// which with a ~20% malicious share needs λ ≳ 1/share. λ = 5 makes GD the
+/// "strong attack" the tables show.
+pub const GD_LAMBDA: f64 = 5.0;
+
+/// Builds the attack instance an [`AttackKind`] denotes, sized for this
+/// population (LIE's `z` depends on it; GD uses [`GD_LAMBDA`]).
+pub fn build_attack(kind: AttackKind, total: usize, malicious: usize) -> Box<dyn Attack> {
+    match kind {
+        AttackKind::Gd => Box::new(GradientDeviationAttack::new(GD_LAMBDA)),
+        other => other.build(total, malicious),
+    }
+}
+
+/// The deterministic discrete-event simulation.
+pub struct Simulation {
+    config: SimConfig,
+    task: Task,
+    test_data: Dataset,
+    root_data: Option<Dataset>,
+    client_data: Vec<Dataset>,
+    client_sizes: Vec<usize>,
+    client_factor: Vec<f64>,
+    client_rng: Vec<StdRng>,
+    malicious: Vec<bool>,
+    template: Box<dyn Model>,
+    latency: LatencyModel,
+    trainer: LocalTrainer,
+}
+
+impl Simulation {
+    /// Builds the population: task, test set, per-client partitions,
+    /// latency factors and the attacker assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// (see [`SimConfig::validate`]).
+    pub fn new(config: SimConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
+        let mut master = StdRng::seed_from_u64(config.seed);
+        let task = config.profile.build_task(&mut master);
+        let test_data = task.test_dataset(config.test_samples, &mut master);
+        let root_data = if config.server_root_samples > 0 {
+            Some(task.test_dataset(config.server_root_samples, &mut master))
+        } else {
+            None
+        };
+        let latency = LatencyModel::zipf(config.zipf_s, config.zipf_levels);
+        let template = build_model(&config.profile, &task, &mut master);
+
+        // Attacker assignment: random subset of clients (§5.1 "we randomly
+        // sample 20 out of 100 of the clients as malicious ones").
+        let order = asyncfl_data::sampling::permutation(&mut master, config.num_clients);
+        let mut malicious = vec![false; config.num_clients];
+        for &c in order.iter().take(config.num_malicious) {
+            malicious[c] = true;
+        }
+
+        let partition_size = config.effective_partition_size();
+        let mut client_data = Vec::with_capacity(config.num_clients);
+        let mut client_sizes = Vec::with_capacity(config.num_clients);
+        let mut client_factor = Vec::with_capacity(config.num_clients);
+        let mut client_rng = Vec::with_capacity(config.num_clients);
+        for c in 0..config.num_clients {
+            let seed = config
+                .seed
+                .wrapping_add((c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let size = if config.partition_jitter > 0.0 {
+                use rand::RngExt;
+                let factor = 1.0
+                    + config.partition_jitter * (2.0 * rng.random::<f64>() - 1.0);
+                ((partition_size as f64 * factor).round() as usize).max(1)
+            } else {
+                partition_size
+            };
+            client_data.push(task.client_dataset(&config.partitioner, c, size, &mut rng));
+            client_sizes.push(size);
+            client_factor.push(latency.draw_factor(&mut rng));
+            client_rng.push(rng);
+        }
+        let trainer = LocalTrainer::from_profile(&config.profile);
+        Self {
+            config,
+            task,
+            test_data,
+            root_data,
+            client_data,
+            client_sizes,
+            client_factor,
+            client_rng,
+            malicious,
+            template,
+            latency,
+            trainer,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The underlying synthetic task.
+    pub fn task(&self) -> &Task {
+        &self.task
+    }
+
+    /// Ground-truth attacker flags, index = client id.
+    pub fn malicious_flags(&self) -> &[bool] {
+        &self.malicious
+    }
+
+    /// Per-client latency factors.
+    pub fn latency_factors(&self) -> &[f64] {
+        &self.client_factor
+    }
+
+    /// Applies label-flip **data poisoning** to every malicious client's
+    /// local dataset (labels cyclically shifted). Unlike the model-poisoning
+    /// attacks, poisoned clients then train *honestly* on corrupted data —
+    /// a different threat vector that exercises the same defense path.
+    /// Combine with [`AttackKind::None`] to study data poisoning alone.
+    pub fn poison_malicious_labels(&mut self) {
+        for (c, data) in self.client_data.iter_mut().enumerate() {
+            if self.malicious[c] {
+                *data = data.with_flipped_labels();
+            }
+        }
+    }
+
+    /// Runs with the given filter and attack, using the FedBuff mean
+    /// aggregator (the paper's configuration).
+    pub fn run(&mut self, filter: Box<dyn UpdateFilter>, attack: AttackKind) -> RunResult {
+        let attack = build_attack(attack, self.config.num_clients, self.config.num_malicious);
+        self.run_with(filter, attack, Box::new(MeanAggregator::new()))
+    }
+
+    /// Runs with explicit filter, attack and aggregation rule.
+    pub fn run_with(
+        &mut self,
+        filter: Box<dyn UpdateFilter>,
+        attack: Box<dyn Attack>,
+        aggregator: Box<dyn Aggregator>,
+    ) -> RunResult {
+        let cfg = self.config.clone();
+        let mut server = BufferedServer::new(
+            self.template.params(),
+            cfg.aggregation_bound,
+            cfg.staleness_limit,
+            filter,
+            aggregator,
+        );
+        let mut attack_rng = StdRng::seed_from_u64(cfg.seed ^ 0xA77A_C4E2_57A1_F00D);
+        let mut eval_model = self.template.clone();
+
+        // Kick off every client at t = 0 from the initial model.
+        let mut heap: BinaryHeap<InFlight> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for client in 0..cfg.num_clients {
+            let dur = self
+                .latency
+                .cycle_duration(self.client_factor[client], &mut self.client_rng[client]);
+            heap.push(InFlight {
+                completes_at: dur,
+                seq,
+                client,
+                base_round: 0,
+                base_params: server.global().clone(),
+                idle: false,
+            });
+            seq += 1;
+        }
+
+        if self.root_data.is_some() {
+            let trusted = self.trusted_delta(server.global());
+            server.set_trusted_delta(trusted);
+        }
+
+        let mut collusion: VecDeque<Vector> = VecDeque::new();
+        let mut accuracy_history = Vec::new();
+        let mut round_reports = Vec::new();
+        let mut now = 0.0f64;
+        let max_events =
+            (cfg.rounds as usize + 2) * cfg.num_clients.max(cfg.aggregation_bound) * 64;
+        let mut events = 0usize;
+
+        while let Some(job) = heap.pop() {
+            events += 1;
+            if events > max_events {
+                break;
+            }
+            now = job.completes_at;
+            let client = job.client;
+
+            if job.idle {
+                // Not sampled last cycle: wake up and (maybe) participate.
+                let dur = self
+                    .latency
+                    .cycle_duration(self.client_factor[client], &mut self.client_rng[client]);
+                let idle = !self.participates(client);
+                heap.push(InFlight {
+                    completes_at: now + dur,
+                    seq,
+                    client,
+                    base_round: server.round(),
+                    base_params: server.global().clone(),
+                    idle,
+                });
+                seq += 1;
+                continue;
+            }
+
+            // Local training from the (possibly stale) snapshot.
+            let mut model = self.template.clone();
+            model.set_params(&job.base_params);
+            let mut optimizer = build_optimizer(&cfg.profile, model.num_params());
+            self.trainer.train(
+                model.as_mut(),
+                &self.client_data[client],
+                optimizer.as_mut(),
+                &mut self.client_rng[client],
+            );
+            let honest_delta = &model.params() - &job.base_params;
+
+            let delta = if self.malicious[client] {
+                collusion.push_back(honest_delta.clone());
+                while collusion.len() > cfg.num_malicious.max(1) {
+                    collusion.pop_front();
+                }
+                let pool: Vec<Vector> = collusion.iter().cloned().collect();
+                let crafted = attack.craft_all(&pool, &mut attack_rng);
+                crafted.last().cloned().unwrap_or(honest_delta)
+            } else {
+                honest_delta
+            };
+
+            let update = ClientUpdate::from_delta(
+                client,
+                job.base_round,
+                0,
+                &job.base_params,
+                delta,
+                self.client_sizes[client],
+            )
+            .with_truth_malicious(self.malicious[client]);
+
+            // Failure injection: the update may be lost in transit.
+            let dropped = cfg.dropout > 0.0 && {
+                use rand::RngExt;
+                self.client_rng[client].random::<f64>() < cfg.dropout
+            };
+            let received = if dropped {
+                None
+            } else {
+                server.receive(update)
+            };
+
+            if let Some(report) = received {
+                round_reports.push((report.accepted, report.rejected, report.deferred));
+                let completed = report.round_completed + 1;
+                if completed % cfg.eval_every == 0 {
+                    eval_model.set_params(server.global());
+                    accuracy_history
+                        .push((completed, evaluate(eval_model.as_ref(), &self.test_data)));
+                }
+                if self.root_data.is_some() {
+                    let trusted = self.trusted_delta(server.global());
+                    server.set_trusted_delta(trusted);
+                }
+                if completed >= cfg.rounds {
+                    break;
+                }
+            }
+
+            // The client immediately starts its next cycle from the current
+            // global model (or idles this cycle if the sampler skips it).
+            let dur = self
+                .latency
+                .cycle_duration(self.client_factor[client], &mut self.client_rng[client]);
+            let idle = !self.participates(client);
+            heap.push(InFlight {
+                completes_at: now + dur,
+                seq,
+                client,
+                base_round: server.round(),
+                base_params: server.global().clone(),
+                idle,
+            });
+            seq += 1;
+        }
+
+        eval_model.set_params(server.global());
+        let final_accuracy = evaluate(eval_model.as_ref(), &self.test_data);
+        RunResult {
+            final_accuracy,
+            accuracy_history,
+            detection: server.detection(),
+            rounds_completed: server.round(),
+            updates_received: server.received(),
+            updates_discarded_stale: server.discarded_stale(),
+            staleness_histogram: server.staleness_histogram().clone(),
+            round_reports,
+            sim_time: now,
+        }
+    }
+
+    /// Samples whether a client participates in its next cycle.
+    fn participates(&mut self, client: usize) -> bool {
+        if self.config.participation >= 1.0 {
+            return true;
+        }
+        use rand::RngExt;
+        self.client_rng[client].random::<f64>() < self.config.participation
+    }
+
+    /// Computes the trusted delta for clean-dataset baselines: one local
+    /// training pass on the server's root dataset from the current global
+    /// model (what Zeno++/AFLGuard's server does each round).
+    fn trusted_delta(&mut self, global: &Vector) -> Option<Vector> {
+        let root = self.root_data.as_ref()?;
+        let mut model = self.template.clone();
+        model.set_params(global);
+        let mut optimizer = build_optimizer(&self.config.profile, model.num_params());
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5e17_ed5e_17ed_5e17);
+        LocalTrainer::new(1, self.trainer.batch_size()).train(
+            model.as_mut(),
+            root,
+            optimizer.as_mut(),
+            &mut rng,
+        );
+        Some(&model.params() - global)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncfl_core::update::PassthroughFilter;
+    use asyncfl_core::AsyncFilter;
+
+    #[test]
+    fn benign_run_learns() {
+        let mut sim = Simulation::new(SimConfig::smoke_test());
+        let result = sim.run(Box::new(PassthroughFilter), AttackKind::None);
+        assert!(
+            result.final_accuracy > 0.5,
+            "accuracy {}",
+            result.final_accuracy
+        );
+        assert_eq!(result.rounds_completed, 8);
+        assert!(result.updates_received >= 8 * 8);
+        assert!(!result.accuracy_history.is_empty());
+        assert!(result.sim_time > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = Simulation::new(SimConfig::smoke_test());
+            sim.run(Box::new(PassthroughFilter), AttackKind::Gd)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut sim = Simulation::new(SimConfig::smoke_test().with_seed(seed));
+            sim.run(Box::new(PassthroughFilter), AttackKind::None)
+        };
+        assert_ne!(run(1).final_accuracy, run(2).final_accuracy);
+    }
+
+    #[test]
+    fn gd_attack_degrades_undefended_accuracy() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.num_malicious = 5;
+        cfg.rounds = 10;
+        let benign =
+            Simulation::new(cfg.clone()).run(Box::new(PassthroughFilter), AttackKind::None);
+        let attacked = Simulation::new(cfg).run(Box::new(PassthroughFilter), AttackKind::Gd);
+        assert!(
+            attacked.final_accuracy < benign.final_accuracy - 0.1,
+            "GD should hurt: benign {} vs attacked {}",
+            benign.final_accuracy,
+            attacked.final_accuracy
+        );
+    }
+
+    #[test]
+    fn asyncfilter_rejects_gd_updates() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.num_malicious = 4;
+        cfg.rounds = 10;
+        let mut sim = Simulation::new(cfg);
+        let result = sim.run(Box::new(AsyncFilter::default()), AttackKind::Gd);
+        // Small buffers gate conservatively, so recall is partial — but what
+        // the filter does reject must overwhelmingly be malicious.
+        assert!(
+            result.detection.recall() > 0.3,
+            "recall {} stats {:?}",
+            result.detection.recall(),
+            result.detection
+        );
+        assert!(
+            result.detection.precision() > 0.8,
+            "precision {} stats {:?}",
+            result.detection.precision(),
+            result.detection
+        );
+    }
+
+    #[test]
+    fn staleness_histogram_populated_and_bounded() {
+        let mut sim = Simulation::new(SimConfig::smoke_test());
+        let result = sim.run(Box::new(PassthroughFilter), AttackKind::None);
+        assert!(!result.staleness_histogram.is_empty());
+        let limit = sim.config().staleness_limit;
+        assert!(result.staleness_histogram.keys().all(|&tau| tau <= limit));
+        // Stragglers exist: some updates have staleness > 0.
+        let stale: u64 = result
+            .staleness_histogram
+            .iter()
+            .filter(|(&tau, _)| tau > 0)
+            .map(|(_, &c)| c)
+            .sum();
+        assert!(
+            stale > 0,
+            "no staleness observed: {:?}",
+            result.staleness_histogram
+        );
+    }
+
+    #[test]
+    fn malicious_assignment_matches_config() {
+        let sim = Simulation::new(SimConfig::smoke_test());
+        let m = sim.malicious_flags().iter().filter(|&&x| x).count();
+        assert_eq!(m, sim.config().num_malicious);
+        assert_eq!(sim.latency_factors().len(), sim.config().num_clients);
+    }
+
+    #[test]
+    fn label_flip_data_poisoning_degrades_and_filter_mitigates() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.num_malicious = 5;
+        cfg.rounds = 10;
+        let benign =
+            Simulation::new(cfg.clone()).run(Box::new(PassthroughFilter), AttackKind::None);
+        let mut poisoned_sim = Simulation::new(cfg.clone());
+        poisoned_sim.poison_malicious_labels();
+        let poisoned = poisoned_sim.run(Box::new(PassthroughFilter), AttackKind::None);
+        assert!(
+            poisoned.final_accuracy < benign.final_accuracy,
+            "label flip had no effect: {} vs {}",
+            poisoned.final_accuracy,
+            benign.final_accuracy
+        );
+        let mut defended_sim = Simulation::new(cfg);
+        defended_sim.poison_malicious_labels();
+        let defended = defended_sim.run(Box::new(AsyncFilter::default()), AttackKind::None);
+        // Label-flip updates are heterogeneous-but-bounded; the filter should
+        // at least not make things worse.
+        assert!(
+            defended.final_accuracy >= poisoned.final_accuracy - 0.05,
+            "filter hurt under data poisoning: {} vs {}",
+            defended.final_accuracy,
+            poisoned.final_accuracy
+        );
+    }
+
+    #[test]
+    fn partition_jitter_varies_client_sizes() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.partition_jitter = 0.5;
+        let sim = Simulation::new(cfg);
+        let sizes: Vec<usize> = sim.client_data.iter().map(|d| d.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min, "jitter produced uniform sizes: {sizes:?}");
+        assert!(sizes.iter().all(|&s| s >= 1));
+        // Weights follow the actual sizes.
+        assert_eq!(sim.client_sizes, sizes);
+    }
+
+    #[test]
+    fn partial_participation_slows_updates() {
+        let mut full_cfg = SimConfig::smoke_test();
+        full_cfg.rounds = 5;
+        let mut partial_cfg = full_cfg.clone();
+        partial_cfg.participation = 0.5;
+        let full = Simulation::new(full_cfg).run(Box::new(PassthroughFilter), AttackKind::None);
+        let partial =
+            Simulation::new(partial_cfg).run(Box::new(PassthroughFilter), AttackKind::None);
+        // Same number of aggregations, but the partial run needs more
+        // virtual time to gather them.
+        assert_eq!(partial.rounds_completed, 5);
+        assert!(
+            partial.sim_time > full.sim_time,
+            "partial {} vs full {}",
+            partial.sim_time,
+            full.sim_time
+        );
+    }
+
+    #[test]
+    fn dropout_loses_updates_but_training_continues() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.rounds = 5;
+        cfg.dropout = 0.4;
+        let result = Simulation::new(cfg).run(Box::new(PassthroughFilter), AttackKind::None);
+        assert_eq!(result.rounds_completed, 5);
+        assert!(
+            result.final_accuracy > 0.4,
+            "accuracy {}",
+            result.final_accuracy
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimConfig")]
+    fn invalid_config_panics() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.aggregation_bound = 0;
+        let _ = Simulation::new(cfg);
+    }
+}

@@ -1,0 +1,367 @@
+//! The buffered asynchronous server (FedBuff, Nguyen et al. 2022).
+//!
+//! The server "introduces a buffer to store local updates and only
+//! aggregates when the buffer size reaches a certain aggregation goal"
+//! (§2.1). On each aggregation it invokes the pluggable
+//! [`UpdateFilter`] (Fig. 5's AsyncFilter slot), aggregates the accepted
+//! updates with its [`Aggregator`], advances the round counter, and
+//! re-buffers whatever the filter deferred.
+
+use asyncfl_core::aggregation::Aggregator;
+use asyncfl_core::update::{ClientUpdate, FilterContext, UpdateFilter};
+use asyncfl_tensor::Vector;
+use std::collections::BTreeMap;
+
+use crate::metrics::DetectionStats;
+
+/// Summary of one server aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregationReport {
+    /// The round index that this aggregation completed (0-based).
+    pub round_completed: u64,
+    /// Updates aggregated.
+    pub accepted: usize,
+    /// Updates rejected by the filter.
+    pub rejected: usize,
+    /// Updates re-buffered for the next aggregation.
+    pub deferred: usize,
+}
+
+/// A FedBuff-style buffered server with a pluggable defense filter.
+pub struct BufferedServer {
+    global: Vector,
+    round: u64,
+    buffer: Vec<ClientUpdate>,
+    aggregation_bound: usize,
+    staleness_limit: u64,
+    filter: Box<dyn UpdateFilter>,
+    aggregator: Box<dyn Aggregator>,
+    trusted_delta: Option<Vector>,
+    detection: DetectionStats,
+    received: u64,
+    discarded_stale: u64,
+    staleness_histogram: BTreeMap<u64, u64>,
+}
+
+impl BufferedServer {
+    /// Creates a server with the given initial global model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggregation_bound == 0`.
+    pub fn new(
+        global: Vector,
+        aggregation_bound: usize,
+        staleness_limit: u64,
+        filter: Box<dyn UpdateFilter>,
+        aggregator: Box<dyn Aggregator>,
+    ) -> Self {
+        assert!(aggregation_bound > 0, "aggregation_bound must be positive");
+        Self {
+            global,
+            round: 0,
+            buffer: Vec::new(),
+            aggregation_bound,
+            staleness_limit,
+            filter,
+            aggregator,
+            trusted_delta: None,
+            detection: DetectionStats::default(),
+            received: 0,
+            discarded_stale: 0,
+            staleness_histogram: BTreeMap::new(),
+        }
+    }
+
+    /// Current global model parameters.
+    pub fn global(&self) -> &Vector {
+        &self.global
+    }
+
+    /// Current server round (completed aggregations).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Updates currently buffered.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The defense's name (for reports).
+    pub fn filter_name(&self) -> &str {
+        self.filter.name()
+    }
+
+    /// Detection statistics accumulated so far.
+    pub fn detection(&self) -> DetectionStats {
+        self.detection
+    }
+
+    /// Reports received so far (before staleness screening).
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Reports discarded for excessive staleness.
+    pub fn discarded_stale(&self) -> u64 {
+        self.discarded_stale
+    }
+
+    /// Histogram of staleness among buffered reports.
+    pub fn staleness_histogram(&self) -> &BTreeMap<u64, u64> {
+        &self.staleness_histogram
+    }
+
+    /// Installs/refreshes the trusted delta for clean-dataset baselines.
+    pub fn set_trusted_delta(&mut self, delta: Option<Vector>) {
+        self.trusted_delta = delta;
+    }
+
+    /// Receives one client report. Returns `Some` when this report
+    /// triggered an aggregation.
+    pub fn receive(&mut self, mut update: ClientUpdate) -> Option<AggregationReport> {
+        self.received += 1;
+        let staleness = self.round.saturating_sub(update.base_round);
+        update.staleness = staleness;
+        if staleness > self.staleness_limit {
+            self.discarded_stale += 1;
+            return None;
+        }
+        *self.staleness_histogram.entry(staleness).or_insert(0) += 1;
+        self.buffer.push(update);
+        if self.buffer.len() >= self.aggregation_bound {
+            Some(self.aggregate_now())
+        } else {
+            None
+        }
+    }
+
+    /// Runs filter + aggregation over the current buffer, advancing the
+    /// round. Called automatically by [`receive`](Self::receive); exposed
+    /// for tests and for end-of-run flushes.
+    pub fn aggregate_now(&mut self) -> AggregationReport {
+        // Refresh staleness (deferred updates have aged) and screen again.
+        let mut batch = std::mem::take(&mut self.buffer);
+        batch.retain_mut(|u| {
+            u.staleness = self.round.saturating_sub(u.base_round);
+            if u.staleness > self.staleness_limit {
+                self.discarded_stale += 1;
+                false
+            } else {
+                true
+            }
+        });
+
+        let ctx = {
+            let mut ctx = FilterContext::new(self.round, &self.global, self.staleness_limit);
+            if let Some(t) = &self.trusted_delta {
+                ctx = ctx.with_trusted_delta(t);
+            }
+            ctx
+        };
+        let outcome = self.filter.filter(batch, &ctx);
+        self.detection.absorb(outcome.confusion());
+
+        let report = AggregationReport {
+            round_completed: self.round,
+            accepted: outcome.accepted.len(),
+            rejected: outcome.rejected.len(),
+            deferred: outcome.deferred.len(),
+        };
+        self.global = self.aggregator.aggregate(&outcome.accepted, &self.global);
+        self.round += 1;
+        // Deferred updates contribute "at a later stage".
+        self.buffer.extend(outcome.deferred);
+        report
+    }
+}
+
+impl std::fmt::Debug for BufferedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferedServer")
+            .field("round", &self.round)
+            .field("buffered", &self.buffer.len())
+            .field("filter", &self.filter.name())
+            .field("aggregator", &self.aggregator.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncfl_core::aggregation::MeanAggregator;
+    use asyncfl_core::update::PassthroughFilter;
+    use asyncfl_core::AsyncFilter;
+
+    fn server(bound: usize, limit: u64) -> BufferedServer {
+        BufferedServer::new(
+            Vector::zeros(2),
+            bound,
+            limit,
+            Box::new(PassthroughFilter),
+            Box::new(MeanAggregator::new()),
+        )
+    }
+
+    fn upd(client: usize, base_round: u64, delta: &[f64]) -> ClientUpdate {
+        let base = Vector::zeros(delta.len());
+        ClientUpdate::from_delta(client, base_round, 0, &base, Vector::from(delta), 10)
+    }
+
+    #[test]
+    fn aggregates_exactly_at_bound() {
+        let mut s = server(3, 20);
+        assert!(s.receive(upd(0, 0, &[3.0, 0.0])).is_none());
+        assert!(s.receive(upd(1, 0, &[0.0, 3.0])).is_none());
+        let report = s
+            .receive(upd(2, 0, &[3.0, 3.0]))
+            .expect("third update triggers");
+        assert_eq!(report.round_completed, 0);
+        assert_eq!(report.accepted, 3);
+        assert_eq!(s.round(), 1);
+        assert_eq!(s.buffer_len(), 0);
+        // Mean delta applied: (3+0+3)/3 = 2, (0+3+3)/3 = 2.
+        assert_eq!(s.global().as_slice(), &[2.0, 2.0]);
+        assert_eq!(s.received(), 3);
+    }
+
+    #[test]
+    fn stale_reports_discarded_on_receipt() {
+        let mut s = server(2, 1);
+        // Advance to round 3 quickly.
+        for r in 0..3 {
+            s.receive(upd(0, r, &[0.0, 0.0]));
+            s.receive(upd(1, r, &[0.0, 0.0]));
+        }
+        assert_eq!(s.round(), 3);
+        // A report based on round 0 has staleness 3 > limit 1.
+        assert!(s.receive(upd(2, 0, &[1.0, 1.0])).is_none());
+        assert_eq!(s.discarded_stale(), 1);
+        assert_eq!(s.buffer_len(), 0);
+    }
+
+    #[test]
+    fn staleness_recomputed_against_current_round() {
+        let mut s = server(2, 20);
+        for r in 0..2 {
+            s.receive(upd(0, r, &[0.0, 0.0]));
+            s.receive(upd(1, r, &[0.0, 0.0]));
+        }
+        assert_eq!(s.round(), 2);
+        s.receive(upd(2, 1, &[0.0, 0.0]));
+        assert_eq!(*s.staleness_histogram().get(&1).unwrap(), 1);
+    }
+
+    #[test]
+    fn deferred_updates_rebuffered() {
+        // AsyncFilter with default Defer policy: craft a middle tier.
+        let mut s = BufferedServer::new(
+            Vector::zeros(1),
+            9,
+            20,
+            Box::new(AsyncFilter::default()),
+            Box::new(MeanAggregator::new()),
+        );
+        for i in 0..6 {
+            s.receive(upd(i, 0, &[1.0 + 0.01 * i as f64]));
+        }
+        s.receive(upd(6, 0, &[3.0]));
+        s.receive(upd(7, 0, &[3.1]));
+        let report = s.receive(upd(8, 0, &[8.0])).expect("bound reached");
+        assert!(report.deferred > 0, "{report:?}");
+        assert_eq!(s.buffer_len(), report.deferred);
+        assert_eq!(s.round(), 1);
+    }
+
+    #[test]
+    fn empty_aggregation_leaves_global_unchanged() {
+        let mut s = server(5, 20);
+        let report = s.aggregate_now();
+        assert_eq!(report.accepted, 0);
+        assert_eq!(s.global().as_slice(), &[0.0, 0.0]);
+        assert_eq!(s.round(), 1);
+    }
+
+    #[test]
+    fn detection_stats_flow_through() {
+        let mut s = BufferedServer::new(
+            Vector::zeros(1),
+            10,
+            20,
+            Box::new(AsyncFilter::default()),
+            Box::new(MeanAggregator::new()),
+        );
+        for i in 0..9 {
+            s.receive(upd(i, 0, &[1.0 + 0.001 * i as f64]));
+        }
+        let poisoned = upd(9, 0, &[500.0]).with_truth_malicious(true);
+        s.receive(poisoned).expect("bound reached");
+        let d = s.detection();
+        assert_eq!(d.true_positives, 1);
+        assert_eq!(d.false_positives, 0);
+    }
+
+    #[test]
+    fn debug_format_mentions_filter() {
+        let s = server(3, 20);
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("FedBuff"));
+        assert!(dbg.contains("mean"));
+        assert_eq!(s.filter_name(), "FedBuff");
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregation_bound")]
+    fn zero_bound_panics() {
+        let _ = server(0, 20);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Under any stream of reports: the round counter only moves
+            /// forward, the buffer stays strictly below the bound between
+            /// calls, staleness-histogram keys respect the limit, and the
+            /// receive/discard accounting balances.
+            #[test]
+            fn prop_server_invariants(
+                reports in proptest::collection::vec((0usize..8, 0u64..6, -5.0..5.0f64), 1..60),
+                bound in 2usize..6,
+                limit in 0u64..4,
+            ) {
+                let mut s = server(bound, limit);
+                let mut last_round = 0;
+                for (client, base_lag, value) in reports {
+                    // base_round at most the current round (clients cannot
+                    // train on future models).
+                    let base_round = s.round().saturating_sub(base_lag);
+                    let _ = s.receive(upd(client, base_round, &[value, -value]));
+                    prop_assert!(s.round() >= last_round);
+                    last_round = s.round();
+                    prop_assert!(s.buffer_len() < bound);
+                    prop_assert!(s.staleness_histogram().keys().all(|&t| t <= limit));
+                }
+                let buffered: u64 = s.staleness_histogram().values().sum();
+                prop_assert!(buffered + s.discarded_stale() >= s.received()
+                    || buffered <= s.received());
+                prop_assert!(s.global().is_finite());
+            }
+
+            /// Aggregating with finite inputs keeps the global model finite.
+            #[test]
+            fn prop_global_stays_finite(
+                deltas in proptest::collection::vec(-100.0..100.0f64, 4..20),
+            ) {
+                let mut s = server(2, 20);
+                for (i, &d) in deltas.iter().enumerate() {
+                    let _ = s.receive(upd(i, s.round(), &[d, d * 0.5]));
+                }
+                prop_assert!(s.global().is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Random parameter initializers.
+//!
+//! These mirror the schemes PyTorch uses for the paper's LeNet-5 / VGG-16
+//! models: uniform Glorot/Xavier for linear stacks and He (Kaiming) for
+//! ReLU networks. All initializers take the RNG explicitly so experiments
+//! stay seed-reproducible.
+
+use crate::{Matrix, Vector};
+use rand::{Rng, RngExt};
+
+/// Samples a matrix with entries uniform in `[-limit, limit]`.
+pub fn uniform_matrix<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    limit: f64,
+) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-limit..=limit))
+}
+
+/// Samples a vector with entries uniform in `[-limit, limit]`.
+pub fn uniform_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize, limit: f64) -> Vector {
+    Vector::from_fn(dim, |_| rng.random_range(-limit..=limit))
+}
+
+/// Xavier/Glorot-uniform initializer for a `fan_out × fan_in` weight matrix:
+/// entries uniform in `[-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out))]`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_out: usize, fan_in: usize) -> Matrix {
+    assert!(fan_in + fan_out > 0, "xavier_uniform: zero fan sizes");
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    uniform_matrix(rng, fan_out, fan_in, limit)
+}
+
+/// He/Kaiming-uniform initializer for ReLU layers: entries uniform in
+/// `[-√(6/fan_in), +√(6/fan_in)]`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_uniform<R: Rng + ?Sized>(rng: &mut R, fan_out: usize, fan_in: usize) -> Matrix {
+    assert!(fan_in > 0, "he_uniform: zero fan_in");
+    let limit = (6.0 / fan_in as f64).sqrt();
+    uniform_matrix(rng, fan_out, fan_in, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform_matrix(&mut rng, 10, 10, 0.5);
+        assert!(m.as_slice().iter().all(|x| x.abs() <= 0.5));
+        let v = uniform_vector(&mut rng, 50, 2.0);
+        assert!(v.iter().all(|x| x.abs() <= 2.0));
+    }
+
+    #[test]
+    fn xavier_limit_formula() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = xavier_uniform(&mut rng, 4, 8);
+        let limit = (6.0f64 / 12.0).sqrt();
+        assert!(m.as_slice().iter().all(|x| x.abs() <= limit));
+        assert_eq!((m.rows(), m.cols()), (4, 8));
+    }
+
+    #[test]
+    fn he_limit_formula() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = he_uniform(&mut rng, 4, 6);
+        let limit = (6.0f64 / 6.0).sqrt();
+        assert!(m.as_slice().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(42), 5, 5);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(42), 5, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in")]
+    fn he_zero_fan_in_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = he_uniform(&mut rng, 4, 0);
+    }
+
+    #[test]
+    fn init_is_not_degenerate() {
+        // All-zero init would break symmetry-dependent training.
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = xavier_uniform(&mut rng, 8, 8);
+        assert!(m.frobenius_norm() > 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Dense linear-algebra substrate for the AsyncFilter reproduction.
+//!
+//! The AsyncFilter stack (`asyncfl-core`, `asyncfl-ml`, …) manipulates
+//! model parameters and model *updates* as flat dense vectors, and model
+//! layers as dense matrices. This crate provides exactly that: a small,
+//! dependency-light set of `f64` kernels tuned for clarity and testability
+//! rather than SIMD peak throughput.
+//!
+//! # Overview
+//!
+//! * [`Vector`] — an owned dense vector with the arithmetic the
+//!   federated-learning stack needs (`axpy`, dot products, norms, scaling).
+//! * [`Matrix`] — a row-major dense matrix with matrix–vector products and
+//!   rank-1 updates, enough to express linear and MLP layers by hand.
+//! * [`ops`] — free functions on slices: softmax, log-sum-exp, argmax,
+//!   cosine similarity, clipping.
+//! * [`stats`] — summary statistics over collections of vectors
+//!   (mean, coordinate-wise median and trimmed mean, variance), used both by
+//!   baseline robust aggregators and by test assertions.
+//! * [`init`] — random parameter initializers (uniform Xavier/Glorot, He).
+//!
+//! # Example
+//!
+//! ```
+//! use asyncfl_tensor::{Vector, Matrix};
+//!
+//! let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let x = Vector::from(vec![1.0, 1.0]);
+//! let y = w.matvec(&x);
+//! assert_eq!(y.as_slice(), &[3.0, 7.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod stats;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use vector::Vector;

@@ -1,0 +1,229 @@
+//! Free numeric functions on slices.
+//!
+//! These helpers implement the handful of numerically-sensitive operations
+//! shared across the ML substrate (softmax classifiers) and the defense
+//! stack (cosine similarity used by Zeno++-style baselines).
+
+use crate::Vector;
+
+/// Numerically stable log-sum-exp: `ln(Σ exp(xᵢ))`.
+///
+/// Returns negative infinity for an empty slice (the empty sum).
+///
+/// ```
+/// use asyncfl_tensor::ops::log_sum_exp;
+/// let lse = log_sum_exp(&[0.0, 0.0]);
+/// assert!((lse - (2.0f64).ln()).abs() < 1e-12);
+/// ```
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = xs.iter().map(|x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Numerically stable softmax. The output sums to 1 for non-empty input.
+///
+/// ```
+/// use asyncfl_tensor::ops::softmax;
+/// let p = softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let lse = log_sum_exp(xs);
+    xs.iter().map(|x| (x - lse).exp()).collect()
+}
+
+/// Stable log-softmax: `xᵢ − log_sum_exp(x)`.
+pub fn log_softmax(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let lse = log_sum_exp(xs);
+    xs.iter().map(|x| x - lse).collect()
+}
+
+/// Index of the maximum element; ties break toward the lower index.
+///
+/// Returns `None` for an empty slice.
+///
+/// ```
+/// use asyncfl_tensor::ops::argmax;
+/// assert_eq!(argmax(&[0.1, 0.7, 0.2]), Some(1));
+/// assert_eq!(argmax(&[]), None);
+/// ```
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element; ties break toward the lower index.
+///
+/// Returns `None` for an empty slice.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            Some((_, b)) if x >= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Cosine similarity between two vectors, in `[-1, 1]`.
+///
+/// Returns `0.0` if either vector has zero norm (the convention used by
+/// Zeno++-style filters: a zero update carries no directional information).
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn cosine_similarity(a: &Vector, b: &Vector) -> f64 {
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (a.dot(b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Relative error `|a − b| / max(|a|, |b|, eps)`, useful in tests and
+/// convergence checks.
+pub fn relative_error(a: f64, b: f64, eps: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(eps)
+}
+
+/// Clips `x` to the closed interval `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn clip(x: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "clip: lo ({lo}) must not exceed hi ({hi})");
+    x.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn log_sum_exp_stability() {
+        // Would overflow naively.
+        let lse = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((lse - (1000.0 + (2.0f64).ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_extreme_logits() {
+        let p = softmax(&[-1e4, 0.0, 1e4]);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_softmax_consistency() {
+        let xs = [0.3, -0.2, 1.5];
+        let ls = log_softmax(&xs);
+        let p = softmax(&xs);
+        for (a, b) in ls.iter().zip(&p) {
+            assert!((a.exp() - b).abs() < 1e-12);
+        }
+        assert!(log_softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn argmax_argmin_ties_and_empty() {
+        assert_eq!(argmax(&[1.0, 1.0]), Some(0));
+        assert_eq!(argmin(&[1.0, 1.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[3.0, -1.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn cosine_similarity_basics() {
+        let a = Vector::from(vec![1.0, 0.0]);
+        let b = Vector::from(vec![0.0, 1.0]);
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&a, &(-&a)) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&a, &Vector::zeros(2)), 0.0);
+    }
+
+    #[test]
+    fn relative_error_and_clip() {
+        assert!(relative_error(1.0, 1.0, 1e-9) < 1e-12);
+        assert!((relative_error(2.0, 1.0, 1e-9) - 0.5).abs() < 1e-12);
+        assert_eq!(clip(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clip(-5.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn clip_invalid_panics() {
+        clip(0.0, 1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_softmax_is_distribution(xs in proptest::collection::vec(-50.0..50.0f64, 1..16)) {
+            let p = softmax(&xs);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+
+        #[test]
+        fn prop_softmax_shift_invariant(
+            xs in proptest::collection::vec(-50.0..50.0f64, 1..16),
+            shift in -100.0..100.0f64,
+        ) {
+            let p1 = softmax(&xs);
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            let p2 = softmax(&shifted);
+            for (a, b) in p1.iter().zip(&p2) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_cosine_bounded(
+            xs in proptest::collection::vec(-1e3..1e3f64, 1..16),
+            ys in proptest::collection::vec(-1e3..1e3f64, 1..16),
+        ) {
+            let n = xs.len().min(ys.len());
+            let a = Vector::from(&xs[..n]);
+            let b = Vector::from(&ys[..n]);
+            let c = cosine_similarity(&a, &b);
+            prop_assert!((-1.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn prop_argmax_is_max(xs in proptest::collection::vec(-1e3..1e3f64, 1..32)) {
+            let i = argmax(&xs).unwrap();
+            prop_assert!(xs.iter().all(|&x| x <= xs[i]));
+        }
+    }
+}

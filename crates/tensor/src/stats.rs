@@ -1,0 +1,286 @@
+//! Summary statistics over scalars and collections of vectors.
+//!
+//! The robust-aggregation baselines (coordinate-wise Median and Trimmed-Mean,
+//! Yin et al. 2018) are thin wrappers over these kernels; the attack
+//! implementations (LIE, Min-Max, Min-Sum) use the per-coordinate mean and
+//! standard deviation of benign updates.
+
+use crate::Vector;
+
+/// Arithmetic mean of a scalar slice; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance of a scalar slice; `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a scalar slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median of a scalar slice; `0.0` for an empty slice. Uses the midpoint of
+/// the two central order statistics for even lengths.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Mean vector of a collection of equal-dimension vectors.
+///
+/// Returns `None` for an empty collection.
+///
+/// # Panics
+///
+/// Panics if the vectors have differing dimensions.
+pub fn mean_vector(vectors: &[Vector]) -> Option<Vector> {
+    let first = vectors.first()?;
+    let mut acc = Vector::zeros(first.len());
+    for v in vectors {
+        acc.axpy(1.0, v);
+    }
+    acc.scale(1.0 / vectors.len() as f64);
+    Some(acc)
+}
+
+/// Coordinate-wise standard deviation of a collection of vectors.
+///
+/// Returns `None` for an empty collection. With a single vector the result is
+/// the zero vector.
+///
+/// # Panics
+///
+/// Panics if the vectors have differing dimensions.
+pub fn std_vector(vectors: &[Vector]) -> Option<Vector> {
+    let mu = mean_vector(vectors)?;
+    let n = vectors.len() as f64;
+    let mut acc = Vector::zeros(mu.len());
+    for v in vectors {
+        let d = v - &mu;
+        acc.axpy(1.0, &d.hadamard(&d));
+    }
+    acc.scale(1.0 / n);
+    acc.map_in_place(f64::sqrt);
+    Some(acc)
+}
+
+/// Coordinate-wise median of a collection of vectors (the Median aggregation
+/// rule of Yin et al. 2018).
+///
+/// Returns `None` for an empty collection.
+///
+/// # Panics
+///
+/// Panics if the vectors have differing dimensions or contain NaN.
+pub fn median_vector(vectors: &[Vector]) -> Option<Vector> {
+    let first = vectors.first()?;
+    let dim = first.len();
+    let mut column = vec![0.0; vectors.len()];
+    let mut out = Vector::zeros(dim);
+    for d in 0..dim {
+        for (i, v) in vectors.iter().enumerate() {
+            column[i] = v[d];
+        }
+        out[d] = median(&column);
+    }
+    Some(out)
+}
+
+/// Coordinate-wise β-trimmed mean (the Trimmed-Mean aggregation rule of Yin
+/// et al. 2018): for each coordinate, drop the `trim` largest and `trim`
+/// smallest values, then average the rest.
+///
+/// Returns `None` for an empty collection.
+///
+/// # Panics
+///
+/// Panics if `2 * trim >= vectors.len()` (nothing would remain), if the
+/// vectors have differing dimensions, or if any value is NaN.
+pub fn trimmed_mean_vector(vectors: &[Vector], trim: usize) -> Option<Vector> {
+    let first = vectors.first()?;
+    assert!(
+        2 * trim < vectors.len(),
+        "trimmed_mean: trim {trim} leaves no samples out of {}",
+        vectors.len()
+    );
+    let dim = first.len();
+    let mut column = vec![0.0; vectors.len()];
+    let mut out = Vector::zeros(dim);
+    let kept = vectors.len() - 2 * trim;
+    for d in 0..dim {
+        for (i, v) in vectors.iter().enumerate() {
+            column[i] = v[d];
+        }
+        column.sort_by(|a, b| a.partial_cmp(b).expect("trimmed_mean: NaN in input"));
+        out[d] = column[trim..vectors.len() - trim].iter().sum::<f64>() / kept as f64;
+    }
+    Some(out)
+}
+
+/// Weighted mean of vectors with the given nonnegative weights.
+///
+/// Weights are normalized internally; a zero weight-sum yields the zero
+/// vector. Returns `None` for an empty collection.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != vectors.len()` or dimensions differ.
+pub fn weighted_mean_vector(vectors: &[Vector], weights: &[f64]) -> Option<Vector> {
+    let first = vectors.first()?;
+    assert_eq!(
+        vectors.len(),
+        weights.len(),
+        "weighted_mean: {} vectors but {} weights",
+        vectors.len(),
+        weights.len()
+    );
+    let total: f64 = weights.iter().sum();
+    let mut acc = Vector::zeros(first.len());
+    if total <= 0.0 {
+        return Some(acc);
+    }
+    for (v, &w) in vectors.iter().zip(weights) {
+        acc.axpy(w / total, v);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vecs(rows: &[&[f64]]) -> Vec<Vector> {
+        rows.iter().map(|r| Vector::from(*r)).collect()
+    }
+
+    #[test]
+    fn scalar_stats() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn mean_vector_basics() {
+        assert_eq!(mean_vector(&[]), None);
+        let m = mean_vector(&vecs(&[&[1.0, 0.0], &[3.0, 2.0]])).unwrap();
+        assert_eq!(m.as_slice(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn std_vector_basics() {
+        assert_eq!(std_vector(&[]), None);
+        let s = std_vector(&vecs(&[&[1.0, 5.0], &[3.0, 5.0]])).unwrap();
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert_eq!(s[1], 0.0);
+    }
+
+    #[test]
+    fn median_vector_resists_outlier() {
+        let vs = vecs(&[&[1.0], &[2.0], &[1000.0]]);
+        let m = median_vector(&vs).unwrap();
+        assert_eq!(m[0], 2.0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let vs = vecs(&[&[-100.0], &[1.0], &[2.0], &[3.0], &[100.0]]);
+        let m = trimmed_mean_vector(&vs, 1).unwrap();
+        assert_eq!(m[0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim")]
+    fn trimmed_mean_overtrim_panics() {
+        let vs = vecs(&[&[1.0], &[2.0]]);
+        let _ = trimmed_mean_vector(&vs, 1);
+    }
+
+    #[test]
+    fn weighted_mean_normalizes() {
+        let vs = vecs(&[&[0.0], &[10.0]]);
+        let m = weighted_mean_vector(&vs, &[1.0, 3.0]).unwrap();
+        assert!((m[0] - 7.5).abs() < 1e-12);
+        let z = weighted_mean_vector(&vs, &[0.0, 0.0]).unwrap();
+        assert_eq!(z[0], 0.0);
+        assert_eq!(weighted_mean_vector(&[], &[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_median_between_min_max(xs in proptest::collection::vec(-1e6..1e6f64, 1..64)) {
+            let m = median(&xs);
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo && m <= hi);
+        }
+
+        #[test]
+        fn prop_mean_vector_is_minimizer_gradient_zero(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-100.0..100.0f64, 4), 1..16),
+        ) {
+            // The mean minimizes sum of squared distances: gradient Σ (m - xᵢ) = 0.
+            let vs: Vec<Vector> = rows.into_iter().map(Vector::from).collect();
+            let m = mean_vector(&vs).unwrap();
+            let mut grad = Vector::zeros(4);
+            for v in &vs {
+                grad += &(&m - v);
+            }
+            prop_assert!(grad.norm() < 1e-6);
+        }
+
+        #[test]
+        fn prop_trimmed_mean_trim_zero_equals_mean(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-100.0..100.0f64, 3), 1..16),
+        ) {
+            let vs: Vec<Vector> = rows.into_iter().map(Vector::from).collect();
+            let a = trimmed_mean_vector(&vs, 0).unwrap();
+            let b = mean_vector(&vs).unwrap();
+            prop_assert!(a.distance(&b) < 1e-9);
+        }
+
+        #[test]
+        fn prop_weighted_mean_uniform_weights_equals_mean(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-100.0..100.0f64, 3), 1..16),
+        ) {
+            let vs: Vec<Vector> = rows.into_iter().map(Vector::from).collect();
+            let w = vec![1.0; vs.len()];
+            let a = weighted_mean_vector(&vs, &w).unwrap();
+            let b = mean_vector(&vs).unwrap();
+            prop_assert!(a.distance(&b) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Why staleness grouping works: the update-geometry observation behind
+//! the paper's Figs. 3–4.
+//!
+//! Records one aggregation's worth of local updates from a benign run,
+//! embeds them with PCA + t-SNE, and prints the per-staleness-group
+//! structure: same-staleness updates cluster around a common center, and
+//! non-IID data widens each cluster without destroying the grouping.
+//!
+//! ```text
+//! cargo run --release --example update_geometry
+//! ```
+
+use asyncfilter::analysis::experiment::RecordingFilter;
+use asyncfilter::analysis::{pca, tsne};
+use asyncfilter::prelude::*;
+
+fn structure(partitioner: Partitioner, label: &str) {
+    let mut config = SimConfig::paper_default(DatasetProfile::Mnist);
+    config.num_clients = 60;
+    config.num_malicious = 0;
+    config.aggregation_bound = 24;
+    config.rounds = 8;
+    config.test_samples = 500;
+    config.partitioner = partitioner;
+
+    let recorder = RecordingFilter::new();
+    let log = recorder.log_handle();
+    Simulation::new(config).run(Box::new(recorder), AttackKind::None);
+
+    let records = log.lock().clone();
+    let last = records.iter().map(|r| r.round).max().unwrap_or(0);
+    let snapshot: Vec<_> = records.into_iter().filter(|r| r.round == last).collect();
+    let points: Vec<Vector> = snapshot.iter().map(|r| r.params.clone()).collect();
+
+    let comps = 10.min(points.len().saturating_sub(1)).max(1);
+    let reduced = pca::project(&points, comps, 1);
+    let reduced: Vec<Vector> = (0..reduced.rows())
+        .map(|r| Vector::from(reduced.row(r)))
+        .collect();
+    let emb = tsne::embed(
+        &reduced,
+        &tsne::TsneConfig {
+            perplexity: 8.0,
+            iterations: 250,
+            ..Default::default()
+        },
+    );
+
+    println!("-- {label}: {} updates at round {last} --", emb.len());
+    let mut taus: Vec<u64> = snapshot.iter().map(|r| r.staleness).collect();
+    taus.sort_unstable();
+    taus.dedup();
+    for tau in taus {
+        let members: Vec<usize> = snapshot
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.staleness == tau)
+            .map(|(i, _)| i)
+            .collect();
+        let n = members.len() as f64;
+        let cx = members.iter().map(|&i| emb[i].0).sum::<f64>() / n;
+        let cy = members.iter().map(|&i| emb[i].1).sum::<f64>() / n;
+        let spread = members
+            .iter()
+            .map(|&i| ((emb[i].0 - cx).powi(2) + (emb[i].1 - cy).powi(2)).sqrt())
+            .sum::<f64>()
+            / n;
+        println!(
+            "  τ = {tau}: {:>3} updates, embedding centroid ({cx:7.2}, {cy:7.2}), spread {spread:6.2}",
+            members.len()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("== update geometry: staleness clusters (mini Figs. 3-4) ==\n");
+    structure(Partitioner::iid(), "IID (Fig. 3 analogue)");
+    structure(
+        Partitioner::dirichlet(0.01),
+        "non-IID Dirichlet(0.01) (Fig. 4 analogue)",
+    );
+    println!(
+        "Same-staleness updates share a centroid; non-IID data widens each \
+         cluster — exactly the structure AsyncFilter's staleness grouping \
+         (eq. 4) exploits."
+    );
+}

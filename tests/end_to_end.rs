@@ -1,0 +1,126 @@
+//! End-to-end integration tests spanning every crate: data → ml → sim →
+//! attacks → defense.
+
+use asyncfilter::prelude::*;
+
+fn small_config() -> SimConfig {
+    let mut cfg = SimConfig::smoke_test();
+    cfg.num_clients = 16;
+    cfg.num_malicious = 4;
+    cfg.aggregation_bound = 8;
+    cfg.rounds = 10;
+    cfg.test_samples = 400;
+    cfg
+}
+
+#[test]
+fn full_pipeline_benign_run_learns() {
+    let mut sim = Simulation::new(small_config());
+    let result = sim.run(Box::new(PassthroughFilter), AttackKind::None);
+    assert!(
+        result.final_accuracy > 0.6,
+        "accuracy {}",
+        result.final_accuracy
+    );
+    assert_eq!(result.rounds_completed, 10);
+    assert!(result.updates_received >= 80);
+}
+
+#[test]
+fn gd_attack_hurts_and_asyncfilter_recovers() {
+    let undefended =
+        Simulation::new(small_config()).run(Box::new(PassthroughFilter), AttackKind::Gd);
+    let defended =
+        Simulation::new(small_config()).run(Box::new(AsyncFilter::default()), AttackKind::Gd);
+    let benign = Simulation::new(small_config()).run(Box::new(PassthroughFilter), AttackKind::None);
+    assert!(
+        undefended.final_accuracy < benign.final_accuracy - 0.15,
+        "GD had no bite: benign {} vs attacked {}",
+        benign.final_accuracy,
+        undefended.final_accuracy
+    );
+    assert!(
+        defended.final_accuracy > undefended.final_accuracy + 0.1,
+        "no recovery: defended {} vs undefended {}",
+        defended.final_accuracy,
+        undefended.final_accuracy
+    );
+}
+
+#[test]
+fn every_attack_kind_runs_under_every_defense() {
+    for attack in AttackKind::TABLE_ORDER {
+        for filter in [
+            Box::new(PassthroughFilter) as Box<dyn UpdateFilter>,
+            Box::new(AsyncFilter::default()),
+            Box::new(FlDetector::default()),
+        ] {
+            let mut cfg = small_config();
+            cfg.rounds = 3;
+            let result = Simulation::new(cfg).run(filter, attack);
+            assert_eq!(result.rounds_completed, 3, "{attack} did not finish");
+            assert!(result.final_accuracy.is_finite());
+        }
+    }
+}
+
+#[test]
+fn whole_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut sim = Simulation::new(small_config().with_seed(seed));
+        sim.run(Box::new(AsyncFilter::default()), AttackKind::MinMax)
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5).final_accuracy, run(6).final_accuracy);
+}
+
+#[test]
+fn no_attack_accuracy_preserved_by_asyncfilter() {
+    let fedbuff =
+        Simulation::new(small_config()).run(Box::new(PassthroughFilter), AttackKind::None);
+    let filtered =
+        Simulation::new(small_config()).run(Box::new(AsyncFilter::default()), AttackKind::None);
+    assert!(
+        filtered.final_accuracy > fedbuff.final_accuracy - 0.1,
+        "AsyncFilter costs too much without attackers: {} vs {}",
+        filtered.final_accuracy,
+        fedbuff.final_accuracy
+    );
+}
+
+#[test]
+fn detection_stats_track_ground_truth() {
+    let mut cfg = small_config();
+    cfg.rounds = 12;
+    let result = Simulation::new(cfg).run(Box::new(AsyncFilter::default()), AttackKind::Gd);
+    let d = result.detection;
+    assert!(d.total() > 0);
+    // Under a blatant attack the filter should reject malicious updates with
+    // useful precision.
+    assert!(d.true_positives > 0, "never caught a GD update: {d:?}");
+    assert!(d.precision() > 0.5, "precision {} ({d:?})", d.precision());
+}
+
+#[test]
+fn threaded_engine_and_des_agree_on_learnability() {
+    let mut cfg = small_config();
+    cfg.rounds = 6;
+    let des = Simulation::new(cfg.clone()).run(Box::new(AsyncFilter::default()), AttackKind::None);
+    let threaded = run_threaded(cfg, Box::new(AsyncFilter::default()), AttackKind::None);
+    assert!(des.final_accuracy > 0.5);
+    assert!(threaded.final_accuracy > 0.5);
+    assert!(threaded.rounds_completed >= 6);
+}
+
+#[test]
+fn staleness_limit_bounds_buffered_updates() {
+    let mut cfg = small_config();
+    cfg.staleness_limit = 2;
+    cfg.zipf_levels = 8; // more stragglers → more discards
+    let result = Simulation::new(cfg).run(Box::new(PassthroughFilter), AttackKind::None);
+    assert!(result.staleness_histogram.keys().all(|&tau| tau <= 2));
+    assert!(
+        result.updates_discarded_stale > 0,
+        "expected some stale discards with limit 2"
+    );
+}

@@ -1,0 +1,181 @@
+//! The "plug-and-play" contract: third-party filters and alternative
+//! aggregation rules drop into the runtime without touching it.
+
+use asyncfilter::core::aggregation::{
+    Aggregator, KrumAggregator, MeanAggregator, MedianAggregator, TrimmedMeanAggregator,
+};
+use asyncfilter::core::zeno::{AflGuard, ZenoPlusPlus};
+use asyncfilter::prelude::*;
+use asyncfilter::sim::runner::build_attack;
+
+fn small_config() -> SimConfig {
+    let mut cfg = SimConfig::smoke_test();
+    cfg.rounds = 6;
+    cfg.test_samples = 400;
+    cfg
+}
+
+/// A deliberately trivial third-party filter: accepts everything but counts
+/// calls — proves the trait boundary is all a defense needs.
+struct CountingFilter {
+    calls: usize,
+}
+
+impl UpdateFilter for CountingFilter {
+    fn name(&self) -> &str {
+        "Counting"
+    }
+
+    fn filter(&mut self, updates: Vec<ClientUpdate>, _ctx: &FilterContext<'_>) -> FilterOutcome {
+        self.calls += 1;
+        FilterOutcome::accept_all(updates)
+    }
+}
+
+#[test]
+fn custom_filter_plugs_into_the_server() {
+    let mut sim = Simulation::new(small_config());
+    let result = sim.run(Box::new(CountingFilter { calls: 0 }), AttackKind::None);
+    assert_eq!(result.rounds_completed, 6);
+    assert!(result.final_accuracy > 0.4);
+}
+
+#[test]
+fn alternative_aggregators_run_end_to_end() {
+    let aggregators: Vec<Box<dyn Aggregator>> = vec![
+        Box::new(MeanAggregator::new()),
+        Box::new(MeanAggregator::with_polynomial_staleness(0.5)),
+        Box::new(MedianAggregator),
+        Box::new(TrimmedMeanAggregator::new(0.2)),
+        Box::new(KrumAggregator::multi(3, 4)),
+    ];
+    for aggregator in aggregators {
+        let name = aggregator.name().to_string();
+        let mut sim = Simulation::new(small_config());
+        let attack = build_attack(AttackKind::None, 16, 3);
+        let result = sim.run_with(Box::new(PassthroughFilter), attack, aggregator);
+        assert!(
+            result.final_accuracy > 0.3,
+            "{name}: accuracy {}",
+            result.final_accuracy
+        );
+    }
+}
+
+#[test]
+fn robust_aggregators_resist_gd_better_than_mean() {
+    let mut cfg = small_config();
+    cfg.rounds = 10;
+    cfg.num_malicious = 4;
+    let run = |aggregator: Box<dyn Aggregator>| {
+        let mut sim = Simulation::new(cfg.clone());
+        let attack = build_attack(AttackKind::Gd, cfg.num_clients, cfg.num_malicious);
+        sim.run_with(Box::new(PassthroughFilter), attack, aggregator)
+            .final_accuracy
+    };
+    let mean = run(Box::new(MeanAggregator::new()));
+    let median = run(Box::new(MedianAggregator));
+    assert!(
+        median > mean + 0.1,
+        "median ({median}) should beat mean ({mean}) under GD"
+    );
+}
+
+#[test]
+fn clean_dataset_baselines_need_a_root_dataset() {
+    // Without a server root dataset the prior-work defenses degrade to
+    // passthrough (the paper's point about their assumption).
+    let mut sim = Simulation::new(small_config());
+    let blind = sim.run(Box::new(ZenoPlusPlus::new()), AttackKind::Gd);
+    let mut with_root = small_config();
+    with_root.server_root_samples = 128;
+    with_root.rounds = 10;
+    let mut sim = Simulation::new(with_root.clone());
+    let zeno = sim.run(Box::new(ZenoPlusPlus::new()), AttackKind::Gd);
+    let mut sim = Simulation::new(with_root);
+    let guard = sim.run(Box::new(AflGuard::default()), AttackKind::Gd);
+    // With a trusted dataset, both filter effectively under GD.
+    assert!(
+        zeno.final_accuracy > blind.final_accuracy,
+        "Zeno++ with root data ({}) should beat blind ({})",
+        zeno.final_accuracy,
+        blind.final_accuracy
+    );
+    assert!(zeno.detection.recall() > 0.5, "{:?}", zeno.detection);
+    assert!(guard.detection.recall() > 0.5, "{:?}", guard.detection);
+}
+
+#[test]
+fn asyncfilter_variants_construct_and_run() {
+    use asyncfilter::core::asyncfilter::{
+        AsyncFilterConfig, MovingAverageMode, ScoreNormalization,
+    };
+    let variants = [
+        AsyncFilterConfig::default(),
+        AsyncFilterConfig::two_means(),
+        AsyncFilterConfig {
+            middle_policy: MiddlePolicy::Accept,
+            ..Default::default()
+        },
+        AsyncFilterConfig {
+            middle_policy: MiddlePolicy::Reject,
+            ..Default::default()
+        },
+        AsyncFilterConfig {
+            ma_mode: MovingAverageMode::RobbinsMonro,
+            ..Default::default()
+        },
+        AsyncFilterConfig {
+            score_normalization: ScoreNormalization::WithinGroup,
+            ..Default::default()
+        },
+        AsyncFilterConfig {
+            score_normalization: ScoreNormalization::CrossGroup,
+            ..Default::default()
+        },
+        AsyncFilterConfig {
+            staleness_bucket: 4,
+            ..Default::default()
+        },
+    ];
+    for config in variants {
+        let mut cfg = small_config();
+        cfg.rounds = 4;
+        let label = format!("{config:?}");
+        let mut sim = Simulation::new(cfg);
+        let result = sim.run(Box::new(AsyncFilter::new(config)), AttackKind::Gd);
+        assert_eq!(result.rounds_completed, 4, "{label}");
+        assert!(result.final_accuracy.is_finite(), "{label}");
+    }
+}
+
+#[test]
+fn reputation_wrapper_bans_persistent_attackers() {
+    use asyncfilter::core::reputation::ReputationFilter;
+    let mut cfg = small_config();
+    cfg.rounds = 12;
+    cfg.num_malicious = 4;
+    let mut sim = Simulation::new(cfg);
+    let filter = ReputationFilter::new(Box::new(AsyncFilter::default()), 3, 20);
+    let result = sim.run(Box::new(filter), AttackKind::Gd);
+    // Banned attackers are auto-rejected, so recall should be healthy by
+    // the end of the run.
+    assert!(
+        result.detection.recall() > 0.3,
+        "reputation recall {} ({:?})",
+        result.detection.recall(),
+        result.detection
+    );
+    assert_eq!(result.rounds_completed, 12);
+}
+
+#[test]
+fn run_result_round_reports_cover_every_round() {
+    let mut cfg = small_config();
+    cfg.rounds = 6;
+    let result = Simulation::new(cfg).run(Box::new(AsyncFilter::default()), AttackKind::Gd);
+    assert_eq!(result.round_reports.len(), 6);
+    for &(accepted, rejected, deferred) in &result.round_reports {
+        assert!(accepted + rejected + deferred > 0);
+    }
+}
