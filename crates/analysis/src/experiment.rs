@@ -5,6 +5,7 @@
 //! runner fans them out over OS threads (crossbeam scope + work channel).
 
 use asyncfl_attacks::AttackKind;
+use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::asyncfilter::{AsyncFilterConfig, MiddlePolicy};
 use asyncfl_core::fldetector::FlDetectorConfig;
 use asyncfl_core::update::UpdateFilter;
@@ -12,7 +13,8 @@ use asyncfl_core::zeno::{AflGuard, ZenoPlusPlus};
 use asyncfl_core::{AsyncFilter, FlDetector, PassthroughFilter};
 use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::metrics::RunResult;
-use asyncfl_sim::runner::Simulation;
+use asyncfl_sim::runner::{build_attack, Simulation};
+use asyncfl_telemetry::SharedSink;
 use crossbeam::channel;
 
 /// The defenses the evaluation compares.
@@ -228,9 +230,16 @@ impl ExperimentGrid {
 
     /// Runs every cell sequentially (deterministic order).
     pub fn run(&self) -> Vec<GridCell> {
+        self.run_with_sink(None)
+    }
+
+    /// As [`run`](Self::run), with every cell's simulation reporting into
+    /// the given telemetry sink (all cells share it; use the cell order to
+    /// attribute events, or trace one cell at a time).
+    pub fn run_with_sink(&self, sink: Option<SharedSink>) -> Vec<GridCell> {
         self.cells()
             .into_iter()
-            .map(|(defense, attack, seed)| self.run_cell(defense, attack, seed))
+            .map(|(defense, attack, seed)| self.run_cell(defense, attack, seed, sink.clone()))
             .collect()
     }
 
@@ -241,6 +250,20 @@ impl ExperimentGrid {
     ///
     /// Panics if `threads == 0`.
     pub fn run_parallel(&self, threads: usize) -> Vec<GridCell> {
+        self.run_parallel_with_sink(threads, None)
+    }
+
+    /// As [`run_parallel`](Self::run_parallel), with all cells reporting
+    /// into one shared telemetry sink (events interleave across cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_parallel_with_sink(
+        &self,
+        threads: usize,
+        sink: Option<SharedSink>,
+    ) -> Vec<GridCell> {
         assert!(threads > 0, "run_parallel: threads must be positive");
         let cells = self.cells();
         let (task_tx, task_rx) = channel::unbounded::<(usize, (DefenseKind, AttackKind, u64))>();
@@ -253,9 +276,10 @@ impl ExperimentGrid {
             for _ in 0..threads.min(cells.len().max(1)) {
                 let task_rx = task_rx.clone();
                 let result_tx = result_tx.clone();
+                let sink = sink.clone();
                 scope.spawn(move || {
                     while let Ok((idx, (defense, attack, seed))) = task_rx.recv() {
-                        let cell = self.run_cell(defense, attack, seed);
+                        let cell = self.run_cell(defense, attack, seed, sink.clone());
                         result_tx.send((idx, cell)).expect("collector open");
                     }
                 });
@@ -317,10 +341,22 @@ impl ExperimentGrid {
         out
     }
 
-    fn run_cell(&self, defense: DefenseKind, attack: AttackKind, seed: u64) -> GridCell {
+    fn run_cell(
+        &self,
+        defense: DefenseKind,
+        attack: AttackKind,
+        seed: u64,
+        sink: Option<SharedSink>,
+    ) -> GridCell {
         let config = self.config.clone().with_seed(seed);
         let mut sim = Simulation::new(config);
-        let result = sim.run(defense.build(), attack);
+        let built = build_attack(attack, sim.config().num_clients, sim.config().num_malicious);
+        let result = sim.run_with_sink(
+            defense.build(),
+            built,
+            Box::new(MeanAggregator::new()),
+            sink,
+        );
         GridCell {
             defense,
             attack,
@@ -427,7 +463,8 @@ mod tests {
         cfg.rounds = 3;
         let recorder = RecordingFilter::new();
         let log = recorder.log_handle();
-        let result = Simulation::new(cfg).run(Box::new(recorder), asyncfl_attacks::AttackKind::None);
+        let result =
+            Simulation::new(cfg).run(Box::new(recorder), asyncfl_attacks::AttackKind::None);
         let records = log.lock();
         // Every filtered update was recorded (deferred never happens in a
         // passthrough recorder, so filtered == buffered).

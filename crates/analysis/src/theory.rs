@@ -97,11 +97,7 @@ pub fn estimate_constants(observations: &[(usize, Vector)]) -> Option<TheoryCons
         any_multi = true;
         let owned: Vec<Vector> = deltas.iter().map(|d| (*d).clone()).collect();
         let mean = stats::mean_vector(&owned).expect("nonempty");
-        let var = owned
-            .iter()
-            .map(|d| d.distance_squared(&mean))
-            .sum::<f64>()
-            / owned.len() as f64;
+        let var = owned.iter().map(|d| d.distance_squared(&mean)).sum::<f64>() / owned.len() as f64;
         let sigma = var.sqrt();
         sigma_l_min = sigma_l_min.min(sigma);
         sigma_l_max = sigma_l_max.max(sigma);
@@ -156,9 +152,9 @@ mod tests {
             .map(|_| Vector::from_fn(dim, |_| bias * standard_normal(&mut rng)))
             .collect();
         let mut out = Vec::new();
-        for c in 0..clients {
+        for (c, client_bias) in biases.iter().enumerate() {
             for _ in 0..rounds {
-                let mut d = &shared + &biases[c];
+                let mut d = &shared + client_bias;
                 for i in 0..dim {
                     d[i] += noise * standard_normal(&mut rng);
                 }
@@ -207,10 +203,7 @@ mod tests {
         let one = vec![(0, Vector::from(vec![1.0])), (0, Vector::from(vec![1.1]))];
         assert!(estimate_constants(&one).is_none());
         // Zero population mean.
-        let zero = vec![
-            (0, Vector::from(vec![1.0])),
-            (1, Vector::from(vec![-1.0])),
-        ];
+        let zero = vec![(0, Vector::from(vec![1.0])), (1, Vector::from(vec![-1.0]))];
         assert!(estimate_constants(&zero).is_none());
     }
 

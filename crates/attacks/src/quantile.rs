@@ -81,7 +81,6 @@ pub fn normal_quantile(p: f64) -> f64 {
     ];
     const P_LOW: f64 = 0.02425;
 
-    
     if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
         (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])

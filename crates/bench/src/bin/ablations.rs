@@ -5,20 +5,33 @@
 //! columns (the three regimes where the knobs trade off):
 //!
 //! ```text
-//! cargo run --release -p asyncfl-bench --bin ablations [-- --quick]
+//! cargo run --release -p asyncfl-bench --bin ablations [-- --quick] [--trace FILE]
 //! ```
 
 use asyncfl_analysis::report::{pct, Table};
 use asyncfl_attacks::AttackKind;
+use asyncfl_bench::TraceHandle;
+use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::asyncfilter::{
     AsyncFilter, AsyncFilterConfig, MiddlePolicy, MovingAverageMode, ScoreNormalization,
 };
 use asyncfl_data::DatasetProfile;
 use asyncfl_sim::config::SimConfig;
-use asyncfl_sim::runner::Simulation;
+use asyncfl_sim::runner::{build_attack, Simulation};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace = args.iter().position(|a| a == "--trace").map(|i| {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--trace requires a file path");
+            std::process::exit(2);
+        });
+        TraceHandle::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create --trace file {path}: {e}");
+            std::process::exit(1);
+        })
+    });
     let attacks = [AttackKind::None, AttackKind::Gd, AttackKind::MinSum];
 
     let variants: Vec<(&str, AsyncFilterConfig)> = vec![
@@ -108,7 +121,13 @@ fn main() {
                 sim_config.test_samples = 800;
             }
             let mut sim = Simulation::new(sim_config);
-            let result = sim.run(Box::new(AsyncFilter::new(config.clone())), attack);
+            let built = build_attack(attack, sim.config().num_clients, sim.config().num_malicious);
+            let result = sim.run_with_sink(
+                Box::new(AsyncFilter::new(config.clone())),
+                built,
+                Box::new(MeanAggregator::new()),
+                trace.as_ref().map(TraceHandle::sink),
+            );
             row.push(pct(result.final_accuracy));
         }
         table.push_row(label, row);
@@ -116,4 +135,7 @@ fn main() {
     }
     eprintln!();
     println!("{}", table.to_markdown());
+    if let Some(handle) = &trace {
+        print!("{}", handle.finish());
+    }
 }

@@ -6,17 +6,26 @@
 //! paper-default FashionMNIST setting.
 //!
 //! ```text
-//! cargo run --release -p asyncfl-bench --bin detection [-- --quick]
+//! cargo run --release -p asyncfl-bench --bin detection [-- --quick] [--trace FILE]
 //! ```
+//!
+//! With `--trace FILE` every run also streams telemetry events into a JSONL
+//! file, and the binary cross-checks the trace against its own numbers: the
+//! `filter_score` verdict counts must reconcile exactly with the summed
+//! `DetectionStats` confusion matrix.
 
 use asyncfl_analysis::detection::{auc, LabelledScore};
 use asyncfl_analysis::report::Table;
 use asyncfl_attacks::AttackKind;
+use asyncfl_bench::TraceHandle;
+use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::asyncfilter::{AsyncFilter, ScoreRecord};
 use asyncfl_core::update::{ClientUpdate, FilterContext, FilterOutcome, UpdateFilter};
 use asyncfl_data::DatasetProfile;
 use asyncfl_sim::config::SimConfig;
-use asyncfl_sim::runner::Simulation;
+use asyncfl_sim::metrics::DetectionStats;
+use asyncfl_sim::runner::{build_attack, Simulation};
+use asyncfl_telemetry::Verdict;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -38,10 +47,27 @@ impl UpdateFilter for ScoreArchive {
             .extend_from_slice(self.inner.last_scores());
         outcome
     }
+
+    fn last_scores(&self) -> &[ScoreRecord] {
+        self.inner.last_scores()
+    }
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace = args.iter().position(|a| a == "--trace").map(|i| {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--trace requires a file path");
+            std::process::exit(2);
+        });
+        TraceHandle::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create --trace file {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    let mut totals = DetectionStats::default();
     let mut table = Table::new(
         "AsyncFilter detection quality (FashionMNIST, paper-default setting)",
         vec![
@@ -64,13 +90,25 @@ fn main() {
             records: Arc::clone(&records),
         };
         let mut sim = Simulation::new(cfg);
-        let result = sim.run(Box::new(filter), attack);
+        let built = build_attack(attack, sim.config().num_clients, sim.config().num_malicious);
+        let result = sim.run_with_sink(
+            Box::new(filter),
+            built,
+            Box::new(MeanAggregator::new()),
+            trace.as_ref().map(TraceHandle::sink),
+        );
         let observations: Vec<LabelledScore> = records
             .lock()
             .iter()
             .map(|r| (r.score, r.truth_malicious))
             .collect();
         let d = result.detection;
+        totals.absorb((
+            d.true_positives,
+            d.false_positives,
+            d.false_negatives,
+            d.true_negatives,
+        ));
         table.push_row(
             attack.label(),
             vec![
@@ -89,4 +127,24 @@ fn main() {
         "AUC reads the suspicious score as a detector independent of the 3-means \
          threshold: 0.5 is uninformative, 1.0 a perfect separator."
     );
+
+    if let Some(handle) = &trace {
+        println!();
+        print!("{}", handle.finish());
+        let registry = handle.registry();
+        let rejected = registry.verdict_count(Verdict::Rejected);
+        let kept =
+            registry.verdict_count(Verdict::Accepted) + registry.verdict_count(Verdict::Deferred);
+        let want_rejected = (totals.true_positives + totals.false_positives) as u64;
+        let want_kept = (totals.false_negatives + totals.true_negatives) as u64;
+        println!(
+            "reconciliation: rejected events {rejected} vs DetectionStats TP+FP {want_rejected}; \
+             kept events {kept} vs FN+TN {want_kept}"
+        );
+        if rejected != want_rejected || kept != want_kept {
+            eprintln!("error: trace verdict counts do not match DetectionStats");
+            std::process::exit(1);
+        }
+        println!("reconciliation: OK (trace verdicts match the confusion matrix exactly)");
+    }
 }

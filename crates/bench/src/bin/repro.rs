@@ -11,15 +11,19 @@
 //!   --seed N       base seed (default 42; figs. use seed..seed+2)
 //!   --threads N    worker threads (default: min(cores, 8))
 //!   --csv DIR      additionally write each measured table as CSV into DIR
+//!   --trace FILE   write a JSONL event trace and print a telemetry summary
 //! ```
 
-use asyncfl_bench::{ExperimentId, RunOptions};
+use asyncfl_bench::{ExperimentId, RunOptions, TraceHandle};
 use std::str::FromStr;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro [--quick] [--seed N] [--threads N] <experiment|all|list>...");
+        eprintln!(
+            "usage: repro [--quick] [--seed N] [--threads N] [--csv DIR] [--trace FILE] \
+             <experiment|all|list>..."
+        );
         std::process::exit(2);
     }
 
@@ -28,6 +32,7 @@ fn main() {
     let mut targets: Vec<ExperimentId> = Vec::new();
     let mut list_only = false;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut trace_path: Option<std::path::PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -63,6 +68,13 @@ fn main() {
                 });
                 csv_dir = Some(std::path::PathBuf::from(value));
             }
+            "--trace" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("--trace requires a file path");
+                    std::process::exit(2);
+                });
+                trace_path = Some(std::path::PathBuf::from(value));
+            }
             "list" => list_only = true,
             "all" => targets.extend(ExperimentId::ALL),
             other => match ExperimentId::from_str(other) {
@@ -95,6 +107,15 @@ fn main() {
         }
     }
 
+    let trace = trace_path.map(|path| {
+        let handle = TraceHandle::create(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create --trace file {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        opts.sink = Some(handle.sink());
+        handle
+    });
+
     for id in targets {
         let started = std::time::Instant::now();
         println!("== {} — {} ==\n", id.name(), id.description());
@@ -109,5 +130,9 @@ fn main() {
             }
         }
         println!("(completed in {:.1?})\n", started.elapsed());
+    }
+
+    if let Some(handle) = &trace {
+        print!("{}", handle.finish());
     }
 }

@@ -16,6 +16,7 @@ use asyncfl_data::partition::Partitioner;
 use asyncfl_data::DatasetProfile;
 use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::runner::Simulation;
+use asyncfl_telemetry::SharedSink;
 use asyncfl_tensor::Vector;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -31,6 +32,9 @@ pub struct RunOptions {
     pub seeds: Vec<u64>,
     /// Worker threads for the grid runner.
     pub threads: usize,
+    /// Telemetry sink every simulation reports into (`--trace`); `None`
+    /// (the default) runs untraced at zero cost.
+    pub sink: Option<SharedSink>,
 }
 
 impl Default for RunOptions {
@@ -42,6 +46,7 @@ impl Default for RunOptions {
                 .map(|n| n.get())
                 .unwrap_or(4)
                 .min(8),
+            sink: None,
         }
     }
 }
@@ -366,7 +371,7 @@ fn run_grid_report(
 ) -> Report {
     let seed = opts.seeds.first().copied().unwrap_or(42);
     let grid = ExperimentGrid::table(config, attacks.clone()).with_seeds(vec![seed]);
-    let cells = grid.run_parallel(opts.threads);
+    let cells = grid.run_parallel_with_sink(opts.threads, opts.sink.clone());
     let measured = accuracy_table(
         format!("Measured ({id}, {dataset})"),
         &cells,
@@ -409,7 +414,7 @@ fn run_staleness_sweep(opts: &RunOptions) -> Report {
                 attacks: vec![attack],
                 seeds: seeds.to_vec(),
             };
-            let cells = grid.run_parallel(opts.threads);
+            let cells = grid.run_parallel_with_sink(opts.threads, opts.sink.clone());
             let mean =
                 ExperimentGrid::mean_accuracy(&cells, DefenseKind::AsyncFilter, attack).unwrap();
             let std =
@@ -444,7 +449,7 @@ fn run_kmeans_ablation(opts: &RunOptions) -> Report {
         attacks: attacks.clone(),
         seeds: vec![seed],
     };
-    let cells = grid.run_parallel(opts.threads);
+    let cells = grid.run_parallel_with_sink(opts.threads, opts.sink.clone());
     let table = accuracy_table(
         "Measured (fig7, FashionMNIST): 3-means vs 2-means (paper-literal rule)",
         &cells,
@@ -470,7 +475,17 @@ fn run_tsne_figure(id: ExperimentId, opts: &RunOptions) -> Report {
     let recorder = RecordingFilter::new();
     let log = recorder.log_handle();
     let mut sim = Simulation::new(cfg);
-    let _ = sim.run(Box::new(recorder), AttackKind::None);
+    let attack = asyncfl_sim::runner::build_attack(
+        AttackKind::None,
+        sim.config().num_clients,
+        sim.config().num_malicious,
+    );
+    let _ = sim.run_with_sink(
+        Box::new(recorder),
+        attack,
+        Box::new(asyncfl_core::aggregation::MeanAggregator::new()),
+        opts.sink.clone(),
+    );
     let records = log.lock().clone();
     // Use the last recorded aggregation (a mature round, like the paper's
     // mid-training snapshots).
@@ -608,6 +623,7 @@ mod tests {
             quick: true,
             seeds: vec![1],
             threads: 4,
+            sink: None,
         }
     }
 

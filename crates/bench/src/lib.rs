@@ -19,5 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod trace;
 
 pub use experiments::{ExperimentId, RunOptions};
+pub use trace::TraceHandle;

@@ -1,0 +1,71 @@
+//! `--trace <path.jsonl>` support shared by the bench binaries.
+//!
+//! A [`TraceHandle`] fans the run's event stream out to two sinks: a
+//! [`JsonlSink`] writing the trace file and a [`MetricsRegistry`] folding
+//! the same events into the end-of-run summary table (event counts,
+//! verdict counts, p50/p95/p99 span latency). The JSONL schema is
+//! documented in `docs/TUTORIAL.md` ("Tracing a run").
+
+use asyncfl_telemetry::{FanoutSink, JsonlSink, MetricsRegistry, SharedSink, Sink};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A JSONL trace file plus a metrics registry fed by the same events.
+#[derive(Debug)]
+pub struct TraceHandle {
+    registry: Arc<MetricsRegistry>,
+    jsonl: Arc<JsonlSink>,
+    sink: SharedSink,
+    path: PathBuf,
+}
+
+impl TraceHandle {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let registry = Arc::new(MetricsRegistry::new());
+        let jsonl = Arc::new(JsonlSink::create(&path)?);
+        let sink = SharedSink::new(FanoutSink::new(vec![
+            SharedSink::from_arc(Arc::clone(&registry) as Arc<dyn Sink>),
+            SharedSink::from_arc(Arc::clone(&jsonl) as Arc<dyn Sink>),
+        ]));
+        Ok(Self {
+            registry,
+            jsonl,
+            sink,
+            path,
+        })
+    }
+
+    /// A cloneable sink handle to pass into runs.
+    pub fn sink(&self) -> SharedSink {
+        self.sink.clone()
+    }
+
+    /// The registry accumulating this trace's metrics.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Flushes the trace file and renders the end-of-run summary.
+    pub fn finish(&self) -> String {
+        if let Err(e) = self.jsonl.flush() {
+            eprintln!("warning: flushing {} failed: {e}", self.path.display());
+        }
+        let mut out = self.registry.render_table();
+        out.push_str(&format!(
+            "  trace: {} events -> {}",
+            self.jsonl.lines_written(),
+            self.path.display()
+        ));
+        if self.jsonl.io_errors() > 0 {
+            out.push_str(&format!(" ({} write errors!)", self.jsonl.io_errors()));
+        }
+        out.push('\n');
+        out
+    }
+}

@@ -29,8 +29,11 @@
 
 use crate::update::{ClientUpdate, FilterContext, FilterOutcome, UpdateFilter};
 use asyncfl_clustering::one_dim::kmeans_1d;
+use asyncfl_telemetry::Span;
 use asyncfl_tensor::Vector;
 use std::collections::BTreeMap;
+
+pub use crate::update::ScoreRecord;
 
 /// What to do with the middle 3-means cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -201,20 +204,6 @@ struct GroupState {
     absorbed: u64,
 }
 
-/// A score assigned to one update in the last [`AsyncFilter::filter`] call,
-/// exposed for analysis and figures.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ScoreRecord {
-    /// Client id.
-    pub client: usize,
-    /// Staleness group key.
-    pub group: u64,
-    /// Normalized suspicious score (eq. 7).
-    pub score: f64,
-    /// Ground-truth malice (experiment bookkeeping).
-    pub truth_malicious: bool,
-}
-
 /// The AsyncFilter server module.
 ///
 /// Stateful across rounds: it owns one moving-average estimate per staleness
@@ -328,6 +317,10 @@ impl UpdateFilter for AsyncFilter {
         "AsyncFilter"
     }
 
+    fn last_scores(&self) -> &[ScoreRecord] {
+        &self.last_scores
+    }
+
     fn filter(&mut self, updates: Vec<ClientUpdate>, ctx: &FilterContext<'_>) -> FilterOutcome {
         self.last_scores.clear();
         let mut outcome = FilterOutcome::default();
@@ -430,7 +423,10 @@ impl UpdateFilter for AsyncFilter {
         }
 
         // 3-means attacker identification over the scalar scores.
-        let clustering = kmeans_1d(&scores, self.config.clusters);
+        let clustering = {
+            let _span = Span::start(ctx.sink, "kmeans_1d");
+            kmeans_1d(&scores, self.config.clusters)
+        };
         let reject_cluster = clustering.highest_cluster();
         let accept_cluster = clustering.lowest_cluster();
         // Clustering discriminates nothing when the extreme centroids
@@ -852,8 +848,9 @@ mod tests {
         });
         let g = Vector::zeros(1);
         let make = || {
-            let mut u: Vec<ClientUpdate> =
-                (0..6).map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false)).collect();
+            let mut u: Vec<ClientUpdate> = (0..6)
+                .map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false))
+                .collect();
             u.push(upd(6, 0, &[3.0], false)); // middle tier
             u.push(upd(7, 0, &[3.1], false));
             u.push(upd(8, 0, &[9.0], true)); // top tier
@@ -871,8 +868,12 @@ mod tests {
         }
         let out2 = f.filter(second, &ctx_with(&g));
         // None of the re-presented (defers == 1) updates may be deferred again.
-        assert!(out2.deferred.iter().all(|u| u.defers == 1 && u.client < 100),
-            "re-deferred an already-deferred update: {out2:?}");
+        assert!(
+            out2.deferred
+                .iter()
+                .all(|u| u.defers == 1 && u.client < 100),
+            "re-deferred an already-deferred update: {out2:?}"
+        );
     }
 
     #[test]
@@ -886,12 +887,14 @@ mod tests {
         });
         let g = Vector::zeros(1);
         // Warm-up to establish the estimate.
-        let warm: Vec<ClientUpdate> =
-            (0..10).map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false)).collect();
+        let warm: Vec<ClientUpdate> = (0..10)
+            .map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false))
+            .collect();
         let _ = f.filter(warm, &ctx_with(&g));
         // 6 benign near 1.0, 4 attackers far away.
-        let mut round: Vec<ClientUpdate> =
-            (0..6).map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false)).collect();
+        let mut round: Vec<ClientUpdate> = (0..6)
+            .map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false))
+            .collect();
         round.extend((6..10).map(|i| upd(i, 0, &[30.0], true)));
         let out = f.filter(round, &ctx_with(&g));
         let (tp, fp, _, _) = out.confusion();
@@ -908,8 +911,9 @@ mod tests {
         });
         let g = Vector::zeros(1);
         let make = || {
-            let mut u: Vec<ClientUpdate> =
-                (0..8).map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false)).collect();
+            let mut u: Vec<ClientUpdate> = (0..8)
+                .map(|i| upd(i, 0, &[1.0 + 0.01 * i as f64], false))
+                .collect();
             u.push(upd(8, 0, &[50.0], true));
             u
         };

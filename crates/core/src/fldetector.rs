@@ -15,7 +15,7 @@
 //! accuracy loss instead of compensation", §5.2). This port keeps the
 //! original structure so that failure mode is observable.
 
-use crate::update::{ClientUpdate, FilterContext, FilterOutcome, UpdateFilter};
+use crate::update::{ClientUpdate, FilterContext, FilterOutcome, ScoreRecord, UpdateFilter};
 use asyncfl_clustering::diagnostics::two_clusters_preferred;
 use asyncfl_clustering::one_dim::kmeans_1d;
 use asyncfl_tensor::Vector;
@@ -60,6 +60,8 @@ pub struct FlDetector {
     client_last: HashMap<usize, (Vector, Vector)>,
     /// Per-client sliding window of prediction errors.
     client_errors: HashMap<usize, VecDeque<f64>>,
+    /// Normalized windowed scores from the most recent `filter` call.
+    last_scores: Vec<ScoreRecord>,
     rng: StdRng,
 }
 
@@ -74,6 +76,7 @@ impl FlDetector {
             pairs: VecDeque::new(),
             client_last: HashMap::new(),
             client_errors: HashMap::new(),
+            last_scores: Vec::new(),
             rng,
         }
     }
@@ -139,7 +142,12 @@ impl UpdateFilter for FlDetector {
         "FLDetector"
     }
 
+    fn last_scores(&self) -> &[ScoreRecord] {
+        &self.last_scores
+    }
+
     fn filter(&mut self, updates: Vec<ClientUpdate>, ctx: &FilterContext<'_>) -> FilterOutcome {
+        self.last_scores.clear();
         let mut outcome = FilterOutcome::default();
         if updates.is_empty() {
             return outcome;
@@ -186,6 +194,17 @@ impl UpdateFilter for FlDetector {
         } else {
             vec![0.0; raw.len()]
         };
+
+        for (u, &s) in finite.iter().zip(&scores) {
+            self.last_scores.push(ScoreRecord {
+                client: u.client,
+                // FLDetector is deliberately staleness-unaware; report the
+                // raw staleness so traces can show what it ignored.
+                group: u.staleness,
+                score: s,
+                truth_malicious: u.truth_malicious,
+            });
+        }
 
         // 3. Attacker-presence test (gap statistic), then 2-means removal.
         let score_points: Vec<Vector> = scores.iter().map(|&s| Vector::from(vec![s])).collect();

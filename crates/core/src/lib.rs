@@ -60,4 +60,6 @@ pub mod zeno;
 
 pub use asyncfilter::{AsyncFilter, AsyncFilterConfig};
 pub use fldetector::FlDetector;
-pub use update::{ClientUpdate, FilterContext, FilterOutcome, PassthroughFilter, UpdateFilter};
+pub use update::{
+    ClientUpdate, FilterContext, FilterOutcome, PassthroughFilter, ScoreRecord, UpdateFilter,
+};

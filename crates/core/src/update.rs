@@ -7,6 +7,7 @@
 //! any defense implementing it slots into the simulator's FedBuff server
 //! unchanged.
 
+use asyncfl_telemetry::Sink;
 use asyncfl_tensor::Vector;
 
 /// One buffered client report, as the server sees it.
@@ -120,7 +121,7 @@ impl ClientUpdate {
 }
 
 /// Read-only server state handed to filters each aggregation.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FilterContext<'a> {
     /// Current server aggregation round (the round being formed).
     pub round: u64,
@@ -132,6 +133,22 @@ pub struct FilterContext<'a> {
     /// deployment has one. `None` under the paper's threat model (§3.3);
     /// `Some` only for the Zeno++/AFLGuard prior-work baselines.
     pub trusted_delta: Option<&'a Vector>,
+    /// Telemetry sink for timing spans emitted from inside the filter
+    /// (k-means duration, etc.). `None` (the default) keeps the hot path
+    /// free of clock reads; lifecycle events are the server's job.
+    pub sink: Option<&'a dyn Sink>,
+}
+
+impl std::fmt::Debug for FilterContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilterContext")
+            .field("round", &self.round)
+            .field("global_params", &self.global_params)
+            .field("staleness_limit", &self.staleness_limit)
+            .field("trusted_delta", &self.trusted_delta)
+            .field("sink", &self.sink.map(|_| "dyn Sink"))
+            .finish()
+    }
 }
 
 impl<'a> FilterContext<'a> {
@@ -142,6 +159,7 @@ impl<'a> FilterContext<'a> {
             global_params,
             staleness_limit,
             trusted_delta: None,
+            sink: None,
         }
     }
 
@@ -150,6 +168,30 @@ impl<'a> FilterContext<'a> {
         self.trusted_delta = Some(delta);
         self
     }
+
+    /// Attaches a telemetry sink for in-filter timing spans.
+    pub fn with_sink(mut self, sink: &'a dyn Sink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+/// A suspicious score assigned to one update in the most recent
+/// [`UpdateFilter::filter`] call, exposed for analysis, figures and
+/// telemetry ([`FilterScore`](asyncfl_telemetry::Event::FilterScore)
+/// events are derived from these by the server).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreRecord {
+    /// Client id.
+    pub client: usize,
+    /// Staleness group key (eq. 4). Filters that do not group by staleness
+    /// report the update's raw staleness here.
+    pub group: u64,
+    /// Normalized suspicious score (eq. 7 for AsyncFilter; each baseline
+    /// documents its own scale).
+    pub score: f64,
+    /// Ground-truth malice (experiment bookkeeping).
+    pub truth_malicious: bool,
 }
 
 /// A filter's verdict over one buffer of updates.
@@ -210,6 +252,17 @@ pub trait UpdateFilter: Send {
 
     /// Partitions the buffered updates into accepted / rejected / deferred.
     fn filter(&mut self, updates: Vec<ClientUpdate>, ctx: &FilterContext<'_>) -> FilterOutcome;
+
+    /// Per-update suspicious scores from the most recent [`filter`] call,
+    /// used by the server to annotate per-update telemetry events. The
+    /// default (filters that do not score, like the FedBuff passthrough)
+    /// is empty; the server then reports the update's verdict with a
+    /// `NaN` score.
+    ///
+    /// [`filter`]: UpdateFilter::filter
+    fn last_scores(&self) -> &[ScoreRecord] {
+        &[]
+    }
 }
 
 /// The FedBuff baseline: no defense, every update is aggregated.
@@ -283,6 +336,23 @@ mod tests {
         };
         let (tp, fp, fn_, tn) = out.confusion();
         assert_eq!((tp, fp, fn_, tn), (2, 1, 2, 2));
+    }
+
+    #[test]
+    fn context_sink_default_none() {
+        let g = Vector::zeros(1);
+        let ctx = FilterContext::new(0, &g, 20);
+        assert!(ctx.sink.is_none());
+        let sink = asyncfl_telemetry::NullSink;
+        let ctx = ctx.with_sink(&sink);
+        assert!(ctx.sink.is_some());
+        // Debug must not try to format the trait object itself.
+        assert!(format!("{ctx:?}").contains("dyn Sink"));
+    }
+
+    #[test]
+    fn default_last_scores_is_empty() {
+        assert!(PassthroughFilter.last_scores().is_empty());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!
 //! [`FilterContext::trusted_delta`]: crate::update::FilterContext
 
-use crate::update::{ClientUpdate, FilterContext, FilterOutcome, UpdateFilter};
+use crate::update::{ClientUpdate, FilterContext, FilterOutcome, ScoreRecord, UpdateFilter};
 use asyncfl_tensor::ops::cosine_similarity;
 
 /// The Zeno++ baseline.
@@ -31,6 +31,9 @@ pub struct ZenoPlusPlus {
     /// condition under normalized magnitudes).
     pub min_cosine: f64,
     ran_blind: bool,
+    /// Scores (`1 − cosine`) from the most recent `filter` call; empty when
+    /// it ran blind.
+    last_scores: Vec<ScoreRecord>,
 }
 
 impl ZenoPlusPlus {
@@ -39,6 +42,7 @@ impl ZenoPlusPlus {
         Self {
             min_cosine: 0.0,
             ran_blind: false,
+            last_scores: Vec::new(),
         }
     }
 
@@ -60,7 +64,12 @@ impl UpdateFilter for ZenoPlusPlus {
         "Zeno++"
     }
 
+    fn last_scores(&self) -> &[ScoreRecord] {
+        &self.last_scores
+    }
+
     fn filter(&mut self, updates: Vec<ClientUpdate>, ctx: &FilterContext<'_>) -> FilterOutcome {
+        self.last_scores.clear();
         let Some(trusted) = ctx.trusted_delta else {
             self.ran_blind = true;
             return FilterOutcome::accept_all(updates);
@@ -74,6 +83,13 @@ impl UpdateFilter for ZenoPlusPlus {
                 continue;
             }
             let cos = cosine_similarity(trusted, &u.delta);
+            // Suspicion score on [0, 2]: 0 = perfectly aligned with trusted.
+            self.last_scores.push(ScoreRecord {
+                client: u.client,
+                group: u.staleness,
+                score: 1.0 - cos,
+                truth_malicious: u.truth_malicious,
+            });
             if cos > self.min_cosine {
                 // Normalize the accepted update to the trusted magnitude.
                 let own = u.delta.norm();
@@ -99,6 +115,9 @@ impl UpdateFilter for ZenoPlusPlus {
 pub struct AflGuard {
     lambda: f64,
     ran_blind: bool,
+    /// Scores (`distance / bound`) from the most recent `filter` call; empty
+    /// when it ran blind.
+    last_scores: Vec<ScoreRecord>,
 }
 
 impl AflGuard {
@@ -116,6 +135,7 @@ impl AflGuard {
         Self {
             lambda,
             ran_blind: false,
+            last_scores: Vec::new(),
         }
     }
 
@@ -141,7 +161,12 @@ impl UpdateFilter for AflGuard {
         "AFLGuard"
     }
 
+    fn last_scores(&self) -> &[ScoreRecord] {
+        &self.last_scores
+    }
+
     fn filter(&mut self, updates: Vec<ClientUpdate>, ctx: &FilterContext<'_>) -> FilterOutcome {
+        self.last_scores.clear();
         let Some(trusted) = ctx.trusted_delta else {
             self.ran_blind = true;
             return FilterOutcome::accept_all(updates);
@@ -150,11 +175,29 @@ impl UpdateFilter for AflGuard {
         let bound = self.lambda * trusted.norm();
         let mut outcome = FilterOutcome::default();
         for u in updates {
-            if u.params.is_finite() && u.delta.distance(trusted) <= bound {
-                outcome.accepted.push(u);
-            } else {
-                outcome.rejected.push(u);
+            if u.params.is_finite() {
+                let dist = u.delta.distance(trusted);
+                // Suspicion score: distance in units of the bound; ≤ 1 means
+                // accepted. A zero bound makes any deviation infinitely far.
+                let score = if bound > 0.0 {
+                    dist / bound
+                } else if dist == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                };
+                self.last_scores.push(ScoreRecord {
+                    client: u.client,
+                    group: u.staleness,
+                    score,
+                    truth_malicious: u.truth_malicious,
+                });
+                if dist <= bound {
+                    outcome.accepted.push(u);
+                    continue;
+                }
             }
+            outcome.rejected.push(u);
         }
         outcome
     }

@@ -19,7 +19,9 @@ use rand::{Rng, RngExt};
 enum Distribution {
     Zipf(Zipf),
     /// factor = exp(|N(0, sigma²)|) ≥ 1 (folded log-normal).
-    LogNormal { sigma: f64 },
+    LogNormal {
+        sigma: f64,
+    },
 }
 
 /// Per-client latency factors with multiplicative per-cycle jitter.
@@ -78,9 +80,7 @@ impl LatencyModel {
     pub fn draw_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match &self.distribution {
             Distribution::Zipf(zipf) => zipf.sample(rng) as f64,
-            Distribution::LogNormal { sigma } => {
-                (sigma * standard_normal(rng)).abs().exp()
-            }
+            Distribution::LogNormal { sigma } => (sigma * standard_normal(rng)).abs().exp(),
         }
     }
 

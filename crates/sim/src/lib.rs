@@ -46,3 +46,4 @@ pub mod threaded;
 pub use config::SimConfig;
 pub use metrics::{DetectionStats, RunResult};
 pub use runner::Simulation;
+pub use server::{AggregationReport, BufferedServer};

@@ -1,5 +1,6 @@
 //! Run-level metrics: accuracy trajectory and detection quality.
 
+use crate::server::AggregationReport;
 use std::collections::BTreeMap;
 
 /// Aggregated detection confusion counts across a whole run.
@@ -82,9 +83,8 @@ pub struct RunResult {
     pub updates_discarded_stale: u64,
     /// Histogram of staleness values among buffered (non-discarded) reports.
     pub staleness_histogram: BTreeMap<u64, u64>,
-    /// Per-aggregation `(accepted, rejected, deferred)` counts, in round
-    /// order — the run's filtering trace.
-    pub round_reports: Vec<(usize, usize, usize)>,
+    /// Per-aggregation reports in round order — the run's filtering trace.
+    pub round_reports: Vec<AggregationReport>,
     /// Final virtual clock value.
     pub sim_time: f64,
 }
@@ -156,7 +156,14 @@ mod tests {
             updates_received: 600,
             updates_discarded_stale: 12,
             staleness_histogram: [(0, 10), (2, 5), (4, 5)].into_iter().collect(),
-            round_reports: vec![(8, 1, 1); 15],
+            round_reports: (0..15)
+                .map(|round_completed| AggregationReport {
+                    round_completed,
+                    accepted: 8,
+                    rejected: 1,
+                    deferred: 1,
+                })
+                .collect(),
             sim_time: 33.0,
         }
     }

@@ -24,6 +24,7 @@ use asyncfl_data::synthetic::Task;
 use asyncfl_data::Dataset;
 use asyncfl_ml::train::{build_model, build_optimizer, evaluate, LocalTrainer};
 use asyncfl_ml::Model;
+use asyncfl_telemetry::{Event, SharedSink, Sink, Span};
 use asyncfl_tensor::Vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -143,8 +144,7 @@ impl Simulation {
             let mut rng = StdRng::seed_from_u64(seed);
             let size = if config.partition_jitter > 0.0 {
                 use rand::RngExt;
-                let factor = 1.0
-                    + config.partition_jitter * (2.0 * rng.random::<f64>() - 1.0);
+                let factor = 1.0 + config.partition_jitter * (2.0 * rng.random::<f64>() - 1.0);
                 ((partition_size as f64 * factor).round() as usize).max(1)
             } else {
                 partition_size
@@ -218,6 +218,20 @@ impl Simulation {
         attack: Box<dyn Attack>,
         aggregator: Box<dyn Aggregator>,
     ) -> RunResult {
+        self.run_with_sink(filter, attack, aggregator, None)
+    }
+
+    /// As [`run_with`](Self::run_with), with a telemetry sink observing the
+    /// run: the server emits update/filter/aggregation events and the event
+    /// loop adds `local_training` spans and accuracy checkpoints. Pass
+    /// `None` (or use `run_with`) for an untraced run at zero cost.
+    pub fn run_with_sink(
+        &mut self,
+        filter: Box<dyn UpdateFilter>,
+        attack: Box<dyn Attack>,
+        aggregator: Box<dyn Aggregator>,
+        sink: Option<SharedSink>,
+    ) -> RunResult {
         let cfg = self.config.clone();
         let mut server = BufferedServer::new(
             self.template.params(),
@@ -226,6 +240,7 @@ impl Simulation {
             filter,
             aggregator,
         );
+        server.set_sink(sink.clone());
         let mut attack_rng = StdRng::seed_from_u64(cfg.seed ^ 0xA77A_C4E2_57A1_F00D);
         let mut eval_model = self.template.clone();
 
@@ -290,12 +305,15 @@ impl Simulation {
             let mut model = self.template.clone();
             model.set_params(&job.base_params);
             let mut optimizer = build_optimizer(&cfg.profile, model.num_params());
-            self.trainer.train(
-                model.as_mut(),
-                &self.client_data[client],
-                optimizer.as_mut(),
-                &mut self.client_rng[client],
-            );
+            {
+                let _span = Span::start(sink.as_ref().map(|s| s.as_dyn()), "local_training");
+                self.trainer.train(
+                    model.as_mut(),
+                    &self.client_data[client],
+                    optimizer.as_mut(),
+                    &mut self.client_rng[client],
+                );
+            }
             let honest_delta = &model.params() - &job.base_params;
 
             let delta = if self.malicious[client] {
@@ -332,12 +350,18 @@ impl Simulation {
             };
 
             if let Some(report) = received {
-                round_reports.push((report.accepted, report.rejected, report.deferred));
+                round_reports.push(report);
                 let completed = report.round_completed + 1;
                 if completed % cfg.eval_every == 0 {
                     eval_model.set_params(server.global());
-                    accuracy_history
-                        .push((completed, evaluate(eval_model.as_ref(), &self.test_data)));
+                    let accuracy = evaluate(eval_model.as_ref(), &self.test_data);
+                    if let Some(s) = &sink {
+                        s.emit(&Event::AccuracyCheckpoint {
+                            round: completed,
+                            accuracy,
+                        });
+                    }
+                    accuracy_history.push((completed, accuracy));
                 }
                 if self.root_data.is_some() {
                     let trusted = self.trusted_delta(server.global());

@@ -9,8 +9,9 @@
 
 use asyncfl_core::aggregation::Aggregator;
 use asyncfl_core::update::{ClientUpdate, FilterContext, UpdateFilter};
+use asyncfl_telemetry::{Event, SharedSink, Span, Verdict};
 use asyncfl_tensor::Vector;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use crate::metrics::DetectionStats;
 
@@ -41,6 +42,7 @@ pub struct BufferedServer {
     received: u64,
     discarded_stale: u64,
     staleness_histogram: BTreeMap<u64, u64>,
+    sink: Option<SharedSink>,
 }
 
 impl BufferedServer {
@@ -70,6 +72,27 @@ impl BufferedServer {
             received: 0,
             discarded_stale: 0,
             staleness_histogram: BTreeMap::new(),
+            sink: None,
+        }
+    }
+
+    /// Installs (or removes) the telemetry sink. With no sink — the default
+    /// — the server emits nothing and pays no tracing cost.
+    pub fn set_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+    }
+
+    /// Builder-style variant of [`set_sink`](Self::set_sink).
+    #[must_use]
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            use asyncfl_telemetry::Sink;
+            sink.emit(&event);
         }
     }
 
@@ -124,8 +147,18 @@ impl BufferedServer {
         self.received += 1;
         let staleness = self.round.saturating_sub(update.base_round);
         update.staleness = staleness;
+        self.emit(Event::UpdateReceived {
+            client: update.client,
+            round: self.round,
+            staleness,
+        });
         if staleness > self.staleness_limit {
             self.discarded_stale += 1;
+            self.emit(Event::UpdateDiscardedStale {
+                client: update.client,
+                round: self.round,
+                staleness,
+            });
             return None;
         }
         *self.staleness_histogram.entry(staleness).or_insert(0) += 1;
@@ -142,26 +175,43 @@ impl BufferedServer {
     /// for tests and for end-of-run flushes.
     pub fn aggregate_now(&mut self) -> AggregationReport {
         // Refresh staleness (deferred updates have aged) and screen again.
+        let sink = self.sink.clone();
         let mut batch = std::mem::take(&mut self.buffer);
         batch.retain_mut(|u| {
             u.staleness = self.round.saturating_sub(u.base_round);
             if u.staleness > self.staleness_limit {
                 self.discarded_stale += 1;
+                if let Some(s) = &sink {
+                    use asyncfl_telemetry::Sink;
+                    s.emit(&Event::UpdateDiscardedStale {
+                        client: u.client,
+                        round: self.round,
+                        staleness: u.staleness,
+                    });
+                }
                 false
             } else {
                 true
             }
         });
 
+        let sink_ref = self.sink.as_ref().map(|s| s.as_dyn());
         let ctx = {
             let mut ctx = FilterContext::new(self.round, &self.global, self.staleness_limit);
             if let Some(t) = &self.trusted_delta {
                 ctx = ctx.with_trusted_delta(t);
             }
+            if let Some(s) = sink_ref {
+                ctx = ctx.with_sink(s);
+            }
             ctx
         };
-        let outcome = self.filter.filter(batch, &ctx);
+        let outcome = {
+            let _span = Span::start(sink_ref, "filter");
+            self.filter.filter(batch, &ctx)
+        };
         self.detection.absorb(outcome.confusion());
+        self.emit_filter_scores(&outcome);
 
         let report = AggregationReport {
             round_completed: self.round,
@@ -169,11 +219,62 @@ impl BufferedServer {
             rejected: outcome.rejected.len(),
             deferred: outcome.deferred.len(),
         };
-        self.global = self.aggregator.aggregate(&outcome.accepted, &self.global);
+        self.global = {
+            let _span = Span::start(self.sink.as_ref().map(|s| s.as_dyn()), "aggregate");
+            self.aggregator.aggregate(&outcome.accepted, &self.global)
+        };
         self.round += 1;
         // Deferred updates contribute "at a later stage".
         self.buffer.extend(outcome.deferred);
+        self.emit(Event::AggregationCompleted {
+            round: report.round_completed,
+            accepted: report.accepted,
+            rejected: report.rejected,
+            deferred: report.deferred,
+        });
         report
+    }
+
+    /// Emits one [`Event::FilterScore`] per update in the outcome, so trace
+    /// verdict counts reconcile exactly with [`AggregationReport`] and
+    /// [`DetectionStats`] for *every* filter — including passthrough and
+    /// bypass paths, which carry a `NaN` score.
+    ///
+    /// Scores come from [`UpdateFilter::last_scores`], matched to updates by
+    /// client id. A client can appear twice in one buffer (a deferred update
+    /// plus a fresh one), so each client's records are consumed
+    /// front-to-back as its updates are encountered.
+    fn emit_filter_scores(&self, outcome: &asyncfl_core::update::FilterOutcome) {
+        let Some(sink) = &self.sink else {
+            return;
+        };
+        use asyncfl_telemetry::Sink;
+        let mut by_client: HashMap<usize, VecDeque<(u64, f64)>> = HashMap::new();
+        for rec in self.filter.last_scores() {
+            by_client
+                .entry(rec.client)
+                .or_default()
+                .push_back((rec.group, rec.score));
+        }
+        let partitions = [
+            (&outcome.accepted, Verdict::Accepted),
+            (&outcome.rejected, Verdict::Rejected),
+            (&outcome.deferred, Verdict::Deferred),
+        ];
+        for (updates, verdict) in partitions {
+            for u in updates {
+                let (staleness_group, score) = by_client
+                    .get_mut(&u.client)
+                    .and_then(VecDeque::pop_front)
+                    .unwrap_or((u.staleness, f64::NAN));
+                sink.emit(&Event::FilterScore {
+                    client: u.client,
+                    staleness_group,
+                    score,
+                    verdict,
+                });
+            }
+        }
     }
 }
 
@@ -316,6 +417,107 @@ mod tests {
     #[should_panic(expected = "aggregation_bound")]
     fn zero_bound_panics() {
         let _ = server(0, 20);
+    }
+
+    #[test]
+    fn telemetry_events_reconcile_with_counters() {
+        use asyncfl_telemetry::{Event, MemorySink, SharedSink, Verdict};
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemorySink::new(1024));
+        let mut s = BufferedServer::new(
+            Vector::zeros(1),
+            10,
+            1,
+            Box::new(AsyncFilter::default()),
+            Box::new(MeanAggregator::new()),
+        )
+        .with_sink(SharedSink::from_arc(mem.clone()));
+
+        for i in 0..9 {
+            s.receive(upd(i, 0, &[1.0 + 0.001 * i as f64]));
+        }
+        let report = s
+            .receive(upd(9, 0, &[500.0]).with_truth_malicious(true))
+            .expect("bound reached");
+        // Two more buffered (but not aggregated) reports still count.
+        assert!(s.receive(upd(0, 1, &[0.0])).is_none());
+        s.receive(upd(1, 1, &[0.0]));
+
+        assert_eq!(
+            mem.count_kind("update_received") as u64,
+            s.received(),
+            "every receive() call must emit update_received"
+        );
+        let scores: Vec<Verdict> = mem
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::FilterScore { verdict, .. } => Some(*verdict),
+                _ => None,
+            })
+            .collect();
+        let accepted = scores.iter().filter(|v| **v == Verdict::Accepted).count();
+        let rejected = scores.iter().filter(|v| **v == Verdict::Rejected).count();
+        let deferred = scores.iter().filter(|v| **v == Verdict::Deferred).count();
+        assert_eq!(accepted, report.accepted);
+        assert_eq!(rejected, report.rejected);
+        assert_eq!(deferred, report.deferred);
+        assert_eq!(mem.count_kind("aggregation_completed"), 1);
+        // AsyncFilter scored a full buffer, so no NaN fallbacks here: the
+        // rejected outlier carries a real (high) score.
+        assert!(mem.events().iter().any(|e| matches!(
+            e,
+            Event::FilterScore {
+                verdict: Verdict::Rejected,
+                score,
+                ..
+            } if score.is_finite() && *score > 0.0
+        )));
+        assert_eq!(
+            mem.count_kind("span_closed"),
+            3,
+            "filter + kmeans + aggregate"
+        );
+    }
+
+    #[test]
+    fn stale_discards_emit_events_on_both_paths() {
+        use asyncfl_telemetry::{MemorySink, SharedSink};
+        use std::sync::Arc;
+
+        // Receive-time discard: staleness 1 > limit 0 after one round.
+        let mem = Arc::new(MemorySink::new(256));
+        let mut s = server(2, 0);
+        s.set_sink(Some(SharedSink::from_arc(mem.clone())));
+        s.receive(upd(0, 0, &[1.0, 0.0]));
+        s.receive(upd(1, 0, &[1.0, 0.0])); // triggers round 0 -> 1
+        assert!(s.receive(upd(2, 0, &[1.0, 0.0])).is_none());
+        assert_eq!(mem.count_kind("update_discarded_stale"), 1);
+
+        // Aggregate-time discard: AsyncFilter defers the middle tier; the
+        // deferred updates (base round 0) age past limit 0 once the round
+        // advances and are discarded by the re-screen in aggregate_now.
+        let mem = Arc::new(MemorySink::new(256));
+        let mut s = BufferedServer::new(
+            Vector::zeros(1),
+            9,
+            0,
+            Box::new(AsyncFilter::default()),
+            Box::new(MeanAggregator::new()),
+        )
+        .with_sink(SharedSink::from_arc(mem.clone()));
+        for i in 0..6 {
+            s.receive(upd(i, 0, &[1.0 + 0.01 * i as f64]));
+        }
+        s.receive(upd(6, 0, &[3.0]));
+        s.receive(upd(7, 0, &[3.1]));
+        let report = s.receive(upd(8, 0, &[8.0])).expect("bound reached");
+        assert!(report.deferred > 0, "{report:?}");
+        assert_eq!(mem.count_kind("update_discarded_stale"), 0);
+        s.aggregate_now();
+        assert_eq!(mem.count_kind("update_discarded_stale"), report.deferred);
+        assert_eq!(s.buffer_len(), 0);
     }
 
     mod properties {

@@ -18,6 +18,7 @@ use asyncfl_attacks::AttackKind;
 use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::update::{ClientUpdate, UpdateFilter};
 use asyncfl_ml::train::{build_model, build_optimizer, evaluate, LocalTrainer};
+use asyncfl_telemetry::{Event, SharedSink, Sink, Span};
 use asyncfl_tensor::Vector;
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
@@ -58,6 +59,27 @@ pub fn run_threaded(
     filter: Box<dyn UpdateFilter>,
     attack: AttackKind,
 ) -> RunResult {
+    run_threaded_with_sink(config, filter, attack, None)
+}
+
+/// As [`run_threaded`], with a telemetry sink shared by the server and all
+/// client threads (so the sink must be, and [`SharedSink`] is, `Send +
+/// Sync`). Event interleaving follows the OS scheduler; server-side counts
+/// (`update_received`, `filter_score`, …) still reconcile with the returned
+/// [`RunResult`], but `accuracy_checkpoint` events can outnumber
+/// `accuracy_history` entries — racing threads may evaluate the same round
+/// twice, and the history is deduplicated afterwards while the trace keeps
+/// every evaluation.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid.
+pub fn run_threaded_with_sink(
+    config: SimConfig,
+    filter: Box<dyn UpdateFilter>,
+    attack: AttackKind,
+    sink: Option<SharedSink>,
+) -> RunResult {
     if let Err(e) = config.validate() {
         panic!("invalid SimConfig: {e}");
     }
@@ -93,13 +115,15 @@ pub fn run_threaded(
         client_seeds.push(seed ^ 0x7ead);
     }
 
-    let server = Arc::new(Mutex::new(BufferedServer::new(
+    let mut buffered = BufferedServer::new(
         template.params(),
         config.aggregation_bound,
         config.staleness_limit,
         filter,
         Box::new(MeanAggregator::new()),
-    )));
+    );
+    buffered.set_sink(sink.clone());
+    let server = Arc::new(Mutex::new(buffered));
     let view = Arc::new(RwLock::new(GlobalView {
         params: template.params(),
         round: 0,
@@ -134,6 +158,7 @@ pub fn run_threaded(
             let seed = client_seeds[c];
             let cfg = &config;
             let report_tx = report_tx.clone();
+            let sink = sink.clone();
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
                 while !done.load(Ordering::Acquire) {
@@ -152,7 +177,11 @@ pub fn run_threaded(
                     std::thread::sleep(SLEEP_PER_FACTOR.mul_f64(factor));
                     model.set_params(&base_params);
                     let mut optimizer = build_optimizer(&cfg.profile, model.num_params());
-                    trainer.train(model.as_mut(), &data, optimizer.as_mut(), &mut rng);
+                    {
+                        let _span =
+                            Span::start(sink.as_ref().map(|s| s.as_dyn()), "local_training");
+                        trainer.train(model.as_mut(), &data, optimizer.as_mut(), &mut rng);
+                    }
                     let honest = &model.params() - &base_params;
                     let delta = if is_malicious {
                         let mut pool = collusion.lock();
@@ -194,6 +223,12 @@ pub fn run_threaded(
                             let params = view.read().params.clone();
                             eval_model.set_params(&params);
                             let acc = evaluate(eval_model.as_ref(), &test_data);
+                            if let Some(s) = &sink {
+                                s.emit(&Event::AccuracyCheckpoint {
+                                    round: completed,
+                                    accuracy: acc,
+                                });
+                            }
                             accuracy_history.lock().push((completed, acc));
                         }
                         if completed >= cfg.rounds {

@@ -1,0 +1,66 @@
+//! Structured observability for the AsyncFilter stack.
+//!
+//! The paper's claims are about *per-update decisions* — staleness grouping
+//! (eq. 4), suspicious scores (eqs. 6–7) and the 3-means
+//! accept/defer/reject verdict (§4.3, Alg. 1) — but an end-of-run summary
+//! cannot show what the filter did to any individual update, nor how long
+//! the hot paths took. This crate is the measurement substrate the rest of
+//! the workspace reports through:
+//!
+//! * [`Event`] — a structured record covering the full update lifecycle,
+//!   from [`Event::UpdateReceived`] through [`Event::FilterScore`] to
+//!   [`Event::AggregationCompleted`], plus [`Event::AccuracyCheckpoint`]
+//!   and [`Event::SpanClosed`] timing records.
+//! * [`Sink`] — where events go. [`NullSink`] discards (the zero-cost
+//!   default), [`MemorySink`] keeps a bounded in-memory ring,
+//!   [`JsonlSink`] writes one hand-escaped JSON object per line (no
+//!   external serialization crate), [`MetricsRegistry`] folds events into
+//!   counters and histograms, and [`SharedSink`]/[`FanoutSink`] compose
+//!   sinks across threads.
+//! * [`MetricsRegistry`] — monotonic counters per event kind plus
+//!   log₂-bucketed latency/score histograms ([`Log2Histogram`]) with
+//!   percentile queries.
+//! * [`Span`] — an RAII stopwatch: construct at the top of a hot path,
+//!   and on drop it emits [`Event::SpanClosed`] with the elapsed
+//!   nanoseconds. With no sink attached it never reads the clock.
+//!
+//! The crate deliberately has **zero dependencies** so every other crate in
+//! the workspace can depend on it without build-graph consequences.
+//!
+//! # Example
+//!
+//! ```
+//! use asyncfl_telemetry::{Event, MemorySink, MetricsRegistry, Sink, Span, Verdict};
+//!
+//! let sink = MemorySink::new(1024);
+//! {
+//!     let _span = Span::start(Some(&sink), "filter");
+//!     // ... the timed work ...
+//! }
+//! sink.emit(&Event::FilterScore {
+//!     client: 7,
+//!     staleness_group: 0,
+//!     score: 0.42,
+//!     verdict: Verdict::Rejected,
+//! });
+//! assert_eq!(sink.len(), 2);
+//!
+//! let registry = MetricsRegistry::new();
+//! for e in sink.events() {
+//!     registry.emit(&e);
+//! }
+//! assert_eq!(registry.verdict_count(Verdict::Rejected), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use event::{Event, Verdict};
+pub use metrics::{Log2Histogram, MetricsRegistry};
+pub use sink::{FanoutSink, JsonlSink, MemorySink, NullSink, SharedSink, Sink};
+pub use span::Span;

@@ -1,0 +1,405 @@
+//! Event sinks: where structured [`Event`]s go.
+//!
+//! The [`Sink`] trait is intentionally tiny (`emit(&self, &Event)`) and
+//! object-safe; all implementations are `Send + Sync` so one sink instance
+//! can serve both the deterministic simulator and the thread-per-client
+//! runtime. Components receive an `Option<&dyn Sink>` (or an
+//! `Option<SharedSink>` where ownership is needed) and skip all telemetry
+//! work — including clock reads — when it is `None`.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A consumer of telemetry events.
+///
+/// Implementations must tolerate concurrent `emit` calls (the threaded
+/// runtime shares one sink across all client threads) and must never
+/// panic on malformed-looking data — telemetry is not allowed to take a
+/// run down.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+}
+
+/// The zero-cost default: discards every event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+#[derive(Debug, Default)]
+struct MemoryInner {
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// A bounded in-memory ring buffer of events.
+///
+/// When the buffer is full the **oldest** event is evicted and counted in
+/// [`dropped`](MemorySink::dropped), so a long run keeps its most recent
+/// history rather than its first seconds.
+#[derive(Debug)]
+pub struct MemorySink {
+    capacity: usize,
+    inner: Mutex<MemoryInner>,
+}
+
+impl MemorySink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MemorySink capacity must be positive");
+        Self {
+            capacity,
+            inner: Mutex::new(MemoryInner::default()),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("memory sink poisoned").buf.len()
+    }
+
+    /// `true` when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("memory sink poisoned").dropped
+    }
+
+    /// A snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("memory sink poisoned")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of buffered events of one [`Event::kind`].
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.inner
+            .lock()
+            .expect("memory sink poisoned")
+            .buf
+            .iter()
+            .filter(|e| e.kind() == kind)
+            .count()
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        let mut inner = self.inner.lock().expect("memory sink poisoned");
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(event.clone());
+    }
+}
+
+/// A cheaply-cloneable shared handle to any sink.
+///
+/// This is the form the runtimes pass around: the server, the event loop
+/// and every client thread hold clones of one `SharedSink`, all feeding
+/// the same underlying sink.
+#[derive(Clone)]
+pub struct SharedSink {
+    inner: Arc<dyn Sink>,
+}
+
+impl SharedSink {
+    /// Wraps a sink for shared ownership.
+    pub fn new<S: Sink + 'static>(sink: S) -> Self {
+        Self {
+            inner: Arc::new(sink),
+        }
+    }
+
+    /// Wraps an already-shared sink without another allocation.
+    pub fn from_arc(sink: Arc<dyn Sink>) -> Self {
+        Self { inner: sink }
+    }
+
+    /// Borrows the underlying sink as a trait object.
+    pub fn as_dyn(&self) -> &dyn Sink {
+        self.inner.as_ref()
+    }
+}
+
+impl Sink for SharedSink {
+    fn emit(&self, event: &Event) {
+        self.inner.emit(event);
+    }
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedSink")
+    }
+}
+
+impl PartialEq for SharedSink {
+    /// Handle identity: two `SharedSink`s are equal iff they point at the
+    /// same underlying sink instance.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Broadcasts every event to several sinks (e.g. a [`JsonlSink`] trace
+/// file *and* a [`crate::MetricsRegistry`]).
+#[derive(Debug, Clone, Default)]
+pub struct FanoutSink {
+    sinks: Vec<SharedSink>,
+}
+
+impl FanoutSink {
+    /// Creates a fanout over the given sinks.
+    pub fn new(sinks: Vec<SharedSink>) -> Self {
+        Self { sinks }
+    }
+
+    /// Adds another destination (builder-style).
+    pub fn with(mut self, sink: SharedSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl Sink for FanoutSink {
+    fn emit(&self, event: &Event) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+}
+
+/// Writes one JSON object per line (JSONL), hand-escaped, no serde.
+///
+/// Write errors do not panic (telemetry must never take a run down); they
+/// are counted in [`io_errors`](JsonlSink::io_errors) and the sink keeps
+/// accepting events.
+pub struct JsonlSink<W: Write + Send = BufWriter<File>> {
+    writer: Mutex<W>,
+    lines: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Ok(Self::from_writer(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps any writer (used by tests with `Vec<u8>`).
+    pub fn from_writer(writer: W) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+            lines: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Write errors swallowed so far.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on failure.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().expect("jsonl sink poisoned").flush()
+    }
+
+    /// Consumes the sink and returns the writer (after a final flush
+    /// attempt).
+    pub fn into_writer(self) -> W {
+        let mut w = self
+            .writer
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn emit(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        if w.write_all(line.as_bytes()).is_ok() {
+            self.lines.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines_written())
+            .field("io_errors", &self.io_errors())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Verdict;
+
+    fn ev(client: usize) -> Event {
+        Event::UpdateReceived {
+            client,
+            round: 0,
+            staleness: 0,
+        }
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        NullSink.emit(&ev(0)); // must not panic; nothing observable
+    }
+
+    #[test]
+    fn memory_sink_bounded_ring_evicts_oldest() {
+        let sink = MemorySink::new(3);
+        for c in 0..5 {
+            sink.emit(&ev(c));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.capacity(), 3);
+        let clients: Vec<usize> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::UpdateReceived { client, .. } => *client,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(clients, vec![2, 3, 4], "oldest events must be evicted");
+    }
+
+    #[test]
+    fn memory_sink_count_kind() {
+        let sink = MemorySink::new(10);
+        sink.emit(&ev(0));
+        sink.emit(&Event::SpanClosed {
+            name: "filter",
+            nanos: 5,
+        });
+        assert_eq!(sink.count_kind("update_received"), 1);
+        assert_eq!(sink.count_kind("span_closed"), 1);
+        assert_eq!(sink.count_kind("filter_score"), 0);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn memory_sink_zero_capacity_panics() {
+        let _ = MemorySink::new(0);
+    }
+
+    #[test]
+    fn shared_sink_clones_share_storage() {
+        let shared = SharedSink::new(MemorySink::new(8));
+        let clone = shared.clone();
+        shared.emit(&ev(0));
+        clone.emit(&ev(1));
+        // Handle equality is identity.
+        assert_eq!(shared, clone);
+        assert_ne!(shared, SharedSink::new(NullSink));
+        assert_eq!(format!("{shared:?}"), "SharedSink");
+    }
+
+    #[test]
+    fn fanout_reaches_every_destination() {
+        let a = Arc::new(MemorySink::new(8));
+        let b = Arc::new(MemorySink::new(8));
+        let fan = FanoutSink::new(vec![SharedSink::from_arc(a.clone() as Arc<dyn Sink>)])
+            .with(SharedSink::from_arc(b.clone() as Arc<dyn Sink>));
+        fan.emit(&ev(0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::from_writer(Vec::new());
+        sink.emit(&ev(3));
+        sink.emit(&Event::FilterScore {
+            client: 1,
+            staleness_group: 2,
+            score: 0.25,
+            verdict: Verdict::Rejected,
+        });
+        assert_eq!(sink.lines_written(), 2);
+        assert_eq!(sink.io_errors(), 0);
+        let bytes = sink.into_writer();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"update_received\""));
+        assert!(lines[1].contains("\"verdict\":\"rejected\""));
+        assert!(lines.iter().all(|l| l.ends_with('}')));
+    }
+
+    /// A writer that always fails, to prove errors are swallowed.
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_survives_write_errors() {
+        let sink = JsonlSink::from_writer(FailingWriter);
+        sink.emit(&ev(0));
+        sink.emit(&ev(1));
+        assert_eq!(sink.lines_written(), 0);
+        assert_eq!(sink.io_errors(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! RAII timing spans.
+//!
+//! A [`Span`] reads the monotonic clock when constructed and, when
+//! dropped, emits [`Event::SpanClosed`] with the elapsed nanoseconds to
+//! the sink it was given. With no sink ([`Span::start`] with `None`) it
+//! is inert: no clock read, no allocation, nothing emitted — so wrapping
+//! hot paths in spans costs nothing on the default untraced path.
+
+use crate::event::Event;
+use crate::sink::Sink;
+use std::time::Instant;
+
+/// An RAII stopwatch that reports its lifetime to a [`Sink`] on drop.
+///
+/// ```
+/// use asyncfl_telemetry::{MemorySink, Span};
+///
+/// let sink = MemorySink::new(8);
+/// {
+///     let _span = Span::start(Some(&sink), "filter");
+///     // ... timed work ...
+/// } // drop emits Event::SpanClosed { name: "filter", .. }
+/// assert_eq!(sink.count_kind("span_closed"), 1);
+/// ```
+pub struct Span<'a> {
+    /// `None` when untraced; then no clock was read either.
+    armed: Option<(&'a dyn Sink, Instant)>,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("armed", &self.is_armed())
+            .finish()
+    }
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span. With `sink = None` this is free: the clock is not
+    /// read and drop does nothing.
+    pub fn start(sink: Option<&'a dyn Sink>, name: &'static str) -> Self {
+        Self {
+            armed: sink.map(|s| (s, Instant::now())),
+            name,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether this span will emit on drop.
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// Closes the span early (equivalent to dropping it here).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((sink, started)) = self.armed.take() {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            sink.emit(&Event::SpanClosed {
+                name: self.name,
+                nanos,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn armed_span_emits_on_drop() {
+        let sink = MemorySink::new(8);
+        {
+            let span = Span::start(Some(&sink), "unit");
+            assert!(span.is_armed());
+            assert_eq!(span.name(), "unit");
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::SpanClosed { name, .. } => assert_eq!(*name, "unit"),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unarmed_span_is_silent() {
+        let span = Span::start(None, "unit");
+        assert!(!span.is_armed());
+        drop(span);
+        // Nothing to observe — the point is it must not panic and emits
+        // nothing (verified indirectly: no sink exists to receive).
+    }
+
+    #[test]
+    fn finish_closes_early() {
+        let sink = MemorySink::new(8);
+        let span = Span::start(Some(&sink), "early");
+        span.finish();
+        assert_eq!(sink.count_kind("span_closed"), 1);
+    }
+}

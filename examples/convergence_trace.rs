@@ -35,12 +35,12 @@ fn main() {
     config.test_samples = 1_000;
 
     println!("== convergence under the GD attack (FashionMNIST profile) ==\n");
-    let benign =
-        Simulation::new(config.clone()).run(Box::new(PassthroughFilter), AttackKind::None);
+    let benign = Simulation::new(config.clone()).run(Box::new(PassthroughFilter), AttackKind::None);
     trace("benign / FedBuff", &benign);
     let attacked = Simulation::new(config.clone()).run(Box::new(PassthroughFilter), AttackKind::Gd);
     trace("GD / FedBuff", &attacked);
-    let detector = Simulation::new(config.clone()).run(Box::new(FlDetector::default()), AttackKind::Gd);
+    let detector =
+        Simulation::new(config.clone()).run(Box::new(FlDetector::default()), AttackKind::Gd);
     trace("GD / FLDetector", &detector);
     let defended =
         Simulation::new(config.clone()).run(Box::new(AsyncFilter::default()), AttackKind::Gd);
@@ -50,7 +50,7 @@ fn main() {
     let rejected: Vec<f64> = defended
         .round_reports
         .iter()
-        .map(|&(_, r, _)| r as f64)
+        .map(|r| r.rejected as f64)
         .collect();
     println!(
         "\nAsyncFilter rejections per round: {}  (total {} of {} filtered updates)",

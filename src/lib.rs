@@ -14,6 +14,7 @@
 //! | [`clustering`] | `asyncfl-clustering` | exact 1-D k-means, k-means++, gap statistic |
 //! | [`analysis`] | `asyncfl-analysis` | t-SNE/PCA, experiment grids, report tables |
 //! | [`tensor`] | `asyncfl-tensor` | dense vectors/matrices |
+//! | [`telemetry`] | `asyncfl-telemetry` | structured event tracing, metrics registry, timing spans |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use asyncfl_core as core;
 pub use asyncfl_data as data;
 pub use asyncfl_ml as ml;
 pub use asyncfl_sim as sim;
+pub use asyncfl_telemetry as telemetry;
 pub use asyncfl_tensor as tensor;
 
 /// The most common imports for building and running AFL experiments.
@@ -57,6 +59,10 @@ pub mod prelude {
     pub use asyncfl_sim::config::SimConfig;
     pub use asyncfl_sim::metrics::{DetectionStats, RunResult};
     pub use asyncfl_sim::runner::Simulation;
+    pub use asyncfl_sim::server::AggregationReport;
     pub use asyncfl_sim::threaded::run_threaded;
+    pub use asyncfl_telemetry::{
+        Event, JsonlSink, MemorySink, MetricsRegistry, NullSink, SharedSink, Sink, Span, Verdict,
+    };
     pub use asyncfl_tensor::Vector;
 }

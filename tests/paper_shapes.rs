@@ -20,7 +20,9 @@ fn mid_config(profile: DatasetProfile) -> SimConfig {
 }
 
 fn run(cfg: &SimConfig, filter: Box<dyn UpdateFilter>, attack: AttackKind) -> f64 {
-    Simulation::new(cfg.clone()).run(filter, attack).final_accuracy
+    Simulation::new(cfg.clone())
+        .run(filter, attack)
+        .final_accuracy
 }
 
 #[test]

@@ -175,7 +175,7 @@ fn run_result_round_reports_cover_every_round() {
     cfg.rounds = 6;
     let result = Simulation::new(cfg).run(Box::new(AsyncFilter::default()), AttackKind::Gd);
     assert_eq!(result.round_reports.len(), 6);
-    for &(accepted, rejected, deferred) in &result.round_reports {
-        assert!(accepted + rejected + deferred > 0);
+    for report in &result.round_reports {
+        assert!(report.accepted + report.rejected + report.deferred > 0);
     }
 }
