@@ -38,8 +38,12 @@ pub fn roc_curve(observations: &[LabelledScore]) -> Vec<RocPoint> {
     if positives == 0 || negatives == 0 {
         return endpoints;
     }
+    assert!(
+        observations.iter().all(|(s, _)| !s.is_nan()),
+        "roc_curve: NaN score"
+    );
     let mut sorted: Vec<LabelledScore> = observations.to_vec();
-    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("roc_curve: NaN score"));
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0 }];
     let mut tp = 0usize;

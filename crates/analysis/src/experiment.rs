@@ -268,7 +268,9 @@ impl ExperimentGrid {
         let cells = self.cells();
         let (task_tx, task_rx) = channel::unbounded::<(usize, (DefenseKind, AttackKind, u64))>();
         for item in cells.iter().copied().enumerate() {
-            task_tx.send(item).expect("queue open");
+            if task_tx.send(item).is_err() {
+                break;
+            }
         }
         drop(task_tx);
         let (result_tx, result_rx) = channel::unbounded::<(usize, GridCell)>();
@@ -280,7 +282,9 @@ impl ExperimentGrid {
                 scope.spawn(move || {
                     while let Ok((idx, (defense, attack, seed))) = task_rx.recv() {
                         let cell = self.run_cell(defense, attack, seed, sink.clone());
-                        result_tx.send((idx, cell)).expect("collector open");
+                        if result_tx.send((idx, cell)).is_err() {
+                            break;
+                        }
                     }
                 });
             }

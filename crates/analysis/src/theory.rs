@@ -19,7 +19,7 @@
 //! *conclusion* end-to-end; this module checks its *hypotheses*.
 
 use asyncfl_tensor::{stats, Vector};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Estimated constants of Assumptions 1–2 plus the Theorem 1 premise check.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +57,7 @@ impl TheoryConstants {
 ///
 /// Panics if delta dimensions are inconsistent.
 pub fn estimate_constants(observations: &[(usize, Vector)]) -> Option<TheoryConstants> {
-    let mut per_client: HashMap<usize, Vec<&Vector>> = HashMap::new();
+    let mut per_client: BTreeMap<usize, Vec<&Vector>> = BTreeMap::new();
     for (client, delta) in observations {
         per_client.entry(*client).or_default().push(delta);
     }
@@ -66,15 +66,13 @@ pub fn estimate_constants(observations: &[(usize, Vector)]) -> Option<TheoryCons
     }
 
     // Per-client mean updates δ̄ᵢ and the population mean δ̄.
-    let client_means: Vec<(usize, Vector)> = per_client
-        .iter()
-        .map(|(&c, deltas)| {
-            let owned: Vec<Vector> = deltas.iter().map(|d| (*d).clone()).collect();
-            (c, stats::mean_vector(&owned).expect("nonempty client"))
-        })
-        .collect();
+    let mut client_means: Vec<(usize, Vector)> = Vec::with_capacity(per_client.len());
+    for (&c, deltas) in &per_client {
+        let owned: Vec<Vector> = deltas.iter().map(|d| (*d).clone()).collect();
+        client_means.push((c, stats::mean_vector(&owned)?));
+    }
     let means_only: Vec<Vector> = client_means.iter().map(|(_, m)| m.clone()).collect();
-    let population = stats::mean_vector(&means_only).expect("nonempty population");
+    let population = stats::mean_vector(&means_only)?;
     let pop_norm = population.norm();
     if pop_norm <= 1e-12 {
         return None;
@@ -96,7 +94,9 @@ pub fn estimate_constants(observations: &[(usize, Vector)]) -> Option<TheoryCons
         }
         any_multi = true;
         let owned: Vec<Vector> = deltas.iter().map(|d| (*d).clone()).collect();
-        let mean = stats::mean_vector(&owned).expect("nonempty");
+        let Some(mean) = stats::mean_vector(&owned) else {
+            continue;
+        };
         let var = owned.iter().map(|d| d.distance_squared(&mean)).sum::<f64>() / owned.len() as f64;
         let sigma = var.sqrt();
         sigma_l_min = sigma_l_min.min(sigma);

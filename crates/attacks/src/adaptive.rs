@@ -62,10 +62,9 @@ impl Attack for AdaptiveStealthAttack {
     }
 
     fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
-        if colluding_deltas.is_empty() {
+        let Some(mu) = stats::mean_vector(colluding_deltas) else {
             return Vec::new();
-        }
-        let mu = stats::mean_vector(colluding_deltas).expect("nonempty");
+        };
         if colluding_deltas.len() == 1 {
             // No observable spread: the only safe move is the mean itself
             // (behaving honestly this round).

@@ -54,10 +54,9 @@ impl Attack for InnerProductManipulationAttack {
     }
 
     fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
-        if colluding_deltas.is_empty() {
+        let Some(mu) = stats::mean_vector(colluding_deltas) else {
             return Vec::new();
-        }
-        let mu = stats::mean_vector(colluding_deltas).expect("nonempty");
+        };
         vec![mu.scaled(-self.epsilon); colluding_deltas.len()]
     }
 }

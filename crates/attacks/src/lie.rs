@@ -71,11 +71,12 @@ impl Attack for LittleIsEnoughAttack {
     }
 
     fn craft_all(&self, colluding_deltas: &[Vector], _rng: &mut StdRng) -> Vec<Vector> {
-        if colluding_deltas.is_empty() {
+        let (Some(mu), Some(sigma)) = (
+            stats::mean_vector(colluding_deltas),
+            stats::std_vector(colluding_deltas),
+        ) else {
             return Vec::new();
-        }
-        let mu = stats::mean_vector(colluding_deltas).expect("nonempty");
-        let sigma = stats::std_vector(colluding_deltas).expect("nonempty");
+        };
         let mut crafted = mu;
         crafted.axpy(self.z, &sigma);
         vec![crafted; colluding_deltas.len()]

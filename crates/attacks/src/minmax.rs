@@ -31,30 +31,32 @@ pub enum PerturbationDirection {
 }
 
 impl PerturbationDirection {
-    /// Computes the (unnormalized) direction for the given honest deltas.
-    fn direction(&self, deltas: &[Vector]) -> Vector {
-        let mu = stats::mean_vector(deltas).expect("nonempty deltas");
+    /// Computes the (unnormalized) direction for the given honest deltas,
+    /// whose precomputed mean is `mu`.
+    fn direction(&self, deltas: &[Vector], mu: &Vector) -> Vector {
         match self {
             PerturbationDirection::InverseUnit => {
-                let mut d = -&mu;
+                let mut d = -mu;
                 d.rescale_to_norm(1.0);
                 d
             }
             PerturbationDirection::InverseSign => mu.map(|x| -x.signum()),
-            PerturbationDirection::InverseStd => -&stats::std_vector(deltas).expect("nonempty"),
+            PerturbationDirection::InverseStd => {
+                -&stats::std_vector(deltas).unwrap_or_else(|| Vector::zeros(mu.len()))
+            }
         }
     }
 }
 
-/// Shared γ-search machinery for both attacks.
+/// Shared γ-search machinery for both attacks. `mu` is the mean of the
+/// colluding deltas the crafted update perturbs away from.
 fn halving_search(
-    deltas: &[Vector],
+    mu: &Vector,
     direction: &Vector,
     constraint: impl Fn(&Vector) -> bool,
     gamma_init: f64,
     tau: f64,
 ) -> Vector {
-    let mu = stats::mean_vector(deltas).expect("nonempty deltas");
     let craft = |gamma: f64| -> Vector {
         let mut v = mu.clone();
         v.axpy(gamma, direction);
@@ -133,10 +135,13 @@ impl Attack for MinMaxAttack {
             // No spread to hide in: send the reversed delta (degenerate case).
             return vec![colluding_deltas[0].scaled(-1.0)];
         }
-        let dir = self.direction.direction(colluding_deltas);
+        let Some(mu) = stats::mean_vector(colluding_deltas) else {
+            return Vec::new();
+        };
+        let dir = self.direction.direction(colluding_deltas, &mu);
         let bound = max_pairwise_distance(colluding_deltas);
         let crafted = halving_search(
-            colluding_deltas,
+            &mu,
             &dir,
             |v| max_distance_to_all(v, colluding_deltas) <= bound,
             10.0,
@@ -176,13 +181,16 @@ impl Attack for MinSumAttack {
         if colluding_deltas.len() == 1 {
             return vec![colluding_deltas[0].scaled(-1.0)];
         }
-        let dir = self.direction.direction(colluding_deltas);
+        let Some(mu) = stats::mean_vector(colluding_deltas) else {
+            return Vec::new();
+        };
+        let dir = self.direction.direction(colluding_deltas, &mu);
         let bound = colluding_deltas
             .iter()
             .map(|d| sum_sq_distances(d, colluding_deltas))
             .fold(0.0f64, f64::max);
         let crafted = halving_search(
-            colluding_deltas,
+            &mu,
             &dir,
             |v| sum_sq_distances(v, colluding_deltas) <= bound,
             10.0,
@@ -254,7 +262,7 @@ mod tests {
         let gamma = out[0].distance(&mu);
         // 10% further along the same direction must violate the bound.
         let mut pushed = out[0].clone();
-        let dir = PerturbationDirection::InverseUnit.direction(&deltas);
+        let dir = PerturbationDirection::InverseUnit.direction(&deltas, &mu);
         pushed.axpy(0.2 * gamma.max(0.1), &dir);
         assert!(max_distance_to_all(&pushed, &deltas) > bound);
     }

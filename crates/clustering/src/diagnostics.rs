@@ -27,7 +27,7 @@ pub fn silhouette(points: &[Vector], assignments: &[usize]) -> f64 {
         assignments.len(),
         "silhouette: points/assignments length mismatch"
     );
-    let k = assignments.iter().max().expect("nonempty") + 1;
+    let k = assignments.iter().copied().max().unwrap_or(0) + 1;
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
     for (i, &a) in assignments.iter().enumerate() {
         members[a].push(i);
@@ -200,11 +200,13 @@ mod tests {
 
     #[test]
     fn gap_prefers_one_cluster_for_uniform_data() {
+        // b = 10 reference draws make s₂ noisy enough that the selection
+        // rule misfires on some seeds; 50 draws keep the margin stable.
         let mut rng = StdRng::seed_from_u64(4);
         let pts: Vec<Vector> = (0..40)
             .map(|_| Vector::from(vec![rng.random::<f64>()]))
             .collect();
-        assert!(!two_clusters_preferred(&pts, 10, &mut rng));
+        assert!(!two_clusters_preferred(&pts, 50, &mut rng));
     }
 
     #[test]

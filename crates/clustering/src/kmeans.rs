@@ -39,8 +39,7 @@ impl KMeansResult {
             .max_by(|&a, &b| {
                 self.centroids[a]
                     .norm()
-                    .partial_cmp(&self.centroids[b].norm())
-                    .expect("finite centroids")
+                    .total_cmp(&self.centroids[b].norm())
             })
     }
 }
@@ -133,9 +132,11 @@ impl KMeans {
             inertia += d2;
         }
         // Pad to the requested k when there were fewer points than clusters.
-        while centroids.len() < self.k {
-            centroids.push(centroids.last().expect("k >= 1").clone());
-            sizes.push(0);
+        if let Some(last) = centroids.last().cloned() {
+            while centroids.len() < self.k {
+                centroids.push(last.clone());
+                sizes.push(0);
+            }
         }
         KMeansResult {
             assignments,
@@ -177,10 +178,11 @@ impl KMeans {
                 }
                 chosen
             };
-            centroids.push(points[next].clone());
+            let newest = points[next].clone();
             for (i, p) in points.iter().enumerate() {
-                d2[i] = d2[i].min(p.distance_squared(centroids.last().expect("nonempty")));
+                d2[i] = d2[i].min(p.distance_squared(&newest));
             }
+            centroids.push(newest);
         }
         centroids
     }

@@ -76,7 +76,7 @@ pub fn kmeans_1d(values: &[f64], k: usize) -> KMeans1dResult {
     let n = values.len();
     // Sort once, remembering original positions.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
 
     // Prefix sums for O(1) interval cost queries.
@@ -149,6 +149,13 @@ pub fn kmeans_1d(values: &[f64], k: usize) -> KMeans1dResult {
         centroids.push(sorted[n - 1]);
         sizes.push(0);
     }
+    // The DP clusters contiguous sorted intervals, so non-empty centroids
+    // must come out in nondecreasing order — AsyncFilter's low < mid < high
+    // cluster reading (§4.3) depends on it.
+    debug_assert!(
+        centroids[..kk].windows(2).all(|w| w[0] <= w[1] + 1e-9),
+        "kmeans_1d centroids out of order: {centroids:?}"
+    );
 
     // Map back to the original input order.
     let mut assignments = vec![0usize; n];
@@ -245,7 +252,7 @@ mod tests {
         let values = [0.2, 1.1, 1.15, 3.0, 3.05, 3.1, 7.0];
         let r = kmeans_1d(&values, 2);
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let cost = |xs: &[f64]| {
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
             xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
@@ -269,7 +276,7 @@ mod tests {
                 .drain(..)
                 .zip(r.assignments.iter().copied())
                 .collect();
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in pairs.windows(2) {
                 prop_assert!(w[0].1 <= w[1].1);
             }

@@ -82,8 +82,10 @@ impl Aggregator for MeanAggregator {
             .map(|u| u.num_samples as f64 * self.staleness.weight(u.staleness))
             .collect();
         let deltas: Vec<Vector> = updates.iter().map(|u| u.delta.clone()).collect();
-        let mean = stats::weighted_mean_vector(&deltas, &weights).expect("nonempty");
-        global + &mean
+        match stats::weighted_mean_vector(&deltas, &weights) {
+            Some(mean) => global + &mean,
+            None => global.clone(),
+        }
     }
 }
 
@@ -147,8 +149,10 @@ impl Aggregator for TrimmedMeanAggregator {
         while 2 * trim >= deltas.len() && trim > 0 {
             trim -= 1;
         }
-        let m = stats::trimmed_mean_vector(&deltas, trim).expect("nonempty");
-        global + &m
+        match stats::trimmed_mean_vector(&deltas, trim) {
+            Some(m) => global + &m,
+            None => global.clone(),
+        }
     }
 }
 
@@ -194,7 +198,7 @@ impl KrumAggregator {
                 .filter(|&j| j != i)
                 .map(|j| updates[i].delta.distance_squared(&updates[j].delta))
                 .collect();
-            dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            dists.sort_by(f64::total_cmp);
             scores[i] = dists.iter().take(k).sum();
         }
         scores
@@ -216,7 +220,7 @@ impl Aggregator for KrumAggregator {
         }
         let scores = self.scores(updates);
         let mut order: Vec<usize> = (0..updates.len()).collect();
-        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
         let chosen = &order[..self.select.min(updates.len())];
         let mut mean = Vector::zeros(global.len());
         for &i in chosen {
@@ -428,7 +432,7 @@ mod tests {
         let max_idx = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(max_idx, 3);

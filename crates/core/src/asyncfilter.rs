@@ -192,9 +192,11 @@ impl Default for AsyncFilterConfig {
 }
 
 /// Coordinate-wise 25%-trimmed mean used to bootstrap new-group estimates.
+/// Empty input (never produced by the callers) yields an empty vector.
 fn robust_bootstrap(params: &[Vector]) -> Vector {
     let trim = params.len() / 4;
-    asyncfl_tensor::stats::trimmed_mean_vector(params, trim).expect("nonempty bootstrap input")
+    asyncfl_tensor::stats::trimmed_mean_vector(params, trim)
+        .unwrap_or_else(|| Vector::zeros(params.first().map_or(0, |p| p.len())))
 }
 
 /// Per-staleness-group moving-average state.
@@ -224,6 +226,7 @@ impl AsyncFilter {
     /// [`AsyncFilterConfig::validate`] for a recoverable check.
     pub fn new(config: AsyncFilterConfig) -> Self {
         if let Err(e) = config.validate() {
+            // lint:allow(P1) -- documented constructor contract; validate() is the recoverable path
             panic!("invalid AsyncFilterConfig: {e}");
         }
         Self {
@@ -372,6 +375,11 @@ impl UpdateFilter for AsyncFilter {
                     for (i, &d) in dist.iter().enumerate() {
                         scores[i] = d / denom;
                     }
+                    // Eq. 7 invariant: the score vector is unit-norm.
+                    debug_assert!(
+                        (scores.iter().map(|s| s * s).sum::<f64>() - 1.0).abs() < 1e-6,
+                        "eq. 7 global normalization lost unit norm"
+                    );
                 }
             }
             ScoreNormalization::WithinGroup => {
@@ -385,6 +393,13 @@ impl UpdateFilter for AsyncFilter {
                         for &i in members {
                             scores[i] = dist[i] / denom;
                         }
+                        // Eq. 7 invariant, per group: unit-norm score slice.
+                        debug_assert!(
+                            (members.iter().map(|&i| scores[i] * scores[i]).sum::<f64>() - 1.0)
+                                .abs()
+                                < 1e-6,
+                            "eq. 7 within-group normalization lost unit norm"
+                        );
                     }
                 }
             }
@@ -397,6 +412,10 @@ impl UpdateFilter for AsyncFilter {
                         for (i, &d) in dist.iter().enumerate() {
                             scores[i] = d / denom;
                         }
+                        debug_assert!(
+                            (scores.iter().map(|s| s * s).sum::<f64>() - 1.0).abs() < 1e-6,
+                            "eq. 7 single-group fallback normalization lost unit norm"
+                        );
                     }
                 } else {
                     for (i, u) in finite.iter().enumerate() {
@@ -713,7 +732,7 @@ mod tests {
         // The attacker has the top score.
         let top = scores
             .iter()
-            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .max_by(|a, b| a.score.total_cmp(&b.score))
             .unwrap();
         assert!(top.truth_malicious);
     }

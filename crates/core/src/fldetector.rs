@@ -21,7 +21,7 @@ use asyncfl_clustering::one_dim::kmeans_1d;
 use asyncfl_tensor::Vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Configuration for [`FlDetector`].
 #[derive(Debug, Clone, PartialEq)]
@@ -57,9 +57,10 @@ pub struct FlDetector {
     /// L-BFGS curvature pairs `(s = Δw, y = Δg)`, newest last.
     pairs: VecDeque<(Vector, Vector)>,
     /// Per-client: last submitted delta and the global snapshot it followed.
-    client_last: HashMap<usize, (Vector, Vector)>,
+    /// `BTreeMap` so any iteration over filter state is reproducible (D1).
+    client_last: BTreeMap<usize, (Vector, Vector)>,
     /// Per-client sliding window of prediction errors.
-    client_errors: HashMap<usize, VecDeque<f64>>,
+    client_errors: BTreeMap<usize, VecDeque<f64>>,
     /// Normalized windowed scores from the most recent `filter` call.
     last_scores: Vec<ScoreRecord>,
     rng: StdRng,
@@ -74,8 +75,8 @@ impl FlDetector {
             prev_global: None,
             prev_agg_delta: None,
             pairs: VecDeque::new(),
-            client_last: HashMap::new(),
-            client_errors: HashMap::new(),
+            client_last: BTreeMap::new(),
+            client_errors: BTreeMap::new(),
             last_scores: Vec::new(),
             rng,
         }
@@ -106,7 +107,9 @@ impl FlDetector {
             alphas.push((alpha, rho));
         }
         // Initial scaling γ = (y'·s')/(y'·y') with swapped roles.
-        let (s_last, y_last) = usable.last().expect("nonempty");
+        let Some((s_last, y_last)) = usable.last() else {
+            return Vector::zeros(v.len());
+        };
         let denom = s_last.dot(s_last);
         let gamma = if denom > 1e-12 {
             y_last.dot(s_last) / denom

@@ -161,7 +161,7 @@ impl Aggregator for NnmAggregator {
                     .enumerate()
                     .map(|(j, v)| (u.delta.distance_squared(&v.delta), j))
                     .collect();
-                dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+                dists.sort_by(|a, b| a.0.total_cmp(&b.0));
                 let mut delta = Vector::zeros(global.len());
                 for &(_, j) in dists.iter().take(k) {
                     delta.axpy(1.0 / k as f64, &updates[j].delta);

@@ -14,7 +14,7 @@
 //! than a lifetime count.
 
 use crate::update::{ClientUpdate, FilterContext, FilterOutcome, UpdateFilter};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Wraps an inner filter with sliding-window ban logic.
 pub struct ReputationFilter {
@@ -24,9 +24,10 @@ pub struct ReputationFilter {
     threshold: usize,
     /// Sliding window length, in filter invocations.
     window: usize,
-    /// Per-client rejection timestamps (invocation indices).
-    rejections: HashMap<usize, VecDeque<u64>>,
-    banned: HashSet<usize>,
+    /// Per-client rejection timestamps (invocation indices). `BTreeMap` /
+    /// `BTreeSet` so ban state iterates in client order (D1).
+    rejections: BTreeMap<usize, VecDeque<u64>>,
+    banned: BTreeSet<usize>,
     invocation: u64,
     name: String,
 }
@@ -49,18 +50,16 @@ impl ReputationFilter {
             inner,
             threshold,
             window,
-            rejections: HashMap::new(),
-            banned: HashSet::new(),
+            rejections: BTreeMap::new(),
+            banned: BTreeSet::new(),
             invocation: 0,
             name,
         }
     }
 
-    /// Clients currently banned.
+    /// Clients currently banned, in ascending client order.
     pub fn banned_clients(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.banned.iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.banned.iter().copied().collect()
     }
 
     /// Whether `client` is banned.

@@ -135,7 +135,9 @@ impl Zipf {
             cumulative.push(acc);
         }
         // Guard against floating-point drift at the tail.
-        *cumulative.last_mut().expect("n > 0") = 1.0;
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
         Self {
             exponent: s,
             cumulative,
@@ -166,10 +168,7 @@ impl Zipf {
     /// Samples a rank in `1..=n` by inverse-CDF lookup.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.n()),
         }

@@ -134,6 +134,7 @@ impl Task {
     /// check.
     pub fn new<R: Rng + ?Sized>(spec: TaskSpec, rng: &mut R) -> Self {
         if let Err(e) = spec.validate() {
+            // lint:allow(P1) -- documented constructor contract; validate() is the recoverable path
             panic!("invalid TaskSpec: {e}");
         }
         let class_means = match spec.mean_structure {

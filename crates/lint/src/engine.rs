@@ -1,0 +1,366 @@
+//! Per-file lint engine: file classification, `#[cfg(test)]` region
+//! detection, `lint:allow` directive handling and rule dispatch.
+
+use crate::rules::{self, RuleHit};
+use crate::tokenizer::{self, Lexed, TokenKind};
+
+/// A confirmed lint violation (or directive problem) in one file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (`D1`…`P1`, or `A0`/`A1` for directive problems).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+/// Lint results for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Hard violations — any of these fails the run.
+    pub violations: Vec<Diagnostic>,
+    /// Non-fatal notes (currently: unused `lint:allow` directives).
+    pub warnings: Vec<Diagnostic>,
+    /// Well-formed `lint:allow` directives that suppressed at least one hit.
+    pub allows_used: usize,
+    /// All well-formed `lint:allow` directives in the file.
+    pub allows_total: usize,
+}
+
+/// What kind of code a file contains, derived from its workspace-relative
+/// path. Decides which rules apply (see `docs/LINTS.md` for the matrix).
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// `crates/<name>/…` member name, if any.
+    pub crate_name: Option<String>,
+    /// Whole file is test code: `tests/` integration dirs and `benches/`.
+    pub is_test_file: bool,
+    /// Binary target: `src/bin/**` or a `main.rs`.
+    pub is_binary: bool,
+    /// Example under an `examples/` directory.
+    pub is_example: bool,
+    /// Part of `crates/bench` (measurement harness; exempt from D1/D2/P1).
+    pub is_bench_crate: bool,
+    /// Part of `crates/telemetry` (owns the wall clock; exempt from D2).
+    pub is_telemetry_crate: bool,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative path (`/` separators).
+    pub fn classify(rel_path: &str) -> Self {
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+            Some(parts[1].to_string())
+        } else {
+            None
+        };
+        let has_dir = |d: &str| parts.iter().rev().skip(1).any(|p| *p == d);
+        let file_name = parts.last().copied().unwrap_or("");
+        Self {
+            is_test_file: has_dir("tests") || has_dir("benches"),
+            is_binary: has_dir("bin") || file_name == "main.rs",
+            is_example: has_dir("examples"),
+            is_bench_crate: crate_name.as_deref() == Some("bench"),
+            is_telemetry_crate: crate_name.as_deref() == Some("telemetry"),
+            crate_name,
+        }
+    }
+}
+
+/// A parsed `lint:allow` directive.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    rules: Vec<String>,
+    used: bool,
+}
+
+/// Lints one file. `rel_path` is the workspace-relative path used both for
+/// rule scoping and in diagnostics.
+pub fn check_source(rel_path: &str, source: &str) -> FileReport {
+    let class = FileClass::classify(rel_path);
+    let lexed = tokenizer::lex(source);
+    let in_test = if class.is_test_file {
+        vec![true; lexed.tokens.len()]
+    } else {
+        test_regions(&lexed)
+    };
+
+    let mut report = FileReport::default();
+    let mut allows = Vec::new();
+    for comment in &lexed.comments {
+        match parse_allow(&comment.text) {
+            ParsedAllow::None => {}
+            ParsedAllow::Malformed(why) => report.violations.push(Diagnostic {
+                rule: "A0".to_string(),
+                path: rel_path.to_string(),
+                line: comment.line,
+                message: why,
+            }),
+            ParsedAllow::Allow(rules) => allows.push(Allow {
+                line: comment.line,
+                rules,
+                used: false,
+            }),
+        }
+    }
+    report.allows_total = allows.len();
+
+    for hit in rules::scan(&lexed, &class, &in_test) {
+        if let Some(allow) = allows.iter_mut().find(|a| {
+            (a.line == hit.line || a.line + 1 == hit.line) && a.rules.iter().any(|r| r == hit.rule)
+        }) {
+            allow.used = true;
+            continue;
+        }
+        report.violations.push(to_diagnostic(rel_path, hit));
+    }
+
+    for allow in &allows {
+        report.allows_used += usize::from(allow.used);
+        if !allow.used {
+            report.warnings.push(Diagnostic {
+                rule: "A1".to_string(),
+                path: rel_path.to_string(),
+                line: allow.line,
+                message: format!(
+                    "unused lint:allow({}) — nothing on this or the next line violates it",
+                    allow.rules.join(", ")
+                ),
+            });
+        }
+    }
+    report.violations.sort_by_key(|d| d.line);
+    report
+}
+
+fn to_diagnostic(path: &str, hit: RuleHit) -> Diagnostic {
+    Diagnostic {
+        rule: hit.rule.to_string(),
+        path: path.to_string(),
+        line: hit.line,
+        message: hit.message,
+    }
+}
+
+enum ParsedAllow {
+    None,
+    Malformed(String),
+    Allow(Vec<String>),
+}
+
+/// Parses `lint:allow(R1, R2) -- reason` out of a comment body. The reason
+/// is mandatory: an allow without a recorded justification is itself a
+/// violation (rule `A0`). Only comments that *begin* with the directive are
+/// parsed, so prose that merely mentions `lint:allow` is ignored.
+fn parse_allow(comment: &str) -> ParsedAllow {
+    let body = comment.trim_start_matches(['/', '!', '*']).trim_start();
+    let Some(rest) = body.strip_prefix("lint:allow") else {
+        return ParsedAllow::None;
+    };
+    let Some(open) = rest.find('(') else {
+        return ParsedAllow::Malformed(
+            "lint:allow directive is missing its (RULE, …) list".to_string(),
+        );
+    };
+    let Some(close) = rest.find(')') else {
+        return ParsedAllow::Malformed(
+            "lint:allow directive has an unclosed rule list".to_string(),
+        );
+    };
+    if open > close {
+        return ParsedAllow::Malformed(
+            "lint:allow directive has a malformed rule list".to_string(),
+        );
+    }
+    let rule_list: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rule_list.is_empty() {
+        return ParsedAllow::Malformed("lint:allow directive names no rules".to_string());
+    }
+    if let Some(unknown) = rule_list.iter().find(|r| !rules::is_known_rule(r)) {
+        return ParsedAllow::Malformed(format!(
+            "lint:allow names unknown rule {unknown:?} (known: {})",
+            rules::RULES
+                .iter()
+                .map(|r| r.id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    let after = &rest[close + 1..];
+    let reason = after.trim_start().strip_prefix("--").map(str::trim);
+    match reason {
+        Some(r) if !r.is_empty() => ParsedAllow::Allow(rule_list),
+        _ => ParsedAllow::Malformed(
+            "lint:allow requires a justification: `lint:allow(RULE) -- <reason>`".to_string(),
+        ),
+    }
+}
+
+/// Marks tokens covered by `#[test]`- or `#[cfg(test)]`-gated items.
+///
+/// Heuristic, not a parse: an attribute whose token list contains the
+/// identifier `test` (and not `not`, so `#[cfg(not(test))]` stays live code)
+/// marks the following item — through any further attributes, up to the
+/// matching close brace or a top-level `;` — as test code.
+fn test_regions(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_attr_start(lexed, i) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let (attr_end, is_test) = scan_attr(lexed, i);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = attr_end;
+        while is_attr_start(lexed, k) {
+            let (next_end, _) = scan_attr(lexed, k);
+            k = next_end;
+        }
+        // Consume the item: to the matching `}` or a top-level `;`.
+        let mut depth = 0i64;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for flag in in_test.iter_mut().take(k).skip(start) {
+            *flag = true;
+        }
+        i = k;
+    }
+    in_test
+}
+
+/// Whether token `i` starts an outer attribute `#[…]`.
+fn is_attr_start(lexed: &Lexed, i: usize) -> bool {
+    let toks = &lexed.tokens;
+    matches!(toks.get(i), Some(t) if t.kind == TokenKind::Op && t.text == "#")
+        && matches!(toks.get(i + 1), Some(t) if t.kind == TokenKind::Op && t.text == "[")
+}
+
+/// Scans the attribute starting at `i`; returns (index past `]`, is-test).
+fn scan_attr(lexed: &Lexed, i: usize) -> (usize, bool) {
+    let toks = &lexed.tokens;
+    let mut j = i + 2;
+    let mut depth = 1i64;
+    let mut has_test = false;
+    let mut has_not = false;
+    while j < toks.len() && depth > 0 {
+        let t = &toks[j];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Op, "[") => depth += 1,
+            (TokenKind::Op, "]") => depth -= 1,
+            (TokenKind::Ident, "test") => has_test = true,
+            (TokenKind::Ident, "not") => has_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, has_test && !has_not)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        let lib = FileClass::classify("crates/core/src/asyncfilter.rs");
+        assert_eq!(lib.crate_name.as_deref(), Some("core"));
+        assert!(!lib.is_binary && !lib.is_test_file && !lib.is_bench_crate);
+
+        let bin = FileClass::classify("crates/bench/src/bin/repro.rs");
+        assert!(bin.is_binary && bin.is_bench_crate);
+
+        let main = FileClass::classify("crates/lint/src/main.rs");
+        assert!(main.is_binary && !main.is_bench_crate);
+
+        let tele = FileClass::classify("crates/telemetry/src/span.rs");
+        assert!(tele.is_telemetry_crate);
+
+        let integration = FileClass::classify("tests/end_to_end.rs");
+        assert!(integration.is_test_file);
+        assert!(FileClass::classify("examples/quickstart.rs").is_example);
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt_from_p1() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_live_code() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "P1");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_counts() {
+        let src = "fn f() {\n    x.unwrap(); // lint:allow(P1) -- checked above\n}\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.allows_used, 1);
+    }
+
+    #[test]
+    fn allow_on_previous_line_suppresses() {
+        let src = "fn f() {\n    // lint:allow(P1) -- invariant: nonempty\n    x.unwrap();\n}\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "fn f() {\n    x.unwrap(); // lint:allow(P1)\n}\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert!(report.violations.iter().any(|d| d.rule == "A0"));
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_a_violation() {
+        let src = "// lint:allow(Z9) -- bogus\nfn f() {}\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert!(report.violations.iter().any(|d| d.rule == "A0"));
+    }
+
+    #[test]
+    fn unused_allow_is_a_warning() {
+        let src = "// lint:allow(D1) -- stale justification\nfn f() {}\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.warnings.len(), 1);
+        assert_eq!(report.warnings[0].rule, "A1");
+    }
+}

@@ -1,0 +1,53 @@
+//! `asyncfl-lint` — the AsyncFilter workspace invariant linter.
+//!
+//! Stock `clippy -D warnings` already gates CI, but it cannot express the
+//! invariants this reproduction actually depends on: AsyncFilter's verdicts
+//! hinge on floating-point suspicious scores (paper eqs. 6–7) and 1-D
+//! 3-means over them (§4.3), so a single NaN-unsafe sort or a `HashMap`
+//! iteration in filter state silently makes accept/defer/reject decisions
+//! nondeterministic. This crate is a lightweight Rust tokenizer plus a
+//! per-file lint engine enforcing five project rules:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `D1` | no `HashMap`/`HashSet` in non-test code (iteration order) |
+//! | `D2` | no `thread_rng`/`from_entropy`/`SystemTime::now` (seeded RNG only) |
+//! | `F1` | no `.partial_cmp(..)` on floats — use `f64::total_cmp` |
+//! | `F2` | no float `==`/`!=` against nonzero literals in non-test code |
+//! | `P1` | no `unwrap()`/`expect()`/`panic!` in library non-test code |
+//!
+//! Escape hatch: `// lint:allow(<rule>) -- <reason>` on the violating line
+//! or the line above. The reason is mandatory. See `docs/LINTS.md` for the
+//! full catalogue, the rule-applicability matrix, and worked examples.
+//!
+//! Run it as `cargo run -p asyncfl-lint -- check` (add `--json` for the
+//! machine-readable report CI archives). The crate has zero external
+//! dependencies, like `asyncfl-telemetry`.
+
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod tokenizer;
+
+pub use engine::{check_source, Diagnostic, FileClass, FileReport};
+pub use report::RunSummary;
+
+/// Lints a set of `(path, source)` pairs and aggregates the results.
+pub fn check_files<'a, I>(files: I) -> RunSummary
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut summary = RunSummary::default();
+    for (path, source) in files {
+        let report = check_source(path, source);
+        summary.files_scanned += 1;
+        summary.violations.extend(report.violations);
+        summary.warnings.extend(report.warnings);
+        summary.allows_used += report.allows_used;
+        summary.allows_total += report.allows_total;
+    }
+    summary
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    summary
+}

@@ -1,0 +1,156 @@
+//! Human and machine-readable rendering of lint results.
+
+use crate::engine::Diagnostic;
+
+/// Aggregated results across every linted file.
+#[derive(Debug, Default)]
+pub struct RunSummary {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Hard violations across all files.
+    pub violations: Vec<Diagnostic>,
+    /// Non-fatal warnings (unused allows).
+    pub warnings: Vec<Diagnostic>,
+    /// `lint:allow` directives that suppressed something.
+    pub allows_used: usize,
+    /// All well-formed `lint:allow` directives.
+    pub allows_total: usize,
+}
+
+impl RunSummary {
+    /// Whether the run passed (no hard violations).
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Plain-text report, one line per finding plus a trailing summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                d.path, d.line, d.rule, d.message
+            ));
+        }
+        for d in &self.warnings {
+            out.push_str(&format!(
+                "{}:{}: [{}] warning: {}\n",
+                d.path, d.line, d.rule, d.message
+            ));
+        }
+        out.push_str(&format!(
+            "asyncfl-lint: {} violation(s), {} warning(s), {} file(s) scanned, \
+             {}/{} lint:allow directive(s) in use\n",
+            self.violations.len(),
+            self.warnings.len(),
+            self.files_scanned,
+            self.allows_used,
+            self.allows_total,
+        ));
+        out
+    }
+
+    /// JSON report (hand-rolled; this crate is dependency-free). Stable key
+    /// order so CI artifacts diff cleanly across PRs.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"allows_used\": {},\n", self.allows_used));
+        out.push_str(&format!("  \"allows_total\": {},\n", self.allows_total));
+        out.push_str(&format!(
+            "  \"violations\": {},\n",
+            render_diagnostics(&self.violations)
+        ));
+        out.push_str(&format!(
+            "  \"warnings\": {}\n",
+            render_diagnostics(&self.warnings)
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn render_diagnostics(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "[]".to_string();
+    }
+    let items: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(&d.rule),
+                json_string(&d.path),
+                d.line,
+                json_string(&d.message)
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", items.join(",\n"))
+}
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_string(),
+            path: "crates/x/src/lib.rs".to_string(),
+            line,
+            message: "a \"quoted\" message".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_report_mentions_everything() {
+        let summary = RunSummary {
+            files_scanned: 3,
+            violations: vec![diag("D1", 7)],
+            warnings: vec![],
+            allows_used: 1,
+            allows_total: 2,
+        };
+        let text = summary.render_human();
+        assert!(text.contains("crates/x/src/lib.rs:7: [D1]"));
+        assert!(text.contains("1 violation(s)"));
+        assert!(!summary.clean());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_parses_shapewise() {
+        let summary = RunSummary {
+            files_scanned: 1,
+            violations: vec![diag("F1", 2)],
+            warnings: vec![],
+            allows_used: 0,
+            allows_total: 0,
+        };
+        let json = summary.render_json();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"rule\": \"F1\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-rule fixture tests: each rule must fire on a minimal violating
+//! snippet, stay quiet once a justified `lint:allow` is added, and report
+//! the exact `file:line` of the violation.
+
+use asyncfl_lint::engine::check_source;
+
+const LIB_PATH: &str = "crates/core/src/somefile.rs";
+
+/// Violations as `(rule, line)` pairs for a library-classified source.
+fn violations(source: &str) -> Vec<(String, u32)> {
+    let report = check_source(LIB_PATH, source);
+    report
+        .violations
+        .into_iter()
+        .map(|d| {
+            assert_eq!(d.path, LIB_PATH);
+            (d.rule, d.line)
+        })
+        .collect()
+}
+
+/// Asserts that `source` produces exactly one violation of `rule` at `line`,
+/// and that `allowed` (the same snippet with a justified directive) is clean.
+fn fires_and_allows(rule: &str, line: u32, source: &str, allowed: &str) {
+    let found = violations(source);
+    assert_eq!(
+        found,
+        vec![(rule.to_string(), line)],
+        "rule {rule}: wrong violations for:\n{source}"
+    );
+    let after_allow = violations(allowed);
+    assert!(
+        after_allow.is_empty(),
+        "rule {rule}: allow did not suppress, got {after_allow:?} for:\n{allowed}"
+    );
+}
+
+#[test]
+fn d1_hashmap_in_library_state() {
+    fires_and_allows(
+        "D1",
+        2,
+        "use std::collections::VecDeque;\nstruct S { m: HashMap<u32, f64> }\n",
+        "use std::collections::VecDeque;\n\
+         // lint:allow(D1) -- scratch map, never iterated\n\
+         struct S { m: HashMap<u32, f64> }\n",
+    );
+}
+
+#[test]
+fn d1_reports_hashset_too() {
+    let found = violations("fn f() { let s: HashSet<u32> = HashSet::new(); }\n");
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found.iter().all(|(r, l)| r == "D1" && *l == 1));
+}
+
+#[test]
+fn d2_thread_rng_is_ambient_entropy() {
+    fires_and_allows(
+        "D2",
+        1,
+        "fn f() { let r = thread_rng(); }\n",
+        "// lint:allow(D2) -- demo binary, reproducibility not required\n\
+         fn f() { let r = thread_rng(); }\n",
+    );
+}
+
+#[test]
+fn d2_system_time_now() {
+    fires_and_allows(
+        "D2",
+        2,
+        "fn f() {\n    let t = SystemTime::now();\n}\n",
+        "fn f() {\n    let t = SystemTime::now(); // lint:allow(D2) -- log timestamp only\n}\n",
+    );
+}
+
+#[test]
+fn d2_applies_even_inside_tests() {
+    // A test seeded from ambient entropy is a flaky test.
+    let src = "#[cfg(test)]\nmod tests {\n    fn f() { let r = thread_rng(); }\n}\n";
+    let found = violations(src);
+    assert_eq!(found, vec![("D2".to_string(), 3)]);
+}
+
+#[test]
+fn f1_partial_cmp_sort() {
+    // No `.unwrap()` in the snippet: that would additionally trip P1, and
+    // this fixture isolates F1.
+    fires_and_allows(
+        "F1",
+        2,
+        "fn f(a: f64, b: f64) {\n    let _ = a.partial_cmp(&b);\n}\n",
+        "fn f(a: f64, b: f64) {\n    \
+             // lint:allow(F1) -- comparing versions, not floats\n    \
+             let _ = a.partial_cmp(&b);\n}\n",
+    );
+}
+
+#[test]
+fn f1_fires_in_test_code_too() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n}\n";
+    let found = violations(src);
+    assert_eq!(found, vec![("F1".to_string(), 3)]);
+}
+
+#[test]
+fn f1_ignores_partial_cmp_definitions() {
+    // `fn partial_cmp` in a PartialOrd impl is a definition, not a call.
+    let src = "impl PartialOrd for T {\n    fn partial_cmp(&self, o: &T) -> Option<Ordering> { None }\n}\n";
+    assert!(violations(src).is_empty());
+}
+
+#[test]
+fn f2_nonzero_literal_equality() {
+    fires_and_allows(
+        "F2",
+        1,
+        "fn f(x: f64) -> bool { x == 0.5 }\n",
+        "// lint:allow(F2) -- sentinel written by us, bit-exact by construction\n\
+         fn f(x: f64) -> bool { x == 0.5 }\n",
+    );
+}
+
+#[test]
+fn f2_nan_comparison_is_always_false() {
+    let found = violations("fn f(x: f64) -> bool { x != f64::NAN }\n");
+    assert_eq!(found, vec![("F2".to_string(), 1)]);
+}
+
+#[test]
+fn f2_permits_exact_zero_checks() {
+    // x == 0.0 is a well-defined IEEE sparsity/sentinel check.
+    assert!(violations("fn f(x: f64) -> bool { x == 0.0 }\n").is_empty());
+    assert!(violations("fn f(x: f64) -> bool { x != -0.0 }\n").is_empty());
+}
+
+#[test]
+fn p1_unwrap_in_library_code() {
+    fires_and_allows(
+        "P1",
+        2,
+        "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // lint:allow(P1) -- caller guarantees Some\n}\n",
+    );
+}
+
+#[test]
+fn p1_panic_macro() {
+    let found = violations("fn f() {\n    panic!(\"boom\");\n}\n");
+    assert_eq!(found, vec![("P1".to_string(), 2)]);
+}
+
+#[test]
+fn p1_exempts_test_code_binaries_and_bench_crate() {
+    let snippet = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(check_source("crates/core/src/main.rs", snippet)
+        .violations
+        .is_empty());
+    assert!(check_source("crates/core/src/bin/tool.rs", snippet)
+        .violations
+        .is_empty());
+    assert!(check_source("crates/bench/src/lib.rs", snippet)
+        .violations
+        .is_empty());
+    assert!(check_source("crates/core/tests/it.rs", snippet)
+        .violations
+        .is_empty());
+    let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n    {snippet}}}\n");
+    assert!(check_source(LIB_PATH, &in_test_mod).violations.is_empty());
+}
+
+#[test]
+fn unused_allow_warns_but_does_not_fail() {
+    let report = check_source(
+        LIB_PATH,
+        "// lint:allow(P1) -- stale justification\nfn f() {}\n",
+    );
+    assert!(report.violations.is_empty());
+    assert_eq!(report.warnings.len(), 1);
+    assert_eq!(report.warnings[0].rule, "A1");
+    assert_eq!(report.warnings[0].line, 1);
+}
+
+#[test]
+fn allow_without_reason_is_rejected() {
+    let report = check_source(
+        LIB_PATH,
+        "fn f(x: Option<u32>) { x.unwrap(); } // lint:allow(P1)\n",
+    );
+    assert!(
+        report.violations.iter().any(|d| d.rule == "A0"),
+        "{:?}",
+        report.violations
+    );
+}

@@ -46,9 +46,10 @@ pub trait Model: Send {
     /// Panics if `batch` is empty.
     fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector);
 
-    /// Predicted class (argmax of logits).
+    /// Predicted class (argmax of logits); class 0 for a degenerate model
+    /// with no outputs.
     fn predict(&self, features: &Vector) -> usize {
-        argmax(&self.logits(features)).expect("model has at least one class")
+        argmax(&self.logits(features)).unwrap_or(0)
     }
 
     /// Mean loss over a batch without computing gradients.

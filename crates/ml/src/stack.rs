@@ -91,7 +91,7 @@ impl Model for MlpStack {
     }
 
     fn num_classes(&self) -> usize {
-        self.weights.last().expect("at least one layer").rows()
+        self.weights.last().map_or(0, Matrix::rows)
     }
 
     fn params(&self) -> Vector {
@@ -125,8 +125,8 @@ impl Model for MlpStack {
     fn logits(&self, features: &Vector) -> Vec<f64> {
         self.forward(features)
             .pop()
-            .expect("at least one layer")
-            .into_inner()
+            .map(Vector::into_inner)
+            .unwrap_or_default()
     }
 
     fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector) {
@@ -140,7 +140,10 @@ impl Model for MlpStack {
         let mut loss = 0.0;
         for s in batch {
             let activations = self.forward(&s.features);
-            let logits = activations.last().expect("nonempty").as_slice();
+            let Some(last) = activations.last() else {
+                continue;
+            };
+            let logits = last.as_slice();
             loss += cross_entropy(logits, s.label);
             // Backprop through the stack.
             let mut delta = Vector::from(cross_entropy_grad(logits, s.label));

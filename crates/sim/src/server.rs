@@ -11,7 +11,7 @@ use asyncfl_core::aggregation::Aggregator;
 use asyncfl_core::update::{ClientUpdate, FilterContext, UpdateFilter};
 use asyncfl_telemetry::{Event, SharedSink, Span, Verdict};
 use asyncfl_tensor::Vector;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::metrics::DetectionStats;
 
@@ -249,7 +249,7 @@ impl BufferedServer {
             return;
         };
         use asyncfl_telemetry::Sink;
-        let mut by_client: HashMap<usize, VecDeque<(u64, f64)>> = HashMap::new();
+        let mut by_client: BTreeMap<usize, VecDeque<(u64, f64)>> = BTreeMap::new();
         for rec in self.filter.last_scores() {
             by_client
                 .entry(rec.client)

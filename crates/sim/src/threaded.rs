@@ -81,6 +81,7 @@ pub fn run_threaded_with_sink(
     sink: Option<SharedSink>,
 ) -> RunResult {
     if let Err(e) = config.validate() {
+        // lint:allow(P1) -- documented entry-point contract; validate() is the recoverable path
         panic!("invalid SimConfig: {e}");
     }
     let started = Instant::now();
@@ -247,12 +248,14 @@ pub fn run_threaded_with_sink(
     });
 
     let server = Arc::try_unwrap(server)
+        // lint:allow(P1) -- unreachable: the scope above joined every thread holding a clone
         .unwrap_or_else(|_| panic!("client threads still hold the server"))
         .into_inner();
     let mut eval_model = template.clone();
     eval_model.set_params(server.global());
     let final_accuracy = evaluate(eval_model.as_ref(), &test_data);
     let mut history = Arc::try_unwrap(accuracy_history)
+        // lint:allow(P1) -- unreachable: the scope above joined every thread holding a clone
         .unwrap_or_else(|_| panic!("history still shared"))
         .into_inner();
     history.sort_by_key(|&(round, _)| round);

@@ -162,7 +162,7 @@ impl MetricsRegistry {
     pub fn event_count(&self, kind: &str) -> u64 {
         self.inner
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .event_counts
             .get(kind)
             .copied()
@@ -173,7 +173,7 @@ impl MetricsRegistry {
     pub fn verdict_count(&self, verdict: Verdict) -> u64 {
         self.inner
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .verdicts
             .get(verdict.as_str())
             .copied()
@@ -185,7 +185,7 @@ impl MetricsRegistry {
     pub fn span(&self, name: &str) -> Option<Log2Histogram> {
         self.inner
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .spans
             .get(name)
             .cloned()
@@ -196,7 +196,7 @@ impl MetricsRegistry {
     pub fn scores(&self) -> Log2Histogram {
         self.inner
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .scores
             .clone()
     }
@@ -204,7 +204,10 @@ impl MetricsRegistry {
     /// Renders the end-of-run metrics table the bench binaries print:
     /// event counts, verdict counts, and per-span p50/p95/p99 latency.
     pub fn render_table(&self) -> String {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         out.push_str("telemetry summary\n");
         out.push_str("  event counts:\n");
@@ -249,7 +252,10 @@ impl MetricsRegistry {
 
 impl Sink for MetricsRegistry {
     fn emit(&self, event: &Event) {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *inner.event_counts.entry(event.kind()).or_insert(0) += 1;
         match event {
             Event::FilterScore { score, verdict, .. } => {

@@ -72,7 +72,11 @@ impl MemorySink {
 
     /// Events currently buffered.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("memory sink poisoned").buf.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .buf
+            .len()
     }
 
     /// `true` when no events are buffered.
@@ -82,14 +86,17 @@ impl MemorySink {
 
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("memory sink poisoned").dropped
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .dropped
     }
 
     /// A snapshot of the buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
         self.inner
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .buf
             .iter()
             .cloned()
@@ -100,7 +107,7 @@ impl MemorySink {
     pub fn count_kind(&self, kind: &str) -> usize {
         self.inner
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .buf
             .iter()
             .filter(|e| e.kind() == kind)
@@ -110,7 +117,10 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn emit(&self, event: &Event) {
-        let mut inner = self.inner.lock().expect("memory sink poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if inner.buf.len() == self.capacity {
             inner.buf.pop_front();
             inner.dropped += 1;
@@ -244,7 +254,10 @@ impl<W: Write + Send> JsonlSink<W> {
     ///
     /// Returns the underlying I/O error on failure.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.writer.lock().expect("jsonl sink poisoned").flush()
+        self.writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .flush()
     }
 
     /// Consumes the sink and returns the writer (after a final flush
@@ -263,7 +276,10 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
     fn emit(&self, event: &Event) {
         let mut line = event.to_json();
         line.push('\n');
-        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if w.write_all(line.as_bytes()).is_ok() {
             self.lines.fetch_add(1, Ordering::Relaxed);
         } else {

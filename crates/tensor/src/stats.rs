@@ -31,13 +31,14 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// Median of a scalar slice; `0.0` for an empty slice. Uses the midpoint of
-/// the two central order statistics for even lengths.
+/// the two central order statistics for even lengths. NaNs sort to the high
+/// end under `total_cmp` rather than panicking.
 pub fn median(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -112,10 +113,13 @@ pub fn median_vector(vectors: &[Vector]) -> Option<Vector> {
 ///
 /// Returns `None` for an empty collection.
 ///
+/// NaNs sort to the high end under `total_cmp`, so they land in the trimmed
+/// tail whenever `trim > 0`.
+///
 /// # Panics
 ///
-/// Panics if `2 * trim >= vectors.len()` (nothing would remain), if the
-/// vectors have differing dimensions, or if any value is NaN.
+/// Panics if `2 * trim >= vectors.len()` (nothing would remain) or if the
+/// vectors have differing dimensions.
 pub fn trimmed_mean_vector(vectors: &[Vector], trim: usize) -> Option<Vector> {
     let first = vectors.first()?;
     assert!(
@@ -131,7 +135,7 @@ pub fn trimmed_mean_vector(vectors: &[Vector], trim: usize) -> Option<Vector> {
         for (i, v) in vectors.iter().enumerate() {
             column[i] = v[d];
         }
-        column.sort_by(|a, b| a.partial_cmp(b).expect("trimmed_mean: NaN in input"));
+        column.sort_by(f64::total_cmp);
         out[d] = column[trim..vectors.len() - trim].iter().sum::<f64>() / kept as f64;
     }
     Some(out)

@@ -36,7 +36,7 @@ impl NormClipFilter {
             return None;
         }
         let mut sorted = self.observed_norms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite norms"));
+        sorted.sort_by(f64::total_cmp);
         Some(sorted[sorted.len() / 2])
     }
 }
