@@ -1,0 +1,52 @@
+//! Micro-benchmarks for the chunked hot-path kernels (`asyncfl-tensor`'s
+//! internal `kernels` module) and the cached-norm distance identity
+//! `d(a, b)² = ‖a‖² + ‖b‖² − 2·a·b` the filter stack leans on.
+
+use asyncfl_tensor::{Matrix, Vector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    // 330 = MNIST-profile model size, 1866 = CIFAR-profile model size.
+    for dim in [330usize, 1_866, 16_384] {
+        let a = Vector::from_fn(dim, |i| (i % 13) as f64 * 0.1 - 0.5);
+        let b = Vector::from_fn(dim, |i| (i % 7) as f64 * 0.2 - 0.3);
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(a.dot(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("norm_squared", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(a.norm_squared()))
+        });
+        group.bench_with_input(BenchmarkId::new("distance", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(a.distance(&b)))
+        });
+        // The cached-norm path the filter uses once ‖a‖² and ‖b‖² are known:
+        // one dot product instead of a subtract-and-square sweep.
+        let a_norm_sq = a.norm_squared();
+        let b_norm_sq = b.norm_squared();
+        group.bench_with_input(
+            BenchmarkId::new("distance_from_norms", dim),
+            &dim,
+            |bench, _| bench.iter(|| black_box(a.distance_from_norms(a_norm_sq, &b, b_norm_sq))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    // (rows, cols): softmax-regression shapes for the two dataset profiles.
+    for (rows, cols) in [(10usize, 33usize), (10, 187), (64, 256)] {
+        let m = Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 7) % 11) as f64 * 0.1);
+        let x = Vector::from_fn(cols, |i| (i % 5) as f64 * 0.25);
+        let id = format!("{rows}x{cols}");
+        group.bench_with_input(BenchmarkId::new("matvec", &id), &id, |bench, _| {
+            bench.iter(|| black_box(m.matvec(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_matvec);
+criterion_main!(benches);

@@ -5,11 +5,17 @@
 //! columns (the three regimes where the knobs trade off):
 //!
 //! ```text
-//! cargo run --release -p asyncfl-bench --bin ablations [-- --quick] [--trace FILE]
+//! cargo run --release -p asyncfl-bench --bin ablations \
+//!     [-- --quick] [--threads N] [--trace FILE] [--bench-json FILE]
 //! ```
+//!
+//! `--threads N` runs each simulation on the deterministic worker pool;
+//! `--bench-json FILE` writes per-variant wall clocks and the telemetry span
+//! breakdown as a machine-readable perf artifact.
 
 use asyncfl_analysis::report::{pct, Table};
 use asyncfl_attacks::AttackKind;
+use asyncfl_bench::perf::{phase_rows, BenchJson};
 use asyncfl_bench::TraceHandle;
 use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::asyncfilter::{
@@ -18,10 +24,35 @@ use asyncfl_core::asyncfilter::{
 use asyncfl_data::DatasetProfile;
 use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::runner::{build_attack, Simulation};
+use asyncfl_telemetry::metrics::MetricsRegistry;
+use asyncfl_telemetry::{SharedSink, Sink};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map_or(1, |i| {
+            let value = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--threads requires a value");
+                std::process::exit(2);
+            });
+            value.parse().unwrap_or_else(|e| {
+                eprintln!("invalid --threads '{value}': {e}");
+                std::process::exit(2);
+            })
+        })
+        .max(1);
+    let bench_json_path = args.iter().position(|a| a == "--bench-json").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--bench-json requires a file path");
+                std::process::exit(2);
+            })
+            .clone()
+    });
     let trace = args.iter().position(|a| a == "--trace").map(|i| {
         let path = args.get(i + 1).unwrap_or_else(|| {
             eprintln!("--trace requires a file path");
@@ -32,6 +63,20 @@ fn main() {
             std::process::exit(1);
         })
     });
+    // --bench-json without --trace still needs span histograms.
+    let standalone_registry: Option<Arc<MetricsRegistry>> =
+        if bench_json_path.is_some() && trace.is_none() {
+            Some(Arc::new(MetricsRegistry::new()))
+        } else {
+            None
+        };
+    let run_sink = |trace: Option<&TraceHandle>| -> Option<SharedSink> {
+        trace.map(TraceHandle::sink).or_else(|| {
+            standalone_registry
+                .as_ref()
+                .map(|r| SharedSink::from_arc(Arc::clone(r) as Arc<dyn Sink>))
+        })
+    };
     let attacks = [AttackKind::None, AttackKind::Gd, AttackKind::MinSum];
 
     let variants: Vec<(&str, AsyncFilterConfig)> = vec![
@@ -112,10 +157,13 @@ fn main() {
         "AsyncFilter design ablations (FashionMNIST, paper-default setting)",
         attacks.iter().map(|a| a.label().to_string()).collect(),
     );
+    let mut experiment_secs: Vec<(String, f64)> = Vec::new();
     for (label, config) in variants {
+        let started = std::time::Instant::now();
         let mut row = Vec::new();
         for &attack in &attacks {
             let mut sim_config = SimConfig::paper_default(DatasetProfile::FashionMnist);
+            sim_config.threads = threads;
             if quick {
                 sim_config.rounds = 16;
                 sim_config.test_samples = 800;
@@ -126,10 +174,11 @@ fn main() {
                 Box::new(AsyncFilter::new(config.clone())),
                 built,
                 Box::new(MeanAggregator::new()),
-                trace.as_ref().map(TraceHandle::sink),
+                run_sink(trace.as_ref()),
             );
             row.push(pct(result.final_accuracy));
         }
+        experiment_secs.push((label.to_string(), started.elapsed().as_secs_f64()));
         table.push_row(label, row);
         eprint!(".");
     }
@@ -137,5 +186,27 @@ fn main() {
     println!("{}", table.to_markdown());
     if let Some(handle) = &trace {
         print!("{}", handle.finish());
+    }
+
+    if let Some(path) = bench_json_path {
+        let phases = trace
+            .as_ref()
+            .map(|h| phase_rows(h.registry()))
+            .or_else(|| standalone_registry.as_ref().map(|r| phase_rows(r)))
+            .unwrap_or_default();
+        let artifact = BenchJson {
+            binary: "ablations",
+            quick,
+            threads,
+            total_secs: experiment_secs.iter().map(|(_, s)| s).sum(),
+            experiments: experiment_secs,
+            phases,
+            scaling: None,
+        };
+        if let Err(e) = artifact.write(&path) {
+            eprintln!("failed to write --bench-json {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench json written to {path}");
     }
 }

@@ -6,17 +6,21 @@
 //! paper-default FashionMNIST setting.
 //!
 //! ```text
-//! cargo run --release -p asyncfl-bench --bin detection [-- --quick] [--trace FILE]
+//! cargo run --release -p asyncfl-bench --bin detection \
+//!     [-- --quick] [--threads N] [--trace FILE] [--bench-json FILE]
 //! ```
 //!
 //! With `--trace FILE` every run also streams telemetry events into a JSONL
 //! file, and the binary cross-checks the trace against its own numbers: the
 //! `filter_score` verdict counts must reconcile exactly with the summed
-//! `DetectionStats` confusion matrix.
+//! `DetectionStats` confusion matrix. `--threads N` runs each simulation on
+//! the deterministic worker pool; `--bench-json FILE` writes per-attack wall
+//! clocks and the span breakdown as a machine-readable perf artifact.
 
 use asyncfl_analysis::detection::{auc, LabelledScore};
 use asyncfl_analysis::report::Table;
 use asyncfl_attacks::AttackKind;
+use asyncfl_bench::perf::{phase_rows, BenchJson};
 use asyncfl_bench::TraceHandle;
 use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::asyncfilter::{AsyncFilter, ScoreRecord};
@@ -25,7 +29,8 @@ use asyncfl_data::DatasetProfile;
 use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::metrics::DetectionStats;
 use asyncfl_sim::runner::{build_attack, Simulation};
-use asyncfl_telemetry::Verdict;
+use asyncfl_telemetry::metrics::MetricsRegistry;
+use asyncfl_telemetry::{SharedSink, Sink, Verdict};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -56,6 +61,28 @@ impl UpdateFilter for ScoreArchive {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map_or(1, |i| {
+            let value = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--threads requires a value");
+                std::process::exit(2);
+            });
+            value.parse().unwrap_or_else(|e| {
+                eprintln!("invalid --threads '{value}': {e}");
+                std::process::exit(2);
+            })
+        })
+        .max(1);
+    let bench_json_path = args.iter().position(|a| a == "--bench-json").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--bench-json requires a file path");
+                std::process::exit(2);
+            })
+            .clone()
+    });
     let trace = args.iter().position(|a| a == "--trace").map(|i| {
         let path = args.get(i + 1).unwrap_or_else(|| {
             eprintln!("--trace requires a file path");
@@ -66,7 +93,22 @@ fn main() {
             std::process::exit(1);
         })
     });
+    // --bench-json without --trace still needs span histograms.
+    let standalone_registry: Option<Arc<MetricsRegistry>> =
+        if bench_json_path.is_some() && trace.is_none() {
+            Some(Arc::new(MetricsRegistry::new()))
+        } else {
+            None
+        };
+    let run_sink = |trace: Option<&TraceHandle>| -> Option<SharedSink> {
+        trace.map(TraceHandle::sink).or_else(|| {
+            standalone_registry
+                .as_ref()
+                .map(|r| SharedSink::from_arc(Arc::clone(r) as Arc<dyn Sink>))
+        })
+    };
 
+    let mut experiment_secs: Vec<(String, f64)> = Vec::new();
     let mut totals = DetectionStats::default();
     let mut table = Table::new(
         "AsyncFilter detection quality (FashionMNIST, paper-default setting)",
@@ -79,7 +121,9 @@ fn main() {
         ],
     );
     for attack in AttackKind::ATTACKS_ONLY {
+        let started = std::time::Instant::now();
         let mut cfg = SimConfig::paper_default(DatasetProfile::FashionMnist);
+        cfg.threads = threads;
         if quick {
             cfg.rounds = 16;
             cfg.test_samples = 800;
@@ -95,7 +139,7 @@ fn main() {
             Box::new(filter),
             built,
             Box::new(MeanAggregator::new()),
-            trace.as_ref().map(TraceHandle::sink),
+            run_sink(trace.as_ref()),
         );
         let observations: Vec<LabelledScore> = records
             .lock()
@@ -119,6 +163,7 @@ fn main() {
                 format!("{:.3}", auc(&observations)),
             ],
         );
+        experiment_secs.push((attack.label().to_string(), started.elapsed().as_secs_f64()));
         eprint!(".");
     }
     eprintln!();
@@ -146,5 +191,27 @@ fn main() {
             std::process::exit(1);
         }
         println!("reconciliation: OK (trace verdicts match the confusion matrix exactly)");
+    }
+
+    if let Some(path) = bench_json_path {
+        let phases = trace
+            .as_ref()
+            .map(|h| phase_rows(h.registry()))
+            .or_else(|| standalone_registry.as_ref().map(|r| phase_rows(r)))
+            .unwrap_or_default();
+        let artifact = BenchJson {
+            binary: "detection",
+            quick,
+            threads,
+            total_secs: experiment_secs.iter().map(|(_, s)| s).sum(),
+            experiments: experiment_secs,
+            phases,
+            scaling: None,
+        };
+        if let Err(e) = artifact.write(&path) {
+            eprintln!("failed to write --bench-json {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench json written to {path}");
     }
 }

@@ -7,22 +7,29 @@
 //! repro all                  # everything, in paper order
 //!
 //! Options:
-//!   --quick        shorter horizon (CI smoke run)
-//!   --seed N       base seed (default 42; figs. use seed..seed+2)
-//!   --threads N    worker threads (default: min(cores, 8))
-//!   --csv DIR      additionally write each measured table as CSV into DIR
-//!   --trace FILE   write a JSONL event trace and print a telemetry summary
+//!   --quick           shorter horizon (CI smoke run)
+//!   --seed N          base seed (default 42; figs. use seed..seed+2)
+//!   --threads N       worker threads (default: min(cores, 8)); also sets
+//!                     the threads-scaling probe size for --bench-json
+//!   --csv DIR         additionally write each measured table as CSV into DIR
+//!   --trace FILE      write a JSONL event trace and print a telemetry summary
+//!   --bench-json FILE write a perf summary (wall clocks, per-phase span
+//!                     breakdown, threads=1 vs threads=N scaling probe)
 //! ```
 
+use asyncfl_bench::perf::{phase_rows, run_scaling_probe, BenchJson};
 use asyncfl_bench::{ExperimentId, RunOptions, TraceHandle};
+use asyncfl_telemetry::metrics::MetricsRegistry;
+use asyncfl_telemetry::{SharedSink, Sink};
 use std::str::FromStr;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
             "usage: repro [--quick] [--seed N] [--threads N] [--csv DIR] [--trace FILE] \
-             <experiment|all|list>..."
+             [--bench-json FILE] <experiment|all|list>..."
         );
         std::process::exit(2);
     }
@@ -33,6 +40,7 @@ fn main() {
     let mut list_only = false;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut bench_json_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -75,6 +83,13 @@ fn main() {
                 });
                 trace_path = Some(std::path::PathBuf::from(value));
             }
+            "--bench-json" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("--bench-json requires a file path");
+                    std::process::exit(2);
+                });
+                bench_json_path = Some(value.clone());
+            }
             "list" => list_only = true,
             "all" => targets.extend(ExperimentId::ALL),
             other => match ExperimentId::from_str(other) {
@@ -116,6 +131,19 @@ fn main() {
         handle
     });
 
+    // --bench-json without --trace still needs span histograms: attach a
+    // bare metrics registry as the sink (the trace handle already embeds
+    // one when tracing is on).
+    let standalone_registry: Option<Arc<MetricsRegistry>> =
+        if bench_json_path.is_some() && trace.is_none() {
+            let registry = Arc::new(MetricsRegistry::new());
+            opts.sink = Some(SharedSink::from_arc(Arc::clone(&registry) as Arc<dyn Sink>));
+            Some(registry)
+        } else {
+            None
+        };
+
+    let mut experiment_secs: Vec<(String, f64)> = Vec::new();
     for id in targets {
         let started = std::time::Instant::now();
         println!("== {} — {} ==\n", id.name(), id.description());
@@ -129,10 +157,43 @@ fn main() {
                 }
             }
         }
-        println!("(completed in {:.1?})\n", started.elapsed());
+        let elapsed = started.elapsed();
+        experiment_secs.push((id.name().to_string(), elapsed.as_secs_f64()));
+        println!("(completed in {elapsed:.1?})\n");
     }
 
     if let Some(handle) = &trace {
         print!("{}", handle.finish());
+    }
+
+    if let Some(path) = bench_json_path {
+        println!(
+            "Running threads-scaling probe (threads=1 vs threads={})...",
+            opts.threads.max(2)
+        );
+        let probe = run_scaling_probe(opts.threads, opts.quick);
+        println!(
+            "probe: baseline {:.2}s, parallel {:.2}s, speedup {:.2}x, identical: {}",
+            probe.baseline_secs, probe.parallel_secs, probe.speedup, probe.identical
+        );
+        let phases = trace
+            .as_ref()
+            .map(|h| phase_rows(h.registry()))
+            .or_else(|| standalone_registry.as_ref().map(|r| phase_rows(r)))
+            .unwrap_or_default();
+        let artifact = BenchJson {
+            binary: "repro",
+            quick: opts.quick,
+            threads: opts.threads,
+            total_secs: experiment_secs.iter().map(|(_, s)| s).sum(),
+            experiments: experiment_secs,
+            phases,
+            scaling: Some(probe),
+        };
+        if let Err(e) = artifact.write(&path) {
+            eprintln!("failed to write --bench-json {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench json written to {path}");
     }
 }

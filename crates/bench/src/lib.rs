@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod trace;
 
 pub use experiments::{ExperimentId, RunOptions};

@@ -1,0 +1,327 @@
+//! `BENCH_*.json` perf-trajectory export.
+//!
+//! The bench binaries (`repro`, `detection`, `ablations`) accept
+//! `--bench-json <path>` and write a machine-readable perf summary:
+//! wall-clock totals per experiment, the per-phase breakdown (local
+//! training / filter / aggregation span histograms) pulled from the
+//! telemetry [`MetricsRegistry`], and — for `repro` — a threads-scaling
+//! probe that measures the deterministic engine at `threads = 1` vs
+//! `threads = N` on the same seed and records the speedup. Future PRs
+//! diff these files to keep the perf trajectory honest.
+//!
+//! The JSON is hand-rolled: the workspace is intentionally
+//! zero-dependency, so there is no serde to lean on. Only the small,
+//! flat schema below is ever emitted.
+
+use asyncfl_attacks::AttackKind;
+use asyncfl_core::aggregation::MeanAggregator;
+use asyncfl_core::AsyncFilter;
+use asyncfl_sim::config::SimConfig;
+use asyncfl_sim::runner::{build_attack, Simulation};
+use asyncfl_telemetry::metrics::MetricsRegistry;
+use std::time::Instant;
+
+/// One span's latency summary, in nanoseconds (bucketed; see
+/// [`asyncfl_telemetry::metrics::Log2Histogram`]).
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Span name (`local_training`, `filter`, `aggregate`, `kmeans_1d`).
+    pub span: String,
+    /// Closed-span count.
+    pub count: u64,
+    /// Total time inside the span, seconds.
+    pub total_secs: f64,
+    /// Mean duration, nanoseconds.
+    pub mean_ns: f64,
+    /// 50th / 95th / 99th percentile durations, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Extracts the per-phase breakdown from a registry's span histograms.
+pub fn phase_rows(registry: &MetricsRegistry) -> Vec<PhaseRow> {
+    registry
+        .spans()
+        .into_iter()
+        .map(|(name, hist)| PhaseRow {
+            span: name.to_string(),
+            count: hist.count(),
+            total_secs: hist.sum() as f64 / 1e9,
+            mean_ns: hist.mean().unwrap_or(0.0),
+            p50_ns: hist.percentile(50.0).unwrap_or(0),
+            p95_ns: hist.percentile(95.0).unwrap_or(0),
+            p99_ns: hist.percentile(99.0).unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Result of the threads-scaling probe: the same seeded AsyncFilter-vs-GD
+/// run timed at `threads = 1` and `threads = N`.
+///
+/// `host_cpus` keeps the speedup interpretable when artifacts from
+/// different machines are diffed: on a single-core host the parallel leg
+/// can only measure the pool's overhead (speedup < 1 is expected there),
+/// while the byte-identical check is meaningful everywhere.
+#[derive(Debug, Clone)]
+pub struct ScalingProbe {
+    /// Worker threads used for the parallel leg.
+    pub threads: usize,
+    /// CPUs available to this process when the probe ran.
+    pub host_cpus: usize,
+    /// Probe size (clients / rounds), for context in the artifact.
+    pub clients: usize,
+    /// Aggregation rounds simulated.
+    pub rounds: u64,
+    /// Wall clock of the sequential leg, seconds.
+    pub baseline_secs: f64,
+    /// Wall clock of the parallel leg, seconds.
+    pub parallel_secs: f64,
+    /// `baseline_secs / parallel_secs`.
+    pub speedup: f64,
+    /// Whether the two legs produced structurally identical `RunResult`s
+    /// (the determinism guarantee, re-checked in the artifact itself).
+    pub identical: bool,
+}
+
+fn probe_config(quick: bool, threads: usize) -> SimConfig {
+    let mut cfg = SimConfig::smoke_test();
+    cfg.num_clients = 32;
+    cfg.num_malicious = 6;
+    cfg.aggregation_bound = 16;
+    cfg.rounds = if quick { 10 } else { 30 };
+    // Training-heavy on purpose: the probe measures the worker pool, so
+    // per-client local training (the parallel part) must dominate the
+    // serial filter/aggregate/eval work or Amdahl hides the speedup.
+    cfg.partition_size = Some(2_048);
+    cfg.test_samples = 200;
+    cfg.eval_every = cfg.rounds;
+    cfg.threads = threads;
+    cfg
+}
+
+fn probe_run(cfg: SimConfig) -> (f64, asyncfl_sim::metrics::RunResult) {
+    let mut sim = Simulation::new(cfg.clone());
+    let attack = build_attack(AttackKind::Gd, cfg.num_clients, cfg.num_malicious);
+    let started = Instant::now();
+    let result = sim.run_with(
+        Box::new(AsyncFilter::default()),
+        attack,
+        Box::new(MeanAggregator::new()),
+    );
+    (started.elapsed().as_secs_f64(), result)
+}
+
+/// Times the deterministic engine at `threads = 1` vs `threads`, on the
+/// same seed, and verifies the results match.
+pub fn run_scaling_probe(threads: usize, quick: bool) -> ScalingProbe {
+    let threads = threads.max(2);
+    let (baseline_secs, baseline) = probe_run(probe_config(quick, 1));
+    let (parallel_secs, parallel) = probe_run(probe_config(quick, threads));
+    let cfg = probe_config(quick, 1);
+    ScalingProbe {
+        threads,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        clients: cfg.num_clients,
+        rounds: cfg.rounds,
+        baseline_secs,
+        parallel_secs,
+        speedup: if parallel_secs > 0.0 {
+            baseline_secs / parallel_secs
+        } else {
+            0.0
+        },
+        identical: baseline == parallel,
+    }
+}
+
+/// The full artifact a bench binary writes for `--bench-json`.
+#[derive(Debug, Clone, Default)]
+pub struct BenchJson {
+    /// Which binary produced the file.
+    pub binary: &'static str,
+    /// Whether `--quick` mode was active.
+    pub quick: bool,
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+    /// `(experiment name, wall-clock seconds)` per executed target.
+    pub experiments: Vec<(String, f64)>,
+    /// Total wall clock across all targets, seconds.
+    pub total_secs: f64,
+    /// Per-phase span breakdown from the telemetry registry.
+    pub phases: Vec<PhaseRow>,
+    /// Threads-scaling probe (repro only).
+    pub scaling: Option<ScalingProbe>,
+}
+
+/// Formats an `f64` as a JSON number (finite values only; anything else
+/// degrades to `0` rather than emitting invalid JSON).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchJson {
+    /// Renders the artifact as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"asyncfl-bench-v1\",\n");
+        s.push_str(&format!("  \"binary\": \"{}\",\n", escape(self.binary)));
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"total_secs\": {},\n", num(self.total_secs)));
+        s.push_str("  \"experiments\": [\n");
+        for (i, (name, secs)) in self.experiments.iter().enumerate() {
+            let comma = if i + 1 < self.experiments.len() {
+                ","
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_clock_secs\": {}}}{comma}\n",
+                escape(name),
+                num(*secs)
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            let comma = if i + 1 < self.phases.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"span\": \"{}\", \"count\": {}, \"total_secs\": {}, \
+                 \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}{comma}\n",
+                escape(&p.span),
+                p.count,
+                num(p.total_secs),
+                num(p.mean_ns),
+                p.p50_ns,
+                p.p95_ns,
+                p.p99_ns
+            ));
+        }
+        s.push_str("  ],\n");
+        match &self.scaling {
+            None => s.push_str("  \"threads_scaling\": null\n"),
+            Some(probe) => {
+                s.push_str("  \"threads_scaling\": {\n");
+                s.push_str(&format!("    \"threads\": {},\n", probe.threads));
+                s.push_str(&format!("    \"host_cpus\": {},\n", probe.host_cpus));
+                s.push_str(&format!("    \"clients\": {},\n", probe.clients));
+                s.push_str(&format!("    \"rounds\": {},\n", probe.rounds));
+                s.push_str(&format!(
+                    "    \"baseline_secs\": {},\n",
+                    num(probe.baseline_secs)
+                ));
+                s.push_str(&format!(
+                    "    \"parallel_secs\": {},\n",
+                    num(probe.parallel_secs)
+                ));
+                s.push_str(&format!("    \"speedup\": {},\n", num(probe.speedup)));
+                s.push_str(&format!("    \"byte_identical\": {}\n", probe.identical));
+                s.push_str("  }\n");
+            }
+        }
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Writes the rendered artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_balanced_json() {
+        let json = BenchJson {
+            binary: "repro",
+            quick: true,
+            threads: 2,
+            experiments: vec![("table2".into(), 1.25), ("fig7".into(), 0.5)],
+            total_secs: 1.75,
+            phases: vec![PhaseRow {
+                span: "local_training".into(),
+                count: 10,
+                total_secs: 0.9,
+                mean_ns: 9e7,
+                p50_ns: 9_000_000,
+                p95_ns: 12_000_000,
+                p99_ns: 13_000_000,
+            }],
+            scaling: Some(ScalingProbe {
+                threads: 4,
+                host_cpus: 8,
+                clients: 32,
+                rounds: 10,
+                baseline_secs: 2.0,
+                parallel_secs: 0.8,
+                speedup: 2.5,
+                identical: true,
+            }),
+        }
+        .render();
+        // Structural sanity without a JSON parser: balanced braces/brackets
+        // and the key fields present.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for needle in [
+            "\"schema\": \"asyncfl-bench-v1\"",
+            "\"binary\": \"repro\"",
+            "\"speedup\": 2.500000",
+            "\"byte_identical\": true",
+            "\"span\": \"local_training\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_never_reach_the_artifact() {
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(f64::INFINITY), "0");
+        assert_eq!(num(1.5), "1.500000");
+    }
+}

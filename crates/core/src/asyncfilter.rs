@@ -358,19 +358,34 @@ impl UpdateFilter for AsyncFilter {
         // Estimates to score against (pre-update; see module docs).
         let estimates = self.effective_estimates(&grouped, &finite);
 
-        // Eq. 6: per-update distance to its own group estimate.
-        let mut dist = vec![0.0f64; finite.len()];
+        // Cache each estimate's squared norm once; with the per-update
+        // cached ‖ω‖² every distance below is a single dot product:
+        // d(MA, ω)² = ‖MA‖² + ‖ω‖² − 2·MA·ω.
+        let est_norm_sq: BTreeMap<u64, f64> = estimates
+            .iter()
+            .map(|(&k, ma)| (k, ma.norm_squared()))
+            .collect();
+
+        // Eq. 6: per-update squared distance to its own group estimate —
+        // computed once per pass and reused by every eq. 7 denominator.
+        let mut dist_sq = vec![0.0f64; finite.len()];
         for (&key, members) in &grouped {
             let own = &estimates[&key];
+            let own_norm_sq = est_norm_sq[&key];
             for &i in members {
-                dist[i] = finite[i].params.distance(own);
+                dist_sq[i] = finite[i].params.distance_squared_from_norms(
+                    finite[i].params_norm_squared(),
+                    own,
+                    own_norm_sq,
+                );
             }
         }
+        let dist: Vec<f64> = dist_sq.iter().map(|d| d.sqrt()).collect();
         // Eq. 7: normalization into suspicious scores.
         let mut scores = vec![0.0f64; finite.len()];
         match self.config.score_normalization {
             ScoreNormalization::Global => {
-                let denom = dist.iter().map(|d| d * d).sum::<f64>().sqrt();
+                let denom = dist_sq.iter().sum::<f64>().sqrt();
                 if denom > 0.0 {
                     for (i, &d) in dist.iter().enumerate() {
                         scores[i] = d / denom;
@@ -384,11 +399,7 @@ impl UpdateFilter for AsyncFilter {
             }
             ScoreNormalization::WithinGroup => {
                 for members in grouped.values() {
-                    let denom = members
-                        .iter()
-                        .map(|&i| dist[i] * dist[i])
-                        .sum::<f64>()
-                        .sqrt();
+                    let denom = members.iter().map(|&i| dist_sq[i]).sum::<f64>().sqrt();
                     if denom > 0.0 {
                         for &i in members {
                             scores[i] = dist[i] / denom;
@@ -407,7 +418,7 @@ impl UpdateFilter for AsyncFilter {
                 if grouped.len() == 1 {
                     // Degenerates to score = 1 for everyone; fall back to the
                     // within-group reading so ordering survives.
-                    let denom = dist.iter().map(|d| d * d).sum::<f64>().sqrt();
+                    let denom = dist_sq.iter().sum::<f64>().sqrt();
                     if denom > 0.0 {
                         for (i, &d) in dist.iter().enumerate() {
                             scores[i] = d / denom;
@@ -418,12 +429,35 @@ impl UpdateFilter for AsyncFilter {
                         );
                     }
                 } else {
-                    for (i, u) in finite.iter().enumerate() {
-                        let denom = estimates
-                            .values()
-                            .map(|ma| u.params.distance_squared(ma))
-                            .sum::<f64>()
-                            .sqrt();
+                    // Per-(group, update) squared-distance matrix, built
+                    // once per pass: own-group entries are exactly
+                    // `dist_sq`, every other entry is one dot product via
+                    // the cached norms. Column sums are the denominators.
+                    let own_key: Vec<u64> =
+                        finite.iter().map(|u| self.group_key(u.staleness)).collect();
+                    let cross: Vec<Vec<f64>> = estimates
+                        .iter()
+                        .map(|(&key, ma)| {
+                            let ma_norm_sq = est_norm_sq[&key];
+                            finite
+                                .iter()
+                                .enumerate()
+                                .map(|(i, u)| {
+                                    if own_key[i] == key {
+                                        dist_sq[i]
+                                    } else {
+                                        u.params.distance_squared_from_norms(
+                                            u.params_norm_squared(),
+                                            ma,
+                                            ma_norm_sq,
+                                        )
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    for i in 0..finite.len() {
+                        let denom = cross.iter().map(|row| row[i]).sum::<f64>().sqrt();
                         if denom > 0.0 {
                             scores[i] = dist[i] / denom;
                         }

@@ -159,7 +159,16 @@ impl Aggregator for NnmAggregator {
                 let mut dists: Vec<(f64, usize)> = updates
                     .iter()
                     .enumerate()
-                    .map(|(j, v)| (u.delta.distance_squared(&v.delta), j))
+                    .map(|(j, v)| {
+                        // Cached norms: one dot per pair instead of a
+                        // fused two-vector walk per pair.
+                        let d = u.delta.distance_squared_from_norms(
+                            u.delta_norm_squared(),
+                            &v.delta,
+                            v.delta_norm_squared(),
+                        );
+                        (d, j)
+                    })
                     .collect();
                 dists.sort_by(|a, b| a.0.total_cmp(&b.0));
                 let mut delta = Vector::zeros(global.len());
@@ -169,6 +178,7 @@ impl Aggregator for NnmAggregator {
                 let mut mixed = u.clone();
                 mixed.params = global + &delta;
                 mixed.delta = delta;
+                mixed.refresh_cached_norms();
                 mixed
             })
             .collect();

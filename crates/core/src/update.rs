@@ -33,6 +33,12 @@ pub struct ClientUpdate {
     /// How many times a filter has deferred this update ("contribute at a
     /// later stage"). Maintained by filters that defer.
     pub defers: u32,
+    /// Cached `‖params‖²`, kept consistent by the constructors and
+    /// [`ClientUpdate::refresh_cached_norms`]. Private so in-place edits
+    /// to `params` can't silently desynchronize it.
+    params_norm_sq: f64,
+    /// Cached `‖delta‖²` under the same contract.
+    delta_norm_sq: f64,
 }
 
 impl ClientUpdate {
@@ -47,6 +53,7 @@ impl ClientUpdate {
         num_samples: usize,
     ) -> Self {
         let delta = params.clone();
+        let params_norm_sq = params.norm_squared();
         Self {
             client,
             base_round,
@@ -56,6 +63,8 @@ impl ClientUpdate {
             num_samples,
             truth_malicious: false,
             defers: 0,
+            params_norm_sq,
+            delta_norm_sq: params_norm_sq,
         }
     }
 
@@ -74,6 +83,8 @@ impl ClientUpdate {
         num_samples: usize,
     ) -> Self {
         let delta = &params - base;
+        let params_norm_sq = params.norm_squared();
+        let delta_norm_sq = delta.norm_squared();
         Self {
             client,
             base_round,
@@ -83,6 +94,8 @@ impl ClientUpdate {
             num_samples,
             truth_malicious: false,
             defers: 0,
+            params_norm_sq,
+            delta_norm_sq,
         }
     }
 
@@ -101,6 +114,8 @@ impl ClientUpdate {
         num_samples: usize,
     ) -> Self {
         let params = base + &delta;
+        let params_norm_sq = params.norm_squared();
+        let delta_norm_sq = delta.norm_squared();
         Self {
             client,
             base_round,
@@ -110,6 +125,8 @@ impl ClientUpdate {
             num_samples,
             truth_malicious: false,
             defers: 0,
+            params_norm_sq,
+            delta_norm_sq,
         }
     }
 
@@ -117,6 +134,28 @@ impl ClientUpdate {
     pub fn with_truth_malicious(mut self, malicious: bool) -> Self {
         self.truth_malicious = malicious;
         self
+    }
+
+    /// Cached squared ℓ2 norm of `params` (`‖ωᵢ‖²`), computed once at
+    /// construction. With per-estimate norms this turns every
+    /// `d(MA, ω)` in AsyncFilter's eq. 6/7 scoring into a single dot
+    /// product via `‖MA − ω‖² = ‖MA‖² + ‖ω‖² − 2·MA·ω`.
+    pub fn params_norm_squared(&self) -> f64 {
+        self.params_norm_sq
+    }
+
+    /// Cached squared ℓ2 norm of `delta` (`‖δᵢ‖²`), computed once at
+    /// construction.
+    pub fn delta_norm_squared(&self) -> f64 {
+        self.delta_norm_sq
+    }
+
+    /// Recomputes both cached norms. **Must** be called after any in-place
+    /// mutation of `params` or `delta` (norm clipping, delta rebasing);
+    /// the constructors establish the invariant, this restores it.
+    pub fn refresh_cached_norms(&mut self) {
+        self.params_norm_sq = self.params.norm_squared();
+        self.delta_norm_sq = self.delta.norm_squared();
     }
 }
 
@@ -286,6 +325,35 @@ mod tests {
     fn upd(client: usize, malicious: bool) -> ClientUpdate {
         ClientUpdate::new(client, 0, 0, Vector::from(vec![client as f64]), 5)
             .with_truth_malicious(malicious)
+    }
+
+    #[test]
+    fn constructors_fill_cached_norms() {
+        let base = Vector::from(vec![1.0, -2.0, 0.5]);
+        let delta = Vector::from(vec![0.25, 0.5, -1.0]);
+        let u = ClientUpdate::from_delta(0, 3, 1, &base, delta.clone(), 10);
+        assert_eq!(u.params_norm_squared(), u.params.norm_squared());
+        assert_eq!(u.delta_norm_squared(), delta.norm_squared());
+
+        let v = ClientUpdate::from_base(1, 3, 1, &base, &base + &delta, 10);
+        assert_eq!(v.params_norm_squared(), v.params.norm_squared());
+        assert_eq!(v.delta_norm_squared(), v.delta.norm_squared());
+
+        let w = ClientUpdate::new(2, 0, 0, base.clone(), 10);
+        assert_eq!(w.params_norm_squared(), base.norm_squared());
+        assert_eq!(w.delta_norm_squared(), base.norm_squared());
+    }
+
+    #[test]
+    fn refresh_cached_norms_tracks_in_place_mutation() {
+        let base = Vector::zeros(3);
+        let mut u = ClientUpdate::from_delta(0, 0, 0, &base, Vector::from(vec![3.0, 4.0, 0.0]), 1);
+        assert_eq!(u.delta_norm_squared(), 25.0);
+        u.delta.scale(2.0);
+        u.params = u.delta.clone();
+        u.refresh_cached_norms();
+        assert_eq!(u.delta_norm_squared(), 100.0);
+        assert_eq!(u.params_norm_squared(), 100.0);
     }
 
     #[test]

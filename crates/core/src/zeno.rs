@@ -100,6 +100,7 @@ impl UpdateFilter for ZenoPlusPlus {
                     // params = (params − old_delta) + new_delta
                     u.params -= &old_delta;
                     u.params += &u.delta.clone();
+                    u.refresh_cached_norms();
                 }
                 outcome.accepted.push(u);
             } else {

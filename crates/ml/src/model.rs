@@ -16,7 +16,11 @@ use rand::Rng;
 ///
 /// Implementations must keep `params()`/`set_params()` mutually inverse and
 /// `grad` consistent with `loss` (verified by finite-difference tests).
-pub trait Model: Send {
+///
+/// `Send + Sync` so the simulator's worker pool can clone a shared
+/// template model from several training threads; implementations hold
+/// plain parameter data, never interior mutability.
+pub trait Model: Send + Sync {
     /// Total number of scalar parameters.
     fn num_params(&self) -> usize;
 

@@ -55,6 +55,13 @@ pub struct SimConfig {
     /// `0.0` (default) reproduces the paper's equal partitions; positive
     /// values exercise the sample-count aggregation weights.
     pub partition_jitter: f64,
+    /// Worker threads for the deterministic engine's training pool.
+    /// `1` (default) trains each in-flight client inline at completion
+    /// time, exactly as the sequential engine always has; `N > 1` trains
+    /// eagerly in parallel at *dispatch* time while completions are still
+    /// consumed in deterministic heap order, so results are byte-identical
+    /// for every `N` (see DESIGN.md "Dispatch-time determinism").
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -78,6 +85,7 @@ impl SimConfig {
             participation: 1.0,
             dropout: 0.0,
             partition_jitter: 0.0,
+            threads: 1,
         }
     }
 
@@ -102,6 +110,7 @@ impl SimConfig {
             participation: 1.0,
             dropout: 0.0,
             partition_jitter: 0.0,
+            threads: 1,
         }
     }
 
@@ -162,12 +171,21 @@ impl SimConfig {
                 self.partition_jitter
             ));
         }
+        if self.threads == 0 {
+            return Err("threads must be positive".into());
+        }
         Ok(())
     }
 
     /// Builder-style seed override (multi-seed sweeps).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style worker-thread override (see [`SimConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -286,7 +304,27 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(SimConfig {
+            threads: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
         assert!(SimConfig { dropout: 1.0, ..ok }.validate().is_err());
+    }
+
+    #[test]
+    fn with_threads_only_changes_threads() {
+        let a = SimConfig::smoke_test();
+        let b = a.clone().with_threads(4);
+        assert_eq!(b.threads, 4);
+        assert_eq!(
+            SimConfig {
+                threads: a.threads,
+                ..b
+            },
+            a
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod config;
 pub mod latency;
 pub mod metrics;
+pub mod pool;
 pub mod runner;
 pub mod server;
 pub mod threaded;

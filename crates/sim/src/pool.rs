@@ -1,0 +1,267 @@
+//! A fixed-size worker pool with deterministic, key-ordered collection.
+//!
+//! The deterministic engine ([`crate::runner`]) exploits *dispatch-time
+//! determinism*: a client's local-training result is fully determined the
+//! moment the job is dispatched (global-model snapshot + the client's own
+//! seeded RNG state), not when the event loop later pops its completion.
+//! Workers may therefore race each other freely — the event loop collects
+//! each result by its sequence key in the exact order the completion heap
+//! dictates, so `threads = 1` and `threads = N` replay byte-identically.
+//!
+//! The pool is built on crossbeam channels (already a workspace dep) and
+//! scoped threads, so tasks may borrow the simulation's client datasets
+//! without `Arc`-wrapping the world. Panics inside a worker are caught and
+//! surfaced as [`PoolError::WorkerPanicked`] from [`PoolHandle::collect`]
+//! — a poisoned worker fails the run instead of hanging the channel.
+
+use crossbeam::channel;
+use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+
+/// Why [`PoolHandle::collect`] could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker panicked while executing a task; the payload's panic
+    /// message is preserved. The submitting run must treat this as fatal.
+    WorkerPanicked(String),
+    /// Every worker exited before the requested key arrived (e.g. a key
+    /// that was never submitted).
+    Disconnected,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            PoolError::Disconnected => write!(f, "worker pool disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+type Keyed<R> = Result<(u64, R), String>;
+
+/// Submission/collection handle passed to the [`with_worker_pool`] body.
+pub struct PoolHandle<T, R> {
+    task_tx: Option<channel::Sender<T>>,
+    result_rx: channel::Receiver<Keyed<R>>,
+    /// Results that arrived before their key was requested.
+    ready: BTreeMap<u64, R>,
+    failure: Option<PoolError>,
+}
+
+impl<T, R> PoolHandle<T, R> {
+    /// Queues a task for the next free worker. Returns `false` if every
+    /// worker has already exited (after a panic); the subsequent
+    /// [`PoolHandle::collect`] will report the failure.
+    pub fn submit(&mut self, task: T) -> bool {
+        match &self.task_tx {
+            Some(tx) => tx.send(task).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Blocks until the result with sequence key `key` is available,
+    /// buffering any other results that arrive first.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::WorkerPanicked`] if any worker panicked before `key`'s
+    /// result arrived; [`PoolError::Disconnected`] if all workers exited
+    /// without producing it.
+    pub fn collect(&mut self, key: u64) -> Result<R, PoolError> {
+        loop {
+            if let Some(r) = self.ready.remove(&key) {
+                return Ok(r);
+            }
+            if let Some(f) = &self.failure {
+                return Err(f.clone());
+            }
+            match self.result_rx.recv() {
+                Ok(Ok((k, r))) => {
+                    self.ready.insert(k, r);
+                }
+                Ok(Err(msg)) => {
+                    let err = PoolError::WorkerPanicked(msg);
+                    self.failure = Some(err.clone());
+                    return Err(err);
+                }
+                Err(channel::RecvError) => {
+                    self.failure = Some(PoolError::Disconnected);
+                    return Err(PoolError::Disconnected);
+                }
+            }
+        }
+    }
+
+    /// Closes the task queue, waits for every in-flight task to finish,
+    /// and returns all uncollected results in sequence-key order. Used at
+    /// run teardown to recover state (e.g. advanced client RNGs) from jobs
+    /// the event loop never consumed.
+    pub fn drain(&mut self) -> Vec<R> {
+        self.task_tx = None;
+        while let Ok(msg) = self.result_rx.recv() {
+            match msg {
+                Ok((k, r)) => {
+                    self.ready.insert(k, r);
+                }
+                Err(msg) => {
+                    self.failure = Some(PoolError::WorkerPanicked(msg));
+                    break;
+                }
+            }
+        }
+        std::mem::take(&mut self.ready).into_values().collect()
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `body` with a pool of `threads` workers executing `worker` on
+/// submitted tasks, returning `body`'s result after every worker has
+/// joined.
+///
+/// `worker` maps a task to a `(sequence key, result)` pair; results are
+/// collected by key via [`PoolHandle::collect`] regardless of which worker
+/// finished first, which is what makes the parallel schedule replayable.
+/// Scoped threads let tasks borrow from the caller's stack; `worker` runs
+/// on several threads at once and must be `Sync`.
+pub fn with_worker_pool<T, R, Out>(
+    threads: usize,
+    worker: impl Fn(T) -> (u64, R) + Sync,
+    body: impl FnOnce(&mut PoolHandle<T, R>) -> Out,
+) -> Out
+where
+    T: Send,
+    R: Send,
+{
+    let (task_tx, task_rx) = channel::unbounded::<T>();
+    let (result_tx, result_rx) = channel::unbounded::<Keyed<R>>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            let worker = &worker;
+            scope.spawn(move || {
+                while let Ok(task) = task_rx.recv() {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| worker(task))) {
+                        Ok(keyed) => {
+                            if result_tx.send(Ok(keyed)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(payload) => {
+                            // Poisoned worker: report and exit the thread.
+                            let _ = result_tx.send(Err(panic_message(payload.as_ref())));
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        // The workers hold the only remaining clones; dropping these lets
+        // `recv` disconnect cleanly once the handle closes the task queue.
+        drop(task_rx);
+        drop(result_tx);
+        let mut handle = PoolHandle {
+            task_tx: Some(task_tx),
+            result_rx,
+            ready: BTreeMap::new(),
+            failure: None,
+        };
+        body(&mut handle)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_results_in_key_order_regardless_of_worker_race() {
+        for threads in [1, 2, 4, 7] {
+            let out = with_worker_pool(
+                threads,
+                |task: u64| (task, task * task),
+                |pool| {
+                    for task in 0..100u64 {
+                        assert!(pool.submit(task));
+                    }
+                    (0..100u64)
+                        .map(|k| pool.collect(k).unwrap())
+                        .collect::<Vec<u64>>()
+                },
+            );
+            let expected: Vec<u64> = (0..100).map(|k| k * k).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let err = with_worker_pool(
+            2,
+            |task: u64| {
+                if task == 3 {
+                    panic!("poisoned task {task}");
+                }
+                (task, task)
+            },
+            |pool| {
+                for task in 0..8u64 {
+                    pool.submit(task);
+                }
+                // Collecting the poisoned key must fail, not block forever.
+                (0..8u64).map(|k| pool.collect(k)).find_map(Result::err)
+            },
+        );
+        match err {
+            Some(PoolError::WorkerPanicked(msg)) => {
+                assert!(msg.contains("poisoned task 3"), "message was {msg:?}")
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collecting_a_never_submitted_key_reports_disconnect() {
+        let err = with_worker_pool(
+            2,
+            |task: u64| (task, task),
+            |pool| {
+                pool.submit(1);
+                assert_eq!(pool.collect(1), Ok(1));
+                // Key 99 never existed; the drained pool must disconnect.
+                pool.task_tx = None;
+                pool.collect(99)
+            },
+        );
+        assert_eq!(err, Err(PoolError::Disconnected));
+    }
+
+    #[test]
+    fn drain_recovers_uncollected_results() {
+        let leftovers = with_worker_pool(
+            3,
+            |task: u64| (task, task + 100),
+            |pool| {
+                for task in 0..6u64 {
+                    pool.submit(task);
+                }
+                assert_eq!(pool.collect(2), Ok(102));
+                pool.drain()
+            },
+        );
+        assert_eq!(leftovers, vec![100, 101, 103, 104, 105]);
+    }
+}

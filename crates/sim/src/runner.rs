@@ -15,7 +15,16 @@
 //! 4. when the buffer reaches Ω the server filters + aggregates, and every
 //!    submitting client restarts from the newest global model.
 //!
-//! Runs are bit-reproducible for a fixed [`SimConfig::seed`].
+//! Runs are bit-reproducible for a fixed [`SimConfig::seed`] — including
+//! multi-threaded runs. With [`SimConfig::threads`] > 1 the engine
+//! exploits *dispatch-time determinism*: an honest local-training result
+//! is fully determined when the job is dispatched (the global-model
+//! snapshot plus the client's own RNG stream), so jobs are shipped
+//! eagerly to a [`crate::pool`] worker pool and their results collected
+//! by sequence number in the exact order the completion heap pops them.
+//! Everything stateful and order-sensitive — attack crafting against the
+//! shared collusion pool, the server's filter/aggregate pipeline,
+//! participation and dropout draws — stays on the event-loop thread.
 
 use asyncfl_attacks::{Attack, AttackKind, GradientDeviationAttack};
 use asyncfl_core::aggregation::{Aggregator, MeanAggregator};
@@ -29,19 +38,23 @@ use asyncfl_tensor::Vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use crate::config::SimConfig;
 use crate::latency::LatencyModel;
 use crate::metrics::RunResult;
+use crate::pool::{with_worker_pool, PoolHandle};
 use crate::server::BufferedServer;
 
 /// An in-flight local training job, ordered by completion time (min-heap).
+/// The global-model snapshot is shared via `Arc` so an in-flight client
+/// costs one reference count instead of a full parameter-vector clone.
 struct InFlight {
     completes_at: f64,
     seq: u64,
     client: usize,
     base_round: u64,
-    base_params: Vector,
+    base_params: Arc<Vector>,
     /// A non-participating cycle (the client was not sampled): no training,
     /// no submission — just time passing.
     idle: bool,
@@ -66,6 +79,78 @@ impl Ord for InFlight {
             .total_cmp(&self.completes_at)
             .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+/// One local-training job shipped to the worker pool at dispatch time.
+/// Carries everything that determines the result: the model snapshot and
+/// the client's RNG stream, which the event loop surrenders until the
+/// job's completion is popped (a deterministic placeholder takes its slot
+/// and is never drawn from).
+struct TrainTask {
+    seq: u64,
+    client: usize,
+    base: Arc<Vector>,
+    rng: StdRng,
+}
+
+/// A finished honest update plus the client's advanced RNG stream.
+struct TrainOutput {
+    client: usize,
+    delta: Vector,
+    rng: StdRng,
+}
+
+/// Samples whether a client participates in its next cycle.
+fn participates(cfg: &SimConfig, rng: &mut StdRng) -> bool {
+    if cfg.participation >= 1.0 {
+        return true;
+    }
+    use rand::RngExt;
+    rng.random::<f64>() < cfg.participation
+}
+
+/// In pool mode, eagerly ships a just-scheduled training job to the
+/// workers, taking the client's RNG with it. No-op in inline mode.
+fn dispatch(
+    pool: &mut Option<&mut PoolHandle<TrainTask, TrainOutput>>,
+    seq: u64,
+    client: usize,
+    base: &Arc<Vector>,
+    client_rng: &mut [StdRng],
+) {
+    if let Some(handle) = pool {
+        let rng = std::mem::replace(&mut client_rng[client], StdRng::seed_from_u64(0));
+        let _ = handle.submit(TrainTask {
+            seq,
+            client,
+            base: Arc::clone(base),
+            rng,
+        });
+    }
+}
+
+/// Computes the trusted delta for clean-dataset baselines: one local
+/// training pass on the server's root dataset from the current global
+/// model (what Zeno++/AFLGuard's server does each round).
+fn trusted_delta(
+    root: Option<&Dataset>,
+    template: &dyn Model,
+    cfg: &SimConfig,
+    trainer: &LocalTrainer,
+    global: &Vector,
+) -> Option<Vector> {
+    let root = root?;
+    let mut model = template.clone_box();
+    model.set_params(global);
+    let mut optimizer = build_optimizer(&cfg.profile, model.num_params());
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5e17_ed5e_17ed_5e17);
+    LocalTrainer::new(1, trainer.batch_size()).train(
+        model.as_mut(),
+        root,
+        optimizer.as_mut(),
+        &mut rng,
+    );
+    Some(&model.params() - global)
 }
 
 /// How strongly the GD attack scales its reversal in simulation runs.
@@ -233,203 +318,265 @@ impl Simulation {
         aggregator: Box<dyn Aggregator>,
         sink: Option<SharedSink>,
     ) -> RunResult {
-        let cfg = self.config.clone();
-        let mut server = BufferedServer::new(
-            self.template.params(),
-            cfg.aggregation_bound,
-            cfg.staleness_limit,
-            filter,
-            aggregator,
-        );
-        server.set_sink(sink.clone());
-        let mut attack_rng = StdRng::seed_from_u64(cfg.seed ^ 0xA77A_C4E2_57A1_F00D);
-        let mut eval_model = self.template.clone();
+        // Split `self` into disjoint borrows: the worker pool reads the
+        // population (config, datasets, template) while the event loop
+        // keeps exclusive ownership of the RNG streams and the server.
+        let threads = self.config.threads.max(1);
+        let Simulation {
+            config,
+            test_data,
+            root_data,
+            client_data,
+            client_sizes,
+            client_factor,
+            client_rng,
+            malicious,
+            template,
+            latency,
+            trainer,
+            ..
+        } = self;
+        let cfg: &SimConfig = config;
+        let template: &dyn Model = template.as_ref();
+        let root_data: Option<&Dataset> = root_data.as_ref();
+        let client_data: &[Dataset] = client_data;
+        let client_sizes: &[usize] = client_sizes;
+        let client_factor: &[f64] = client_factor;
+        let malicious: &[bool] = malicious;
+        let test_data: &Dataset = test_data;
+        let latency: &LatencyModel = latency;
+        let trainer: &LocalTrainer = trainer;
 
-        // Kick off every client at t = 0 from the initial model.
-        let mut heap: BinaryHeap<InFlight> = BinaryHeap::new();
-        let mut seq = 0u64;
-        for client in 0..cfg.num_clients {
-            let dur = self
-                .latency
-                .cycle_duration(self.client_factor[client], &mut self.client_rng[client]);
-            heap.push(InFlight {
-                completes_at: dur,
+        // One honest local-training job; a pure function of the snapshot
+        // and the RNG handed in, so it runs identically on the event-loop
+        // thread (inline mode) or a pool worker (dispatch mode).
+        let train_one = |base: &Vector, client: usize, rng: &mut StdRng| -> Vector {
+            let mut model = template.clone_box();
+            model.set_params(base);
+            let mut optimizer = build_optimizer(&cfg.profile, model.num_params());
+            {
+                let _span = Span::start(sink.as_ref().map(|s| s.as_dyn()), "local_training");
+                trainer.train(
+                    model.as_mut(),
+                    &client_data[client],
+                    optimizer.as_mut(),
+                    rng,
+                );
+            }
+            &model.params() - base
+        };
+
+        let worker = |task: TrainTask| {
+            let TrainTask {
                 seq,
                 client,
-                base_round: 0,
-                base_params: server.global().clone(),
-                idle: false,
-            });
-            seq += 1;
-        }
+                base,
+                mut rng,
+            } = task;
+            let delta = train_one(&base, client, &mut rng);
+            (seq, TrainOutput { client, delta, rng })
+        };
 
-        if self.root_data.is_some() {
-            let trusted = self.trusted_delta(server.global());
-            server.set_trusted_delta(trusted);
-        }
+        // The event loop itself, parameterized only by where training
+        // results come from. Everything order-sensitive (attack crafting,
+        // the server pipeline, participation/dropout draws) runs here, in
+        // deterministic completion-heap order.
+        let drive = |mut pool: Option<&mut PoolHandle<TrainTask, TrainOutput>>| -> RunResult {
+            let mut server = BufferedServer::new(
+                template.params(),
+                cfg.aggregation_bound,
+                cfg.staleness_limit,
+                filter,
+                aggregator,
+            );
+            server.set_sink(sink.clone());
+            let mut attack_rng = StdRng::seed_from_u64(cfg.seed ^ 0xA77A_C4E2_57A1_F00D);
+            let mut eval_model = template.clone_box();
 
-        let mut collusion: VecDeque<Vector> = VecDeque::new();
-        let mut accuracy_history = Vec::new();
-        let mut round_reports = Vec::new();
-        let mut now = 0.0f64;
-        let max_events =
-            (cfg.rounds as usize + 2) * cfg.num_clients.max(cfg.aggregation_bound) * 64;
-        let mut events = 0usize;
-
-        while let Some(job) = heap.pop() {
-            events += 1;
-            if events > max_events {
-                break;
+            // Kick off every client at t = 0 from the initial model.
+            let mut heap: BinaryHeap<InFlight> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let init_base = Arc::new(server.global().clone());
+            for client in 0..cfg.num_clients {
+                let dur = latency.cycle_duration(client_factor[client], &mut client_rng[client]);
+                dispatch(&mut pool, seq, client, &init_base, client_rng);
+                heap.push(InFlight {
+                    completes_at: dur,
+                    seq,
+                    client,
+                    base_round: 0,
+                    base_params: Arc::clone(&init_base),
+                    idle: false,
+                });
+                seq += 1;
             }
-            now = job.completes_at;
-            let client = job.client;
 
-            if job.idle {
-                // Not sampled last cycle: wake up and (maybe) participate.
-                let dur = self
-                    .latency
-                    .cycle_duration(self.client_factor[client], &mut self.client_rng[client]);
-                let idle = !self.participates(client);
+            if root_data.is_some() {
+                let trusted = trusted_delta(root_data, template, cfg, trainer, server.global());
+                server.set_trusted_delta(trusted);
+            }
+
+            let mut collusion: VecDeque<Vector> = VecDeque::new();
+            let mut accuracy_history = Vec::new();
+            let mut round_reports = Vec::new();
+            let mut now = 0.0f64;
+            let max_events =
+                (cfg.rounds as usize + 2) * cfg.num_clients.max(cfg.aggregation_bound) * 64;
+            let mut events = 0usize;
+
+            while let Some(job) = heap.pop() {
+                events += 1;
+                if events > max_events {
+                    break;
+                }
+                now = job.completes_at;
+                let client = job.client;
+
+                if job.idle {
+                    // Not sampled last cycle: wake up and (maybe) participate.
+                    let dur =
+                        latency.cycle_duration(client_factor[client], &mut client_rng[client]);
+                    let idle = !participates(cfg, &mut client_rng[client]);
+                    let base = Arc::new(server.global().clone());
+                    if !idle {
+                        dispatch(&mut pool, seq, client, &base, client_rng);
+                    }
+                    heap.push(InFlight {
+                        completes_at: now + dur,
+                        seq,
+                        client,
+                        base_round: server.round(),
+                        base_params: base,
+                        idle,
+                    });
+                    seq += 1;
+                    continue;
+                }
+
+                // Local training from the (possibly stale) snapshot: train
+                // now (inline mode) or collect the eagerly dispatched
+                // result by sequence number (pool mode). Either way the
+                // client's RNG ends up in the same state.
+                let honest_delta = match &mut pool {
+                    None => train_one(&job.base_params, client, &mut client_rng[client]),
+                    Some(handle) => match handle.collect(job.seq) {
+                        Ok(out) => {
+                            client_rng[out.client] = out.rng;
+                            out.delta
+                        }
+                        Err(e) => {
+                            // lint:allow(P1) -- worker-pool entry point: a poisoned worker must abort the run loudly rather than hang the channel or continue from corrupt state
+                            panic!("training worker pool failed: {e}")
+                        }
+                    },
+                };
+
+                let delta = if malicious[client] {
+                    collusion.push_back(honest_delta.clone());
+                    while collusion.len() > cfg.num_malicious.max(1) {
+                        collusion.pop_front();
+                    }
+                    let known: Vec<Vector> = collusion.iter().cloned().collect();
+                    let crafted = attack.craft_all(&known, &mut attack_rng);
+                    crafted.last().cloned().unwrap_or(honest_delta)
+                } else {
+                    honest_delta
+                };
+
+                let update = ClientUpdate::from_delta(
+                    client,
+                    job.base_round,
+                    0,
+                    &job.base_params,
+                    delta,
+                    client_sizes[client],
+                )
+                .with_truth_malicious(malicious[client]);
+
+                // Failure injection: the update may be lost in transit.
+                let dropped = cfg.dropout > 0.0 && {
+                    use rand::RngExt;
+                    client_rng[client].random::<f64>() < cfg.dropout
+                };
+                let received = if dropped {
+                    None
+                } else {
+                    server.receive(update)
+                };
+
+                if let Some(report) = received {
+                    round_reports.push(report);
+                    let completed = report.round_completed + 1;
+                    if completed % cfg.eval_every == 0 {
+                        eval_model.set_params(server.global());
+                        let accuracy = evaluate(eval_model.as_ref(), test_data);
+                        if let Some(s) = &sink {
+                            s.emit(&Event::AccuracyCheckpoint {
+                                round: completed,
+                                accuracy,
+                            });
+                        }
+                        accuracy_history.push((completed, accuracy));
+                    }
+                    if root_data.is_some() {
+                        let trusted =
+                            trusted_delta(root_data, template, cfg, trainer, server.global());
+                        server.set_trusted_delta(trusted);
+                    }
+                    if completed >= cfg.rounds {
+                        break;
+                    }
+                }
+
+                // The client immediately starts its next cycle from the
+                // current global model (or idles this cycle if the sampler
+                // skips it).
+                let dur = latency.cycle_duration(client_factor[client], &mut client_rng[client]);
+                let idle = !participates(cfg, &mut client_rng[client]);
+                let base = Arc::new(server.global().clone());
+                if !idle {
+                    dispatch(&mut pool, seq, client, &base, client_rng);
+                }
                 heap.push(InFlight {
                     completes_at: now + dur,
                     seq,
                     client,
                     base_round: server.round(),
-                    base_params: server.global().clone(),
+                    base_params: base,
                     idle,
                 });
                 seq += 1;
-                continue;
             }
 
-            // Local training from the (possibly stale) snapshot.
-            let mut model = self.template.clone();
-            model.set_params(&job.base_params);
-            let mut optimizer = build_optimizer(&cfg.profile, model.num_params());
-            {
-                let _span = Span::start(sink.as_ref().map(|s| s.as_dyn()), "local_training");
-                self.trainer.train(
-                    model.as_mut(),
-                    &self.client_data[client],
-                    optimizer.as_mut(),
-                    &mut self.client_rng[client],
-                );
-            }
-            let honest_delta = &model.params() - &job.base_params;
-
-            let delta = if self.malicious[client] {
-                collusion.push_back(honest_delta.clone());
-                while collusion.len() > cfg.num_malicious.max(1) {
-                    collusion.pop_front();
-                }
-                let pool: Vec<Vector> = collusion.iter().cloned().collect();
-                let crafted = attack.craft_all(&pool, &mut attack_rng);
-                crafted.last().cloned().unwrap_or(honest_delta)
-            } else {
-                honest_delta
-            };
-
-            let update = ClientUpdate::from_delta(
-                client,
-                job.base_round,
-                0,
-                &job.base_params,
-                delta,
-                self.client_sizes[client],
-            )
-            .with_truth_malicious(self.malicious[client]);
-
-            // Failure injection: the update may be lost in transit.
-            let dropped = cfg.dropout > 0.0 && {
-                use rand::RngExt;
-                self.client_rng[client].random::<f64>() < cfg.dropout
-            };
-            let received = if dropped {
-                None
-            } else {
-                server.receive(update)
-            };
-
-            if let Some(report) = received {
-                round_reports.push(report);
-                let completed = report.round_completed + 1;
-                if completed % cfg.eval_every == 0 {
-                    eval_model.set_params(server.global());
-                    let accuracy = evaluate(eval_model.as_ref(), &self.test_data);
-                    if let Some(s) = &sink {
-                        s.emit(&Event::AccuracyCheckpoint {
-                            round: completed,
-                            accuracy,
-                        });
-                    }
-                    accuracy_history.push((completed, accuracy));
-                }
-                if self.root_data.is_some() {
-                    let trusted = self.trusted_delta(server.global());
-                    server.set_trusted_delta(trusted);
-                }
-                if completed >= cfg.rounds {
-                    break;
+            if let Some(handle) = pool {
+                // Recover the advanced RNG streams from jobs the loop never
+                // consumed, so post-run client state matches what the jobs
+                // actually drew.
+                for out in handle.drain() {
+                    client_rng[out.client] = out.rng;
                 }
             }
 
-            // The client immediately starts its next cycle from the current
-            // global model (or idles this cycle if the sampler skips it).
-            let dur = self
-                .latency
-                .cycle_duration(self.client_factor[client], &mut self.client_rng[client]);
-            let idle = !self.participates(client);
-            heap.push(InFlight {
-                completes_at: now + dur,
-                seq,
-                client,
-                base_round: server.round(),
-                base_params: server.global().clone(),
-                idle,
-            });
-            seq += 1;
-        }
+            eval_model.set_params(server.global());
+            let final_accuracy = evaluate(eval_model.as_ref(), test_data);
+            RunResult {
+                final_accuracy,
+                accuracy_history,
+                detection: server.detection(),
+                rounds_completed: server.round(),
+                updates_received: server.received(),
+                updates_discarded_stale: server.discarded_stale(),
+                staleness_histogram: server.staleness_histogram().clone(),
+                round_reports,
+                sim_time: now,
+            }
+        };
 
-        eval_model.set_params(server.global());
-        let final_accuracy = evaluate(eval_model.as_ref(), &self.test_data);
-        RunResult {
-            final_accuracy,
-            accuracy_history,
-            detection: server.detection(),
-            rounds_completed: server.round(),
-            updates_received: server.received(),
-            updates_discarded_stale: server.discarded_stale(),
-            staleness_histogram: server.staleness_histogram().clone(),
-            round_reports,
-            sim_time: now,
+        if threads == 1 {
+            drive(None)
+        } else {
+            with_worker_pool(threads, worker, |handle| drive(Some(handle)))
         }
-    }
-
-    /// Samples whether a client participates in its next cycle.
-    fn participates(&mut self, client: usize) -> bool {
-        if self.config.participation >= 1.0 {
-            return true;
-        }
-        use rand::RngExt;
-        self.client_rng[client].random::<f64>() < self.config.participation
-    }
-
-    /// Computes the trusted delta for clean-dataset baselines: one local
-    /// training pass on the server's root dataset from the current global
-    /// model (what Zeno++/AFLGuard's server does each round).
-    fn trusted_delta(&mut self, global: &Vector) -> Option<Vector> {
-        let root = self.root_data.as_ref()?;
-        let mut model = self.template.clone();
-        model.set_params(global);
-        let mut optimizer = build_optimizer(&self.config.profile, model.num_params());
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5e17_ed5e_17ed_5e17);
-        LocalTrainer::new(1, self.trainer.batch_size()).train(
-            model.as_mut(),
-            root,
-            optimizer.as_mut(),
-            &mut rng,
-        );
-        Some(&model.params() - global)
     }
 }
 

@@ -39,9 +39,12 @@ use crate::server::BufferedServer;
 /// creating measurable staleness spread).
 const SLEEP_PER_FACTOR: Duration = Duration::from_micros(300);
 
-/// Snapshot clients pull before each local round.
+/// Snapshot clients pull before each local round. The parameter vector is
+/// behind an `Arc` so every puller shares one allocation — the write lock
+/// swaps the pointer, and a client's snapshot costs a reference count
+/// instead of a full parameter-vector clone.
 struct GlobalView {
-    params: Vector,
+    params: Arc<Vector>,
     round: u64,
 }
 
@@ -126,7 +129,7 @@ pub fn run_threaded_with_sink(
     buffered.set_sink(sink.clone());
     let server = Arc::new(Mutex::new(buffered));
     let view = Arc::new(RwLock::new(GlobalView {
-        params: template.params(),
+        params: Arc::new(template.params()),
         round: 0,
     }));
     let done = Arc::new(AtomicBool::new(false));
@@ -183,7 +186,7 @@ pub fn run_threaded_with_sink(
                             Span::start(sink.as_ref().map(|s| s.as_dyn()), "local_training");
                         trainer.train(model.as_mut(), &data, optimizer.as_mut(), &mut rng);
                     }
-                    let honest = &model.params() - &base_params;
+                    let honest = &model.params() - &*base_params;
                     let delta = if is_malicious {
                         let mut pool = collusion.lock();
                         pool.push_back(honest.clone());
@@ -213,7 +216,7 @@ pub fn run_threaded_with_sink(
                         let r = s.receive(update);
                         if r.is_some() {
                             let mut v = view.write();
-                            v.params = s.global().clone();
+                            v.params = Arc::new(s.global().clone());
                             v.round = s.round();
                         }
                         r

@@ -191,6 +191,26 @@ impl MetricsRegistry {
             .cloned()
     }
 
+    /// Snapshot of every span's latency histogram, keyed by span name.
+    /// This is the per-phase breakdown the bench binaries export to
+    /// `BENCH_*.json` (local training / filter / aggregation timings).
+    pub fn spans(&self) -> BTreeMap<&'static str, Log2Histogram> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .spans
+            .clone()
+    }
+
+    /// Snapshot of all event counts, keyed by [`Event::kind`] tag.
+    pub fn event_counts(&self) -> BTreeMap<&'static str, u64> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .event_counts
+            .clone()
+    }
+
     /// Snapshot of the suspicious-score histogram (scores scaled by
     /// [`SCORE_SCALE`]; non-finite scores are not recorded).
     pub fn scores(&self) -> Log2Histogram {

@@ -1,0 +1,192 @@
+//! Chunked reduction kernels shared by [`crate::Vector`] and
+//! [`crate::Matrix`].
+//!
+//! The naive `zip().map().sum()` reductions form one serial dependency
+//! chain of float additions, which LLVM must preserve (float addition is
+//! not associative) — so they never vectorize. These kernels instead run
+//! eight independent accumulators over `chunks_exact(8)` blocks and fold
+//! them in a *fixed* tree order, which LLVM auto-vectorizes to SIMD adds
+//! while still producing bit-identical results on every run: the summation
+//! order is a deterministic function of the slice length alone.
+
+/// Accumulator width. Eight `f64` lanes = two AVX2 registers / one
+/// AVX-512 register; also fine on NEON (four 2-wide registers).
+const LANES: usize = 8;
+
+/// Folds the lane accumulators plus the scalar tail in a fixed tree order.
+#[inline(always)]
+fn reduce(acc: [f64; LANES], tail: f64) -> f64 {
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+}
+
+/// Dot product `Σ aᵢ·bᵢ` over equal-length slices.
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0_f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    reduce(acc, tail)
+}
+
+/// Squared ℓ2 norm `Σ aᵢ²`.
+#[inline]
+pub(crate) fn norm_squared(a: &[f64]) -> f64 {
+    let mut acc = [0.0_f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    for xa in &mut ca {
+        for l in 0..LANES {
+            acc[l] += xa[l] * xa[l];
+        }
+    }
+    let mut tail = 0.0;
+    for x in ca.remainder() {
+        tail += x * x;
+    }
+    reduce(acc, tail)
+}
+
+/// Fused squared ℓ2 distance `Σ (aᵢ − bᵢ)²` over equal-length slices.
+#[inline]
+pub(crate) fn distance_squared(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0_f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            let d = xa[l] - xb[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    reduce(acc, tail)
+}
+
+/// Plain sum `Σ aᵢ`.
+#[inline]
+pub(crate) fn sum(a: &[f64]) -> f64 {
+    let mut acc = [0.0_f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    for xa in &mut ca {
+        for l in 0..LANES {
+            acc[l] += xa[l];
+        }
+    }
+    let mut tail = 0.0;
+    for x in ca.remainder() {
+        tail += x;
+    }
+    reduce(acc, tail)
+}
+
+/// Absolute-value sum `Σ |aᵢ|` (ℓ1 norm).
+#[inline]
+pub(crate) fn sum_abs(a: &[f64]) -> f64 {
+    let mut acc = [0.0_f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    for xa in &mut ca {
+        for l in 0..LANES {
+            acc[l] += xa[l].abs();
+        }
+    }
+    let mut tail = 0.0;
+    for x in ca.remainder() {
+        tail += x.abs();
+    }
+    reduce(acc, tail)
+}
+
+/// In-place `y ← y + α·x` over equal-length slices.
+#[inline]
+pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    debug_assert_eq!(y.len(), x.len());
+    let mut cy = y.chunks_exact_mut(LANES);
+    let mut cx = x.chunks_exact(LANES);
+    for (ya, xa) in (&mut cy).zip(&mut cx) {
+        for l in 0..LANES {
+            ya[l] += alpha * xa[l];
+        }
+    }
+    for (yv, xv) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yv += alpha * xv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn data(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn kernels_match_naive_reductions() {
+        // Cover empty, sub-lane, exact-lane, and lane+tail lengths.
+        for n in [0, 1, 7, 8, 9, 16, 63, 64, 65, 330] {
+            let (a, b) = data(n);
+            let tol = 1e-12 * (n.max(1) as f64);
+            assert!((dot(&a, &b) - naive_dot(&a, &b)).abs() < tol, "dot n={n}");
+            assert!(
+                (norm_squared(&a) - naive_dot(&a, &a)).abs() < tol,
+                "norm_squared n={n}"
+            );
+            let naive_dist: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>();
+            assert!(
+                (distance_squared(&a, &b) - naive_dist).abs() < tol,
+                "distance_squared n={n}"
+            );
+            assert!((sum(&a) - a.iter().sum::<f64>()).abs() < tol, "sum n={n}");
+            assert!(
+                (sum_abs(&a) - a.iter().map(|x| x.abs()).sum::<f64>()).abs() < tol,
+                "sum_abs n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_are_run_to_run_deterministic() {
+        // Same input → bit-identical output: the reduction order is fixed.
+        let (a, b) = data(1001);
+        let first = dot(&a, &b);
+        for _ in 0..8 {
+            assert_eq!(first.to_bits(), dot(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop() {
+        for n in [0, 1, 7, 8, 9, 65, 330] {
+            let (a, b) = data(n);
+            let mut fast = a.clone();
+            axpy(&mut fast, 0.75, &b);
+            let slow: Vec<f64> = a.iter().zip(&b).map(|(y, x)| y + 0.75 * x).collect();
+            // Element-wise op: must be *exactly* the same, not just close.
+            assert_eq!(fast, slow, "axpy n={n}");
+        }
+    }
+}

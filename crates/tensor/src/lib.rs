@@ -3,8 +3,10 @@
 //! The AsyncFilter stack (`asyncfl-core`, `asyncfl-ml`, …) manipulates
 //! model parameters and model *updates* as flat dense vectors, and model
 //! layers as dense matrices. This crate provides exactly that: a small,
-//! dependency-light set of `f64` kernels tuned for clarity and testability
-//! rather than SIMD peak throughput.
+//! dependency-light set of `f64` kernels. Reductions (dot, norms,
+//! distances) run through fixed-order chunked loops (the internal
+//! `kernels` module) that LLVM auto-vectorizes while staying
+//! bit-reproducible run to run.
 //!
 //! # Overview
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod init;
+pub(crate) mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod stats;

@@ -189,9 +189,7 @@ impl Matrix {
             self.cols
         );
         let xs = x.as_slice();
-        Vector::from_fn(self.rows, |r| {
-            self.row(r).iter().zip(xs).map(|(a, b)| a * b).sum()
-        })
+        Vector::from_fn(self.rows, |r| crate::kernels::dot(self.row(r), xs))
     }
 
     /// Transposed matrix–vector product `selfᵀ * y`.

@@ -113,7 +113,7 @@ impl Vector {
             self.len(),
             other.len()
         );
-        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+        crate::kernels::dot(&self.data, &other.data)
     }
 
     /// Euclidean (ℓ2) norm.
@@ -129,12 +129,12 @@ impl Vector {
 
     /// Squared Euclidean norm, avoiding the square root.
     pub fn norm_squared(&self) -> f64 {
-        self.dot(self)
+        crate::kernels::norm_squared(&self.data)
     }
 
     /// ℓ1 norm (sum of absolute values).
     pub fn norm_l1(&self) -> f64 {
-        self.data.iter().map(|x| x.abs()).sum()
+        crate::kernels::sum_abs(&self.data)
     }
 
     /// ℓ∞ norm (maximum absolute component); `0.0` for the empty vector.
@@ -167,14 +167,39 @@ impl Vector {
             self.len(),
             other.len()
         );
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| {
-                let d = a - b;
-                d * d
-            })
-            .sum()
+        crate::kernels::distance_squared(&self.data, &other.data)
+    }
+
+    /// Squared Euclidean distance via the cached-norm identity
+    /// `‖a − b‖² = ‖a‖² + ‖b‖² − 2·a·b`, clamped at zero against rounding.
+    ///
+    /// When both squared norms are already known (e.g. cached per update,
+    /// as AsyncFilter's eq. 6/7 scoring does via
+    /// `ClientUpdate::params_norm_squared`), each distance costs one dot
+    /// product instead of a fused two-vector walk, and the norms amortize
+    /// across every (estimate, update) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn distance_squared_from_norms(
+        &self,
+        self_norm_sq: f64,
+        other: &Self,
+        other_norm_sq: f64,
+    ) -> f64 {
+        (self_norm_sq + other_norm_sq - 2.0 * self.dot(other)).max(0.0)
+    }
+
+    /// Euclidean distance via the cached-norm identity; see
+    /// [`Vector::distance_squared_from_norms`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn distance_from_norms(&self, self_norm_sq: f64, other: &Self, other_norm_sq: f64) -> f64 {
+        self.distance_squared_from_norms(self_norm_sq, other, other_norm_sq)
+            .sqrt()
     }
 
     /// In-place scaled addition `self += alpha * other` (BLAS `axpy`).
@@ -190,9 +215,7 @@ impl Vector {
             self.len(),
             other.len()
         );
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        crate::kernels::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// In-place scaling `self *= alpha`.
@@ -270,7 +293,7 @@ impl Vector {
 
     /// Sum of all components.
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        crate::kernels::sum(&self.data)
     }
 
     /// Arithmetic mean of the components; `0.0` for the empty vector.

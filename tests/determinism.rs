@@ -27,9 +27,14 @@ fn small_config() -> SimConfig {
 
 /// One traced run: `RunResult` plus the full filter-verdict event stream.
 fn traced_run(seed: u64) -> (RunResult, Vec<Event>) {
+    traced_run_threaded(seed, 1)
+}
+
+/// As [`traced_run`], with an explicit worker-thread count.
+fn traced_run_threaded(seed: u64, threads: usize) -> (RunResult, Vec<Event>) {
     let mem = Arc::new(MemorySink::new(100_000));
     let sink = SharedSink::from_arc(Arc::clone(&mem) as Arc<dyn Sink>);
-    let mut sim = Simulation::new(small_config().with_seed(seed));
+    let mut sim = Simulation::new(small_config().with_seed(seed).with_threads(threads));
     let attack = build_attack(
         AttackKind::Gd,
         sim.config().num_clients,
@@ -69,6 +74,30 @@ fn seeded_runs_replay_byte_identically() {
     );
     // Sanity: the trace is non-trivial (the filter actually judged updates).
     assert!(!first_verdicts.is_empty());
+}
+
+#[test]
+fn worker_pool_replays_byte_identically() {
+    // Dispatch-time determinism: with threads > 1 the engine trains
+    // in-flight clients eagerly on a worker pool, but consumes completions
+    // in the same heap order — so the parallel run must match the
+    // sequential one bit-for-bit, not just statistically.
+    let (sequential, sequential_verdicts) = traced_run_threaded(42, 1);
+    let (parallel, parallel_verdicts) = traced_run_threaded(42, 4);
+
+    assert_eq!(sequential, parallel);
+    assert_eq!(sequential.final_accuracy, parallel.final_accuracy);
+    assert_eq!(
+        format!("{:?}", sequential.round_reports),
+        format!("{:?}", parallel.round_reports),
+        "round reports diverged between threads=1 and threads=4"
+    );
+    assert_eq!(
+        format!("{sequential_verdicts:?}"),
+        format!("{parallel_verdicts:?}"),
+        "per-update filter verdicts diverged between threads=1 and threads=4"
+    );
+    assert!(!sequential_verdicts.is_empty());
 }
 
 #[test]
