@@ -2,7 +2,8 @@
 //!
 //! A grid is defenses × attacks × seeds over one [`SimConfig`]. Each cell
 //! runs on the deterministic simulator; cells are independent, so the
-//! runner fans them out over OS threads (crossbeam scope + work channel).
+//! runner fans them out over OS threads (`std::thread::scope` + a shared
+//! `std::sync::mpsc` work queue).
 
 use asyncfl_attacks::AttackKind;
 use asyncfl_core::aggregation::MeanAggregator;
@@ -15,7 +16,8 @@ use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::metrics::RunResult;
 use asyncfl_sim::runner::{build_attack, Simulation};
 use asyncfl_telemetry::SharedSink;
-use crossbeam::channel;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The defenses the evaluation compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,7 +115,7 @@ impl std::fmt::Display for DefenseKind {
 /// updates labelled by staleness).
 #[derive(Debug, Clone, Default)]
 pub struct RecordingFilter {
-    log: std::sync::Arc<parking_lot::Mutex<Vec<RecordedUpdate>>>,
+    log: Arc<Mutex<Vec<RecordedUpdate>>>,
 }
 
 /// One recorded update observation.
@@ -140,9 +142,11 @@ impl RecordingFilter {
     }
 
     /// A shared handle to the recorded log (survives the filter being moved
-    /// into the server).
-    pub fn log_handle(&self) -> std::sync::Arc<parking_lot::Mutex<Vec<RecordedUpdate>>> {
-        std::sync::Arc::clone(&self.log)
+    /// into the server). A poisoned lock is recovered with
+    /// `PoisonError::into_inner`: each record is pushed atomically, so the
+    /// log is never left half-written.
+    pub fn log_handle(&self) -> Arc<Mutex<Vec<RecordedUpdate>>> {
+        Arc::clone(&self.log)
     }
 }
 
@@ -156,7 +160,7 @@ impl UpdateFilter for RecordingFilter {
         updates: Vec<asyncfl_core::ClientUpdate>,
         ctx: &asyncfl_core::FilterContext<'_>,
     ) -> asyncfl_core::FilterOutcome {
-        let mut log = self.log.lock();
+        let mut log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
         for u in &updates {
             log.push(RecordedUpdate {
                 round: ctx.round,
@@ -266,25 +270,33 @@ impl ExperimentGrid {
     ) -> Vec<GridCell> {
         assert!(threads > 0, "run_parallel: threads must be positive");
         let cells = self.cells();
-        let (task_tx, task_rx) = channel::unbounded::<(usize, (DefenseKind, AttackKind, u64))>();
+        let (task_tx, task_rx) = mpsc::channel::<(usize, (DefenseKind, AttackKind, u64))>();
         for item in cells.iter().copied().enumerate() {
             if task_tx.send(item).is_err() {
                 break;
             }
         }
         drop(task_tx);
-        let (result_tx, result_rx) = channel::unbounded::<(usize, GridCell)>();
+        // Workers share the single mpsc consumer behind a mutex; the lock is
+        // held only for the dequeue, never while a cell runs.
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let (result_tx, result_rx) = mpsc::channel::<(usize, GridCell)>();
         std::thread::scope(|scope| {
             for _ in 0..threads.min(cells.len().max(1)) {
-                let task_rx = task_rx.clone();
+                let task_rx = Arc::clone(&task_rx);
                 let result_tx = result_tx.clone();
                 let sink = sink.clone();
-                scope.spawn(move || {
-                    while let Ok((idx, (defense, attack, seed))) = task_rx.recv() {
-                        let cell = self.run_cell(defense, attack, seed, sink.clone());
-                        if result_tx.send((idx, cell)).is_err() {
-                            break;
-                        }
+                scope.spawn(move || loop {
+                    let msg = task_rx
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .recv();
+                    let Ok((idx, (defense, attack, seed))) = msg else {
+                        break;
+                    };
+                    let cell = self.run_cell(defense, attack, seed, sink.clone());
+                    if result_tx.send((idx, cell)).is_err() {
+                        break;
                     }
                 });
             }
@@ -469,7 +481,7 @@ mod tests {
         let log = recorder.log_handle();
         let result =
             Simulation::new(cfg).run(Box::new(recorder), asyncfl_attacks::AttackKind::None);
-        let records = log.lock();
+        let records = log.lock().unwrap();
         // Every filtered update was recorded (deferred never happens in a
         // passthrough recorder, so filtered == buffered).
         assert_eq!(records.len(), result.detection.total());

@@ -10,7 +10,7 @@
 //!   preprocessing step and as a cheaper embedding.
 //! * [`experiment`] — the grid runner: defenses × attacks × seeds on the
 //!   deterministic simulator, optionally fanned out across OS threads with
-//!   crossbeam scopes.
+//!   scoped std threads and an mpsc work queue.
 //! * [`report`] — markdown/CSV table formatting shared by the `repro`
 //!   binary and `EXPERIMENTS.md`.
 //! * [`detection`] — ROC/AUC analysis of suspicious scores.

@@ -3,9 +3,9 @@
 //! Used to pre-reduce model-update vectors before t-SNE (the standard
 //! pipeline for Figs. 3–4) and as a standalone 2-D embedding.
 
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::{RngExt, SeedableRng};
 use asyncfl_tensor::{Matrix, Vector};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Projects `points` onto their top `components` principal directions.
 ///

@@ -133,8 +133,8 @@ pub fn estimate_constants(observations: &[(usize, Vector)]) -> Option<TheoryCons
 mod tests {
     use super::*;
     use asyncfl_data::sampling::standard_normal;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
 
     /// Synthetic honest population: shared descent direction, per-client
     /// bias (heterogeneity) and per-round noise (stochasticity).

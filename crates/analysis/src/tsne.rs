@@ -9,9 +9,9 @@
 //! descent on a 2-D embedding.
 
 use asyncfl_data::sampling::standard_normal;
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::SeedableRng;
 use asyncfl_tensor::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// t-SNE hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -208,7 +208,7 @@ pub fn embed(points: &[Vector], config: &TsneConfig) -> Vec<(f64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
+    use asyncfl_rng::RngExt;
 
     fn blob(center: &[f64], n: usize, spread: f64, rng: &mut StdRng) -> Vec<Vector> {
         (0..n)

@@ -18,8 +18,8 @@
 //!   positives on benign non-IID clients.
 
 use crate::traits::Attack;
+use asyncfl_rng::rngs::StdRng;
 use asyncfl_tensor::{stats, Vector};
-use rand::rngs::StdRng;
 
 /// A deviation-budgeted reverse attack.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,7 +93,7 @@ impl Attack for AdaptiveStealthAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{RngExt, SeedableRng};
+    use asyncfl_rng::{RngExt, SeedableRng};
 
     fn cloud(n: usize, seed: u64) -> Vec<Vector> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -7,8 +7,8 @@
 //! more aggressive variant commonly used in evaluations).
 
 use crate::traits::Attack;
+use asyncfl_rng::rngs::StdRng;
 use asyncfl_tensor::Vector;
-use rand::rngs::StdRng;
 
 /// Reverses each colluding client's honest delta, scaled by λ.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,7 +59,7 @@ impl Attack for GradientDeviationAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use asyncfl_rng::SeedableRng;
 
     #[test]
     fn reverses_each_delta() {

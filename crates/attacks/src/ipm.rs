@@ -12,8 +12,8 @@
 //! the extension suite includes it.
 
 use crate::traits::Attack;
+use asyncfl_rng::rngs::StdRng;
 use asyncfl_tensor::{stats, Vector};
-use rand::rngs::StdRng;
 
 /// Sends `−ε · mean(honest colluding deltas)` from every malicious client.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +64,7 @@ impl Attack for InnerProductManipulationAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use asyncfl_rng::SeedableRng;
 
     #[test]
     fn crafted_is_negative_scaled_mean() {

@@ -32,7 +32,7 @@
 //! ```
 //! use asyncfl_attacks::{Attack, GradientDeviationAttack};
 //! use asyncfl_tensor::Vector;
-//! use rand::{SeedableRng, rngs::StdRng};
+//! use asyncfl_rng::{SeedableRng, rngs::StdRng};
 //!
 //! let honest = vec![Vector::from(vec![1.0, -2.0])];
 //! let mut rng = StdRng::seed_from_u64(0);

@@ -13,8 +13,8 @@
 
 use crate::quantile::normal_quantile;
 use crate::traits::Attack;
+use asyncfl_rng::rngs::StdRng;
 use asyncfl_tensor::{stats, Vector};
-use rand::rngs::StdRng;
 
 /// Coordinate-wise `μ + z·σ` attack with a fixed `z`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,7 +86,7 @@ impl Attack for LittleIsEnoughAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use asyncfl_rng::SeedableRng;
 
     #[test]
     fn crafted_update_is_mean_plus_z_sigma() {

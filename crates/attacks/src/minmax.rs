@@ -14,8 +14,8 @@
 //! paper), which this module implements verbatim.
 
 use crate::traits::Attack;
+use asyncfl_rng::rngs::StdRng;
 use asyncfl_tensor::{stats, Vector};
-use rand::rngs::StdRng;
 
 /// Perturbation direction `∇ᵖ` for the optimization attacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -203,7 +203,7 @@ impl Attack for MinSumAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{RngExt, SeedableRng};
+    use asyncfl_rng::{RngExt, SeedableRng};
 
     fn honest_cloud(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -1,7 +1,7 @@
 //! The [`Attack`] trait, attack registry and the benign no-op.
 
+use asyncfl_rng::rngs::StdRng;
 use asyncfl_tensor::Vector;
-use rand::rngs::StdRng;
 
 /// An untargeted poisoning attack over model-update deltas.
 ///
@@ -114,7 +114,7 @@ impl std::fmt::Display for AttackKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use asyncfl_rng::SeedableRng;
 
     #[test]
     fn no_attack_is_identity() {
@@ -174,7 +174,7 @@ mod tests {
                 ];
                 let kind = kinds[kind_idx];
                 let mut rng = StdRng::seed_from_u64(seed);
-                use rand::RngExt;
+                use asyncfl_rng::RngExt;
                 let deltas: Vec<Vector> = (0..n)
                     .map(|_| Vector::from_fn(dim, |_| rng.random::<f64>() * 2.0 - 1.0))
                     .collect();

@@ -1,11 +1,11 @@
 //! Attack-crafting cost: what a colluding attacker pays per round.
 
 use asyncfl_attacks::AttackKind;
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::{RngExt, SeedableRng};
 use asyncfl_sim::runner::build_attack;
 use asyncfl_tensor::Vector;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 
 fn bench_craft(c: &mut Criterion) {

@@ -8,10 +8,10 @@ use asyncfl_core::update::{ClientUpdate, FilterContext, UpdateFilter};
 use asyncfl_core::{AsyncFilter, FlDetector, PassthroughFilter};
 use asyncfl_data::DatasetProfile;
 use asyncfl_ml::train::{build_model, build_optimizer, LocalTrainer};
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::{RngExt, SeedableRng};
 use asyncfl_tensor::Vector;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 
 fn buffer(n: usize, dim: usize, seed: u64) -> Vec<ClientUpdate> {

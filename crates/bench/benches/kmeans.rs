@@ -3,10 +3,10 @@
 
 use asyncfl_clustering::one_dim::kmeans_1d;
 use asyncfl_clustering::KMeans;
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::{RngExt, SeedableRng};
 use asyncfl_tensor::Vector;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 
 fn bench_kmeans_1d(c: &mut Criterion) {

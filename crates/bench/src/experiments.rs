@@ -486,7 +486,10 @@ fn run_tsne_figure(id: ExperimentId, opts: &RunOptions) -> Report {
         Box::new(asyncfl_core::aggregation::MeanAggregator::new()),
         opts.sink.clone(),
     );
-    let records = log.lock().clone();
+    let records = log
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
     // Use the last recorded aggregation (a mature round, like the paper's
     // mid-training snapshots).
     let last_round = records.iter().map(|r| r.round).max().unwrap_or(0);

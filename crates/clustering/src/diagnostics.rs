@@ -8,8 +8,8 @@
 //! tooling and ablation benches.
 
 use crate::kmeans::KMeans;
+use asyncfl_rng::{Rng, RngExt};
 use asyncfl_tensor::Vector;
-use rand::{Rng, RngExt};
 
 /// Mean silhouette coefficient of a clustering, in `[-1, 1]`;
 /// larger means tighter, better-separated clusters.
@@ -137,8 +137,8 @@ pub fn two_clusters_preferred<R: Rng + ?Sized>(points: &[Vector], b: usize, rng:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
 
     fn blob(center: f64, n: usize, spread: f64, rng: &mut StdRng) -> Vec<Vector> {
         (0..n)

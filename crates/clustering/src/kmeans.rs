@@ -4,8 +4,8 @@
 //! vectors) and by the analysis tooling. For the scalar 3-means step inside
 //! AsyncFilter itself, prefer the exact solver in [`crate::one_dim`].
 
+use asyncfl_rng::{Rng, RngExt};
 use asyncfl_tensor::Vector;
-use rand::{Rng, RngExt};
 
 /// Configuration for a k-means run.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,9 +204,9 @@ fn nearest(p: &Vector, centroids: &[Vector]) -> (usize, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn blob(center: &[f64], n: usize, spread: f64, rng: &mut StdRng) -> Vec<Vector> {
         (0..n)

@@ -143,13 +143,12 @@ impl Aggregator for TrimmedMeanAggregator {
         if updates.is_empty() {
             return global.clone();
         }
-        let deltas: Vec<Vector> = updates.iter().map(|u| u.delta.clone()).collect();
-        let mut trim = (self.trim_fraction * deltas.len() as f64).floor() as usize;
+        let mut trim = (self.trim_fraction * updates.len() as f64).floor() as usize;
         // Never trim everything.
-        while 2 * trim >= deltas.len() && trim > 0 {
+        while 2 * trim >= updates.len() && trim > 0 {
             trim -= 1;
         }
-        match stats::trimmed_mean_vector(&deltas, trim) {
+        match stats::trimmed_mean_vector(updates.iter().map(|u| &u.delta), trim) {
             Some(m) => global + &m,
             None => global.clone(),
         }

@@ -192,10 +192,15 @@ impl Default for AsyncFilterConfig {
 }
 
 /// Coordinate-wise 25%-trimmed mean used to bootstrap new-group estimates.
-/// Empty input (never produced by the callers) yields an empty vector.
-fn robust_bootstrap(params: &[Vector]) -> Vector {
+/// Borrows the parameter vectors — no update is cloned. Empty input (never
+/// produced by the callers) yields an empty vector.
+fn robust_bootstrap<'a, I>(params: I) -> Vector
+where
+    I: IntoIterator<Item = &'a Vector>,
+{
+    let params: Vec<&Vector> = params.into_iter().collect();
     let trim = params.len() / 4;
-    asyncfl_tensor::stats::trimmed_mean_vector(params, trim)
+    asyncfl_tensor::stats::trimmed_mean_vector(params.iter().copied(), trim)
         .unwrap_or_else(|| Vector::zeros(params.first().map_or(0, |p| p.len())))
 }
 
@@ -300,14 +305,13 @@ impl AsyncFilter {
             if let Some(state) = self.groups.get(&key) {
                 est.insert(key, state.ma.clone());
             } else if members.len() >= 2 {
-                let group_params: Vec<Vector> =
-                    members.iter().map(|&i| updates[i].params.clone()).collect();
-                est.insert(key, robust_bootstrap(&group_params));
+                est.insert(
+                    key,
+                    robust_bootstrap(members.iter().map(|&i| &updates[i].params)),
+                );
             } else {
-                let fallback = buffer_median.get_or_insert_with(|| {
-                    let all: Vec<Vector> = updates.iter().map(|u| u.params.clone()).collect();
-                    robust_bootstrap(&all)
-                });
+                let fallback = buffer_median
+                    .get_or_insert_with(|| robust_bootstrap(updates.iter().map(|u| &u.params)));
                 est.insert(key, fallback.clone());
             }
         }
@@ -469,6 +473,7 @@ impl UpdateFilter for AsyncFilter {
         for (i, u) in finite.iter().enumerate() {
             self.last_scores.push(ScoreRecord {
                 client: u.client,
+                staleness: u.staleness,
                 group: self.group_key(u.staleness),
                 score: scores[i],
                 truth_malicious: u.truth_malicious,

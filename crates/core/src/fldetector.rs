@@ -18,9 +18,9 @@
 use crate::update::{ClientUpdate, FilterContext, FilterOutcome, ScoreRecord, UpdateFilter};
 use asyncfl_clustering::diagnostics::two_clusters_preferred;
 use asyncfl_clustering::one_dim::kmeans_1d;
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::SeedableRng;
 use asyncfl_tensor::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Configuration for [`FlDetector`].
@@ -201,6 +201,7 @@ impl UpdateFilter for FlDetector {
         for (u, &s) in finite.iter().zip(&scores) {
             self.last_scores.push(ScoreRecord {
                 client: u.client,
+                staleness: u.staleness,
                 // FLDetector is deliberately staleness-unaware; report the
                 // raw staleness so traces can show what it ignored.
                 group: u.staleness,

@@ -11,9 +11,9 @@
 
 use crate::aggregation::Aggregator;
 use crate::update::ClientUpdate;
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::SeedableRng;
 use asyncfl_tensor::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Bucketing (Karimireddy et al. 2020): shuffle the updates, average them
 /// in buckets of `s`, and hand the bucket means to the inner rule. Honest
@@ -101,7 +101,7 @@ impl Aggregator for BucketingAggregator {
 
 // Tiny local Fisher–Yates so this module does not depend on asyncfl-data.
 fn asyncfl_data_free_permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
-    use rand::RngExt;
+    use asyncfl_rng::RngExt;
     let mut idx: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
         let j = rng.random_range(0..=i);

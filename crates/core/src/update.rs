@@ -223,6 +223,12 @@ impl<'a> FilterContext<'a> {
 pub struct ScoreRecord {
     /// Client id.
     pub client: usize,
+    /// Raw staleness of the scored update at filtering time. Together with
+    /// [`client`](Self::client) this identifies which buffered update the
+    /// score belongs to, so consumers pairing scores back to verdicts (the
+    /// server's `FilterScore` emission) do not cross-pair a client's
+    /// re-buffered deferred update with its fresh one.
+    pub staleness: u64,
     /// Staleness group key (eq. 4). Filters that do not group by staleness
     /// report the update's raw staleness here.
     pub group: u64,
@@ -265,18 +271,22 @@ impl FilterOutcome {
         self.len() == 0
     }
 
-    /// Detection confusion counts `(tp, fp, fn, tn)` treating *rejected* as
-    /// the positive (malicious) prediction and deferred/accepted as negative.
+    /// Detection confusion counts `(tp, fp, fn, tn)` over **terminal**
+    /// verdicts only: rejected is the positive (malicious) prediction,
+    /// accepted the negative.
+    ///
+    /// Deferred updates are excluded — a deferral is not a verdict. The
+    /// same update returns to the server buffer and is re-filtered next
+    /// pass, so counting it here too would tally it once per pass it sits
+    /// in the middle cluster *and* once at its terminal verdict, inflating
+    /// the precision/recall/FPR denominators. (A deferred update that later
+    /// ages past the staleness limit is screened out, not filtered, and is
+    /// deliberately never counted.)
     pub fn confusion(&self) -> (usize, usize, usize, usize) {
         let tp = self.rejected.iter().filter(|u| u.truth_malicious).count();
         let fp = self.rejected.len() - tp;
-        let fn_ = self
-            .accepted
-            .iter()
-            .chain(&self.deferred)
-            .filter(|u| u.truth_malicious)
-            .count();
-        let tn = self.accepted.len() + self.deferred.len() - fn_;
+        let fn_ = self.accepted.iter().filter(|u| u.truth_malicious).count();
+        let tn = self.accepted.len() - fn_;
         (tp, fp, fn_, tn)
     }
 }
@@ -403,7 +413,10 @@ mod tests {
             deferred: vec![upd(5, false), upd(6, true)],
         };
         let (tp, fp, fn_, tn) = out.confusion();
-        assert_eq!((tp, fp, fn_, tn), (2, 1, 2, 2));
+        // Deferred updates (clients 5 and 6) are not terminal verdicts and
+        // must not appear anywhere in the confusion counts.
+        assert_eq!((tp, fp, fn_, tn), (2, 1, 1, 1));
+        assert_eq!(tp + fp + fn_ + tn, out.accepted.len() + out.rejected.len());
     }
 
     #[test]

@@ -86,6 +86,7 @@ impl UpdateFilter for ZenoPlusPlus {
             // Suspicion score on [0, 2]: 0 = perfectly aligned with trusted.
             self.last_scores.push(ScoreRecord {
                 client: u.client,
+                staleness: u.staleness,
                 group: u.staleness,
                 score: 1.0 - cos,
                 truth_malicious: u.truth_malicious,
@@ -189,6 +190,7 @@ impl UpdateFilter for AflGuard {
                 };
                 self.last_scores.push(ScoreRecord {
                     client: u.client,
+                    staleness: u.staleness,
                     group: u.staleness,
                     score,
                     truth_malicious: u.truth_malicious,

@@ -1,0 +1,171 @@
+//! First-party micro-benchmark harness.
+//!
+//! Presents the subset of the `criterion` API the workspace's benches use —
+//! `Criterion::bench_function`, benchmark groups with
+//! `bench_with_input`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — timing closures with a doubling-iteration
+//! loop and printing ns/iter. Good enough for the relative comparisons the
+//! bench suite makes; not a statistically rigorous estimator.
+//!
+//! Consumers import this crate under the name `criterion` (a Cargo
+//! dependency rename), so bench code reads identically to upstream usage
+//! while the build stays hermetic (no registry access; see DESIGN.md).
+//!
+//! Wall-clock use is confined to the bench harness by design: this crate is
+//! only ever a dev-dependency of `crates/bench`, never part of the runtime
+//! graph the determinism pins cover.
+
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display, Q: std::fmt::Display>(function: P, parameter: Q) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` with a doubling iteration count until the measurement
+    /// window is at least 50 ms (or 2²⁰ iterations), then records ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_millis() >= 50 || iters >= 1 << 20 {
+                self.nanos_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+/// Top-level harness handle passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        println!("bench {name}: {:.1} ns/iter", b.nanos_per_iter);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        println!("bench {}/{id}: {:.1} ns/iter", self.name, b.nanos_per_iter);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        println!("bench {}/{id}: {:.1} ns/iter", self.name, b.nanos_per_iter);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(b.nanos_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        let id = BenchmarkId::new("filter", 128);
+        assert_eq!(id.to_string(), "filter/128");
+    }
+}

@@ -1,8 +1,8 @@
 //! Labelled datasets and minibatch iteration.
 
 use crate::sampling::permutation;
+use asyncfl_rng::Rng;
 use asyncfl_tensor::Vector;
-use rand::Rng;
 
 /// One labelled example: a dense feature vector and a class index.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,8 +212,8 @@ impl FromIterator<Sample> for Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
 
     fn sample(label: usize, x: f64) -> Sample {
         Sample::new(Vector::from(vec![x, x + 1.0]), label)

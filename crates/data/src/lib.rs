@@ -29,8 +29,8 @@
 //! ```
 //! use asyncfl_data::profiles::DatasetProfile;
 //! use asyncfl_data::partition::Partitioner;
-//! use rand::SeedableRng;
-//! use rand::rngs::StdRng;
+//! use asyncfl_rng::SeedableRng;
+//! use asyncfl_rng::rngs::StdRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let task = DatasetProfile::Mnist.build_task(&mut rng);

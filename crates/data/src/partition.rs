@@ -7,7 +7,7 @@
 //! [`Task`](crate::synthetic::Task) then draws that client's samples from it.
 
 use crate::sampling::dirichlet;
-use rand::Rng;
+use asyncfl_rng::Rng;
 
 /// Strategy for assigning label distributions to clients.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,9 +103,9 @@ impl Default for Partitioner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn iid_is_uniform() {

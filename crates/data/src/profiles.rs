@@ -12,7 +12,7 @@
 //!    partition/batch) keeps the same order of magnitude.
 
 use crate::synthetic::{MeanStructure, TaskSpec};
-use rand::Rng;
+use asyncfl_rng::Rng;
 
 /// Which model family a profile trains — the stand-ins for LeNet-5 (small
 /// linear classifier suffices) and VGG-16 (a deeper MLP).
@@ -202,8 +202,8 @@ impl std::fmt::Display for DatasetProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
 
     #[test]
     fn all_profiles_have_valid_specs() {

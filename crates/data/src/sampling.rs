@@ -1,223 +1,25 @@
-//! Self-contained random samplers.
+//! Self-contained random samplers (re-exported from [`asyncfl_rng::dist`]).
 //!
 //! The paper's experimental setup relies on three distributions: the
 //! **Dirichlet** distribution (data heterogeneity, concentration α), the
 //! **Zipf** distribution over client ranks (system speed heterogeneity,
 //! exponent *s*) and **Gaussians** (synthetic features and attack noise).
-//! Rather than pulling in `rand_distr`, this module implements each sampler
-//! from first principles and tests it against analytic moments — they are
-//! part of the substrate this reproduction is expected to build.
+//! The samplers themselves now live in `asyncfl_rng::dist` next to the
+//! generator whose streams they consume — one crate owns every seeded
+//! number — and are re-exported here unchanged, so data-pipeline callers
+//! keep their historical import paths. The analytic-moment tests stay in
+//! this crate as a consumer-side contract of the re-export.
 
-use rand::{Rng, RngExt};
-
-/// Samples a standard normal deviate via the Box–Muller transform.
-///
-/// ```
-/// use asyncfl_data::sampling::standard_normal;
-/// use rand::{SeedableRng, rngs::StdRng};
-/// let mut rng = StdRng::seed_from_u64(0);
-/// let x = standard_normal(&mut rng);
-/// assert!(x.is_finite());
-/// ```
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // u1 in (0, 1] so ln(u1) is finite.
-    let u1: f64 = 1.0 - rng.random::<f64>();
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
-/// Samples `N(mean, std²)`.
-///
-/// # Panics
-///
-/// Panics if `std < 0` or either parameter is non-finite.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
-    assert!(
-        std >= 0.0 && std.is_finite() && mean.is_finite(),
-        "normal: invalid parameters mean={mean} std={std}"
-    );
-    mean + std * standard_normal(rng)
-}
-
-/// Samples a Gamma(shape, 1) deviate via the Marsaglia–Tsang squeeze method,
-/// with the standard boosting trick for `shape < 1`.
-///
-/// # Panics
-///
-/// Panics if `shape <= 0` or is non-finite.
-pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
-    assert!(
-        shape > 0.0 && shape.is_finite(),
-        "gamma: shape must be positive and finite, got {shape}"
-    );
-    if shape < 1.0 {
-        // Gamma(a) = Gamma(a+1) * U^(1/a)
-        let u: f64 = 1.0 - rng.random::<f64>();
-        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
-    }
-    let d = shape - 1.0 / 3.0;
-    let c = 1.0 / (9.0 * d).sqrt();
-    loop {
-        let x = standard_normal(rng);
-        let v = 1.0 + c * x;
-        if v <= 0.0 {
-            continue;
-        }
-        let v3 = v * v * v;
-        let u: f64 = 1.0 - rng.random::<f64>();
-        // Squeeze check followed by the full acceptance check.
-        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
-            return d * v3;
-        }
-    }
-}
-
-/// Samples a probability vector from a symmetric Dirichlet(α, …, α) with `k`
-/// categories, by normalizing independent Gamma(α, 1) deviates.
-///
-/// With α ≤ 1 the mass concentrates on few categories (highly non-IID client
-/// label distributions in the paper); with α > 1 it spreads evenly.
-///
-/// # Panics
-///
-/// Panics if `k == 0` or `alpha <= 0`.
-pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
-    assert!(k > 0, "dirichlet: k must be positive");
-    assert!(
-        alpha > 0.0 && alpha.is_finite(),
-        "dirichlet: alpha must be positive and finite, got {alpha}"
-    );
-    let mut draws: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
-    let total: f64 = draws.iter().sum();
-    if total <= 0.0 || !total.is_finite() {
-        // Numerically degenerate draw (possible for tiny alpha where every
-        // gamma underflows): fall back to a one-hot on a uniform category,
-        // which is the limiting Dirichlet(α→0) behaviour.
-        let hot = rng.random_range(0..k);
-        draws.iter_mut().for_each(|d| *d = 0.0);
-        draws[hot] = 1.0;
-        return draws;
-    }
-    draws.iter_mut().for_each(|d| *d /= total);
-    draws
-}
-
-/// A finite Zipf distribution over ranks `1..=n` with exponent `s`:
-/// `P(rank = k) ∝ 1 / k^s`.
-///
-/// The paper models client processing latency with Zipf(s = 1.2) — most
-/// clients fast, a few stragglers — and Zipf(s = 2.5) for the skewed
-/// speed-heterogeneity study (Table 10).
-#[derive(Debug, Clone, PartialEq)]
-pub struct Zipf {
-    exponent: f64,
-    cumulative: Vec<f64>,
-}
-
-impl Zipf {
-    /// Builds the distribution over ranks `1..=n`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0` or `s <= 0`.
-    pub fn new(n: usize, s: f64) -> Self {
-        assert!(n > 0, "Zipf: n must be positive");
-        assert!(
-            s > 0.0 && s.is_finite(),
-            "Zipf: s must be positive, got {s}"
-        );
-        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
-        let total: f64 = weights.iter().sum();
-        let mut cumulative = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for w in &weights {
-            acc += w / total;
-            cumulative.push(acc);
-        }
-        // Guard against floating-point drift at the tail.
-        if let Some(last) = cumulative.last_mut() {
-            *last = 1.0;
-        }
-        Self {
-            exponent: s,
-            cumulative,
-        }
-    }
-
-    /// Number of ranks.
-    pub fn n(&self) -> usize {
-        self.cumulative.len()
-    }
-
-    /// The exponent `s`.
-    pub fn exponent(&self) -> f64 {
-        self.exponent
-    }
-
-    /// Probability of rank `k` (1-based).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k` is 0 or exceeds `n`.
-    pub fn pmf(&self, k: usize) -> f64 {
-        assert!(k >= 1 && k <= self.n(), "Zipf: rank {k} out of range");
-        let prev = if k == 1 { 0.0 } else { self.cumulative[k - 2] };
-        self.cumulative[k - 1] - prev
-    }
-
-    /// Samples a rank in `1..=n` by inverse-CDF lookup.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.random();
-        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
-            Ok(i) => i + 1,
-            Err(i) => (i + 1).min(self.n()),
-        }
-    }
-}
-
-/// Samples an index from an unnormalized nonnegative weight slice.
-///
-/// Used by the Dirichlet partitioner to draw labels from a per-client
-/// label distribution.
-///
-/// # Panics
-///
-/// Panics if `weights` is empty, contains a negative or non-finite value, or
-/// sums to zero.
-pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
-    assert!(!weights.is_empty(), "categorical: empty weights");
-    let mut total = 0.0;
-    for &w in weights {
-        assert!(w >= 0.0 && w.is_finite(), "categorical: invalid weight {w}");
-        total += w;
-    }
-    assert!(total > 0.0, "categorical: weights sum to zero");
-    let mut u = rng.random::<f64>() * total;
-    for (i, &w) in weights.iter().enumerate() {
-        u -= w;
-        if u <= 0.0 {
-            return i;
-        }
-    }
-    weights.len() - 1
-}
-
-/// Fisher–Yates shuffles indices `0..n`, returning the permutation.
-pub fn permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..n).collect();
-    for i in (1..n).rev() {
-        let j = rng.random_range(0..=i);
-        idx.swap(i, j);
-    }
-    idx
-}
+pub use asyncfl_rng::dist::{
+    categorical, dirichlet, gamma, normal, permutation, standard_normal, Zipf,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn normal_moments() {

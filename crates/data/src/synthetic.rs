@@ -20,8 +20,8 @@
 use crate::dataset::{Dataset, Sample};
 use crate::partition::Partitioner;
 use crate::sampling::{categorical, standard_normal};
+use asyncfl_rng::{Rng, RngExt};
 use asyncfl_tensor::Vector;
-use rand::{Rng, RngExt};
 
 /// How class means are placed in feature space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -297,9 +297,9 @@ impl Task {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn task(seed: u64, spec: TaskSpec) -> Task {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -32,6 +32,10 @@ pub const RULES: &[Rule] = &[
         summary: "no ambient entropy or wall-clock time sources (seeded RNG only)",
     },
     Rule {
+        id: "D3",
+        summary: "no external rand/crossbeam/parking_lot in non-test code (hermetic build)",
+    },
+    Rule {
         id: "F1",
         summary: "no partial_cmp on floats (NaN-unsafe); use f64::total_cmp",
     },
@@ -69,6 +73,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
 
     let d1_applies = !class.is_bench_crate && !class.is_test_file;
     let d2_applies = !class.is_bench_crate && !class.is_telemetry_crate;
+    let d3_applies = !class.is_test_file;
     let f2_applies = !class.is_test_file;
     let p1_applies =
         !class.is_bench_crate && !class.is_test_file && !class.is_binary && !class.is_example;
@@ -126,6 +131,33 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
                         .to_string(),
                 });
             }
+        }
+
+        // D3 — hermetic build: the runtime dependency graph is first-party
+        // only, so paths into the external crates the workspace replaced
+        // (`rand`, `crossbeam`, `parking_lot`) must not reappear. The
+        // first-party substitutes (`asyncfl_rng`, std `mpsc`/`Mutex`) lex as
+        // different idents and never match.
+        if d3_applies
+            && !tested
+            && t.kind == TokenKind::Ident
+            && (t.text == "rand" || t.text == "crossbeam" || t.text == "parking_lot")
+            && matches!(next, Some(n) if n.text == "::")
+        {
+            let replacement = match t.text.as_str() {
+                "rand" => "asyncfl_rng",
+                "crossbeam" => "std::sync::mpsc",
+                _ => "std::sync::Mutex/RwLock",
+            };
+            hits.push(RuleHit {
+                rule: "D3",
+                line: t.line,
+                message: format!(
+                    "{}:: pulls an external crate back into the runtime graph and breaks \
+                     the offline build; use {replacement} instead",
+                    t.text
+                ),
+            });
         }
 
         // F1 — NaN-unsafe float comparisons (applies to test code too: a

@@ -84,6 +84,41 @@ fn d2_applies_even_inside_tests() {
 }
 
 #[test]
+fn d3_rand_import_breaks_hermetic_build() {
+    fires_and_allows(
+        "D3",
+        1,
+        "use rand::Rng;\nfn f() {}\n",
+        "// lint:allow(D3) -- documentation example of the replaced API\n\
+         use rand::Rng;\nfn f() {}\n",
+    );
+}
+
+#[test]
+fn d3_reports_crossbeam_and_parking_lot() {
+    let found = violations("use crossbeam::channel;\nuse parking_lot::Mutex;\n");
+    assert_eq!(
+        found,
+        vec![("D3".to_string(), 1), ("D3".to_string(), 2)],
+        "{found:?}"
+    );
+}
+
+#[test]
+fn d3_ignores_first_party_replacements_and_test_code() {
+    // The substitutes lex as different idents and must not fire.
+    assert!(violations("use asyncfl_rng::RngExt;\nuse std::sync::mpsc;\n").is_empty());
+    // Bare `rand` without a path separator (e.g. a local variable) is fine.
+    assert!(violations("fn f(rand: u32) -> u32 { rand }\n").is_empty());
+    // Test code is exempt: dev-dependencies may stay external.
+    let src = "#[cfg(test)]\nmod tests {\n    use rand::Rng;\n}\n";
+    assert!(violations(src).is_empty());
+    assert!(check_source("crates/core/tests/it.rs", "use rand::Rng;\n")
+        .violations
+        .is_empty());
+}
+
+#[test]
 fn f1_partial_cmp_sort() {
     // No `.unwrap()` in the snippet: that would additionally trip P1, and
     // this fixture isolates F1.

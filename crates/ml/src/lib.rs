@@ -27,7 +27,7 @@
 //! ```
 //! use asyncfl_data::DatasetProfile;
 //! use asyncfl_ml::train::{build_model, build_optimizer, evaluate, LocalTrainer};
-//! use rand::{SeedableRng, rngs::StdRng};
+//! use asyncfl_rng::{SeedableRng, rngs::StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let profile = DatasetProfile::Mnist;

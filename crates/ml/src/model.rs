@@ -8,9 +8,9 @@
 
 use crate::loss::{cross_entropy, cross_entropy_grad};
 use asyncfl_data::Sample;
+use asyncfl_rng::Rng;
 use asyncfl_tensor::ops::argmax;
 use asyncfl_tensor::{init, Matrix, Vector};
-use rand::Rng;
 
 /// An object-safe classification model with hand-derived gradients.
 ///
@@ -305,8 +305,8 @@ impl Model for Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
 
     fn batch_of(samples: &[Sample]) -> Vec<&Sample> {
         samples.iter().collect()

@@ -10,8 +10,8 @@
 use crate::loss::{cross_entropy, cross_entropy_grad};
 use crate::model::Model;
 use asyncfl_data::Sample;
+use asyncfl_rng::Rng;
 use asyncfl_tensor::{init, Matrix, Vector};
-use rand::Rng;
 
 /// A fully-connected ReLU network with arbitrary hidden widths.
 #[derive(Debug, Clone, PartialEq)]
@@ -185,8 +185,8 @@ impl Model for MlpStack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
 
     fn toy_batch(dim: usize, k: usize, n: usize, seed: u64) -> Vec<Sample> {
         let mut rng = StdRng::seed_from_u64(seed);

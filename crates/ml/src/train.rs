@@ -9,7 +9,7 @@ use crate::optimizer::{Adam, Optimizer, Sgd};
 use asyncfl_data::profiles::{DatasetProfile, ModelKind, OptimizerKind};
 use asyncfl_data::synthetic::Task;
 use asyncfl_data::{Dataset, Sample};
-use rand::Rng;
+use asyncfl_rng::Rng;
 
 /// Statistics from one local training run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -189,8 +189,8 @@ pub fn build_optimizer(profile: &DatasetProfile, _num_params: usize) -> Box<dyn 
 mod tests {
     use super::*;
     use asyncfl_data::partition::Partitioner;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
 
     #[test]
     fn trainer_accessors_and_profile_construction() {

@@ -1,0 +1,363 @@
+//! First-party seedable PRNG for the AsyncFilter reproduction.
+//!
+//! Every detection table in the paper reproduction is a function of
+//! (seed, inputs): the byte-identity pins in `tests/determinism.rs` are only
+//! meaningful if the random streams themselves are pinned by code this
+//! workspace owns. An external `rand` would tie every committed golden to a
+//! lockfile — rand's `StdRng` is explicitly *not* portable across versions —
+//! and would break hermetic (registry-free) builds. This crate therefore
+//! provides the exact API surface the workspace uses, built on a splitmix64
+//! counter generator whose streams are frozen by golden-value tests:
+//!
+//! - [`Rng`] / [`RngExt`] / [`SeedableRng`] traits and [`rngs::StdRng`];
+//! - [`stream`]: per-client / per-purpose substream derivation, so
+//!   dispatch-time parallelism never reorders anyone's stream;
+//! - [`dist`]: the samplers the experiments rely on (Box–Muller normal,
+//!   Marsaglia–Tsang gamma, Dirichlet, Zipf, categorical, permutation).
+//!
+//! Determinism contract: all generators are seeded explicitly. This crate
+//! deliberately offers **no** ambient-entropy constructor (see lint rule D2)
+//! and no external-crate fallback (lint rule D3).
+
+pub mod dist;
+
+/// A source of uniformly distributed `u64`s.
+///
+/// The single-method core trait: everything else (floats, ranges,
+/// distributions) is derived from `next_u64`, which is what makes the
+/// streams easy to freeze with golden tests.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled from the "standard" distribution: uniform on
+/// [0, 1) for floats, uniform over all values for integers, fair coin for
+/// `bool`.
+pub trait StandardSample: Sized {
+    /// Draws one value from the standard distribution.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits → uniform on [0, 1) with full f64 mantissa precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_standard {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges a value can be drawn from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    // The full-width range: every u64 pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let u = <$t as StandardSample>::sample(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let u = <$t as StandardSample>::sample(rng);
+                *self.start() + u * (*self.end() - *self.start())
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws one value from the standard distribution of `T`.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    ///
+    /// Consumes exactly `slice.len().saturating_sub(1)` range draws, in
+    /// descending-index order — the same stream as
+    /// [`dist::permutation`], which is frozen by golden tests.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: splitmix64.
+    ///
+    /// A 64-bit Weyl counter (increment = the golden-ratio gamma) passed
+    /// through a 3-round mix. One word of state, no branches, passes
+    /// practical statistical batteries, and — because the state is a plain
+    /// counter — arbitrarily many independent substreams can be derived by
+    /// offsetting the counter (see [`crate::stream`]).
+    ///
+    /// The stream for every seed is frozen forever by the golden-value
+    /// tests in this crate; changing any constant here invalidates every
+    /// committed experiment golden in the repository.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-scramble the user seed so that adjacent seeds (0, 1, 2…)
+            // land on well-separated counter positions.
+            StdRng {
+                state: state.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x5851_f42d_4c95_7f2d,
+            }
+        }
+    }
+}
+
+pub mod stream {
+    //! Substream derivation.
+    //!
+    //! The simulation engine gives every client (and every side-purpose:
+    //! attack crafting, latency draws, trusted-data bootstraps) its own
+    //! generator derived from the master run seed. Because each substream
+    //! is seeded *once*, up front, from `(master, index)` alone, the order
+    //! in which a worker pool later interleaves clients cannot perturb any
+    //! stream — this is what makes `threads=1` and `threads=N` runs
+    //! byte-identical.
+
+    use super::rngs::StdRng;
+    use super::SeedableRng;
+
+    /// The splitmix64 Weyl increment (2⁶⁴ / φ, forced odd).
+    pub const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    /// Derives the seed of substream `index` of `master`.
+    ///
+    /// Offsets the master seed by `(index + 1) · GOLDEN_GAMMA`: distinct
+    /// indices land on maximally separated counter positions, and index 0
+    /// never collides with the master stream itself.
+    pub fn substream_seed(master: u64, index: u64) -> u64 {
+        master.wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA))
+    }
+
+    /// Builds the generator for substream `index` of `master`.
+    pub fn substream(master: u64, index: u64) -> StdRng {
+        StdRng::seed_from_u64(substream_seed(master, index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    /// Golden stream: seed 0. These constants freeze the generator — if any
+    /// of them moves, every committed experiment golden in the repo is
+    /// invalidated. Do not "fix" this test by regenerating the constants.
+    #[test]
+    fn golden_stream_seed_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0xba88_94fa_3be5_9747,
+                0x0699_45de_a824_60da,
+                0xf2b5_717d_b028_09ea,
+                0x4604_208f_575a_097a,
+            ]
+        );
+    }
+
+    /// Golden stream: an arbitrary "big" seed, covering the seed scrambler.
+    #[test]
+    fn golden_stream_seed_42() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0xdfe8_4345_5f0a_5dd0,
+                0xddd9_5d30_213c_a89c,
+                0xd31d_737e_dfc1_8bb4,
+                0x0607_a572_31ee_ac78,
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_floats_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f: f64 = rng.random();
+        let g: f32 = rng.random();
+        let i = rng.random_range(0..100usize);
+        let j = rng.random_range(0..=9usize);
+        let b = rng.random_bool(0.5);
+        assert_eq!(
+            format!("{f:.17e} {g:.8e} {i} {j} {b}"),
+            "8.65095268997771671e-1 2.82818079e-2 73 9 false"
+        );
+    }
+
+    #[test]
+    fn seeds_are_scrambled() {
+        // Adjacent seeds must not produce overlapping prefixes.
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert!(a.iter().all(|x| !b.contains(x)));
+    }
+
+    #[test]
+    fn clone_replays_identically() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let _ = rng.next_u64();
+        let mut replay = rng.clone();
+        let a: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| replay.next_u64()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_matches_permutation_stream() {
+        use crate::dist::permutation;
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let mut idx: Vec<usize> = (0..50).collect();
+        a.shuffle(&mut idx);
+        assert_eq!(idx, permutation(&mut b, 50));
+    }
+
+    #[test]
+    fn substreams_are_disjoint_and_order_free() {
+        use crate::stream::substream;
+        // Draw the same substreams in two different interleavings; each
+        // client's stream must be identical either way.
+        let draw_interleaved = |order: &[u64]| -> Vec<Vec<u64>> {
+            let mut streams: Vec<StdRng> = (0..4).map(|c| substream(99, c)).collect();
+            let mut out = vec![Vec::new(); 4];
+            for &c in order {
+                out[c as usize].push(streams[c as usize].next_u64());
+            }
+            out
+        };
+        let round_robin = draw_interleaved(&[0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+        let batched = draw_interleaved(&[0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        assert_eq!(round_robin, batched);
+        // And the substreams are pairwise distinct.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(round_robin[i], round_robin[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn substream_seed_is_the_engine_derivation() {
+        use crate::stream::{substream_seed, GOLDEN_GAMMA};
+        // The simulation engine has always derived client c's seed as
+        // master + (c+1)·γ; this must never drift.
+        let master = 0xdead_beef_u64;
+        for c in 0..10u64 {
+            assert_eq!(
+                substream_seed(master, c),
+                master.wrapping_add((c + 1).wrapping_mul(GOLDEN_GAMMA))
+            );
+        }
+    }
+}

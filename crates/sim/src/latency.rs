@@ -13,7 +13,7 @@
 //! that conclusions are not an artifact of the distribution family.
 
 use asyncfl_data::sampling::{standard_normal, Zipf};
-use rand::{Rng, RngExt};
+use asyncfl_rng::{Rng, RngExt};
 
 #[derive(Debug, Clone, PartialEq)]
 enum Distribution {
@@ -119,8 +119,8 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
 
     #[test]
     fn factors_in_range_and_mostly_fast() {

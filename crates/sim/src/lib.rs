@@ -10,7 +10,7 @@
 //!   Given a seed, runs are bit-reproducible (PLATO's "reproducible mode").
 //!   Every table/figure experiment uses this engine.
 //! * [`threaded::run_threaded`] — a **thread-per-client engine** built on
-//!   crossbeam channels and parking_lot locks, mirroring PLATO's emulation
+//!   std channels and locks, mirroring PLATO's emulation
 //!   mode where "500 clients each operate on an individual thread". It
 //!   exercises the same traits concurrently; arrival order (and therefore
 //!   the result) is scheduler-dependent, which is documented behaviour.

@@ -6,16 +6,18 @@ use std::collections::BTreeMap;
 /// Aggregated detection confusion counts across a whole run.
 ///
 /// "Positive" means *rejected by the filter*; ground truth comes from the
-/// simulator's attacker assignment.
+/// simulator's attacker assignment. Only **terminal** verdicts are counted:
+/// a deferred update returns to the buffer and is tallied once, at the pass
+/// that finally accepts or rejects it — never at the passes that deferred it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DetectionStats {
     /// Malicious updates rejected.
     pub true_positives: usize,
     /// Benign updates rejected.
     pub false_positives: usize,
-    /// Malicious updates accepted or deferred.
+    /// Malicious updates accepted.
     pub false_negatives: usize,
-    /// Benign updates accepted or deferred.
+    /// Benign updates accepted.
     pub true_negatives: usize,
 }
 
@@ -60,7 +62,7 @@ impl DetectionStats {
         }
     }
 
-    /// Total updates that passed through the filter.
+    /// Total updates given a terminal (accept/reject) verdict.
     pub fn total(&self) -> usize {
         self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
     }

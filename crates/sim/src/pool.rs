@@ -8,15 +8,22 @@
 //! each result by its sequence key in the exact order the completion heap
 //! dictates, so `threads = 1` and `threads = N` replay byte-identically.
 //!
-//! The pool is built on crossbeam channels (already a workspace dep) and
-//! scoped threads, so tasks may borrow the simulation's client datasets
-//! without `Arc`-wrapping the world. Panics inside a worker are caught and
-//! surfaced as [`PoolError::WorkerPanicked`] from [`PoolHandle::collect`]
-//! — a poisoned worker fails the run instead of hanging the channel.
+//! The pool is built on `std::sync::mpsc` channels and scoped threads, so
+//! tasks may borrow the simulation's client datasets without `Arc`-wrapping
+//! the world and the runtime dependency graph stays first-party (DESIGN.md's
+//! hermetic-build guarantee). The task queue is a single `mpsc` receiver
+//! shared behind a mutex — workers competing for the lock is the
+//! multi-consumer side `std::sync::mpsc` does not provide natively. Panics
+//! inside a worker are caught and surfaced as [`PoolError::WorkerPanicked`]
+//! from [`PoolHandle::collect`] — a poisoned worker fails the run instead
+//! of hanging the channel; a lock poisoned by such a panic is recovered
+//! with `PoisonError::into_inner`, since the queue itself (a foreign-state
+//! channel endpoint) cannot be left in a torn state by the panicking task.
 
-use crossbeam::channel;
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 /// Why [`PoolHandle::collect`] could not produce a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,8 +51,8 @@ type Keyed<R> = Result<(u64, R), String>;
 
 /// Submission/collection handle passed to the [`with_worker_pool`] body.
 pub struct PoolHandle<T, R> {
-    task_tx: Option<channel::Sender<T>>,
-    result_rx: channel::Receiver<Keyed<R>>,
+    task_tx: Option<mpsc::Sender<T>>,
+    result_rx: mpsc::Receiver<Keyed<R>>,
     /// Results that arrived before their key was requested.
     ready: BTreeMap<u64, R>,
     failure: Option<PoolError>,
@@ -87,7 +94,7 @@ impl<T, R> PoolHandle<T, R> {
                     self.failure = Some(err.clone());
                     return Err(err);
                 }
-                Err(channel::RecvError) => {
+                Err(mpsc::RecvError) => {
                     self.failure = Some(PoolError::Disconnected);
                     return Err(PoolError::Disconnected);
                 }
@@ -145,15 +152,25 @@ where
     T: Send,
     R: Send,
 {
-    let (task_tx, task_rx) = channel::unbounded::<T>();
-    let (result_tx, result_rx) = channel::unbounded::<Keyed<R>>();
+    let (task_tx, task_rx) = mpsc::channel::<T>();
+    let (result_tx, result_rx) = mpsc::channel::<Keyed<R>>();
+    // Multi-consumer side of the queue: one receiver, shared behind a lock.
+    let task_rx = Arc::new(Mutex::new(task_rx));
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
-            let task_rx = task_rx.clone();
+            let task_rx = Arc::clone(&task_rx);
             let result_tx = result_tx.clone();
             let worker = &worker;
             scope.spawn(move || {
-                while let Ok(task) = task_rx.recv() {
+                loop {
+                    // Hold the queue lock only for the dequeue itself, never
+                    // while training runs; recover a lock poisoned by a
+                    // sibling's panic — the channel endpoint is still sound.
+                    let task = task_rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .recv();
+                    let Ok(task) = task else { break };
                     match std::panic::catch_unwind(AssertUnwindSafe(|| worker(task))) {
                         Ok(keyed) => {
                             if result_tx.send(Ok(keyed)).is_err() {

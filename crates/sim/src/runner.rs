@@ -33,10 +33,10 @@ use asyncfl_data::synthetic::Task;
 use asyncfl_data::Dataset;
 use asyncfl_ml::train::{build_model, build_optimizer, evaluate, LocalTrainer};
 use asyncfl_ml::Model;
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::SeedableRng;
 use asyncfl_telemetry::{Event, SharedSink, Sink, Span};
 use asyncfl_tensor::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
@@ -105,7 +105,7 @@ fn participates(cfg: &SimConfig, rng: &mut StdRng) -> bool {
     if cfg.participation >= 1.0 {
         return true;
     }
-    use rand::RngExt;
+    use asyncfl_rng::RngExt;
     rng.random::<f64>() < cfg.participation
 }
 
@@ -224,12 +224,9 @@ impl Simulation {
         let mut client_factor = Vec::with_capacity(config.num_clients);
         let mut client_rng = Vec::with_capacity(config.num_clients);
         for c in 0..config.num_clients {
-            let seed = config
-                .seed
-                .wrapping_add((c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = asyncfl_rng::stream::substream(config.seed, c as u64);
             let size = if config.partition_jitter > 0.0 {
-                use rand::RngExt;
+                use asyncfl_rng::RngExt;
                 let factor = 1.0 + config.partition_jitter * (2.0 * rng.random::<f64>() - 1.0);
                 ((partition_size as f64 * factor).round() as usize).max(1)
             } else {
@@ -495,7 +492,7 @@ impl Simulation {
 
                 // Failure injection: the update may be lost in transit.
                 let dropped = cfg.dropout > 0.0 && {
-                    use rand::RngExt;
+                    use asyncfl_rng::RngExt;
                     client_rng[client].random::<f64>() < cfg.dropout
                 };
                 let received = if dropped {

@@ -241,18 +241,24 @@ impl BufferedServer {
     /// bypass paths, which carry a `NaN` score.
     ///
     /// Scores come from [`UpdateFilter::last_scores`], matched to updates by
-    /// client id. A client can appear twice in one buffer (a deferred update
-    /// plus a fresh one), so each client's records are consumed
-    /// front-to-back as its updates are encountered.
+    /// `(client, staleness)`. Client id alone is ambiguous: a client can
+    /// appear twice in one buffer (a re-buffered deferred update plus a
+    /// fresh one), and the outcome partitions are walked in
+    /// accepted→rejected→deferred order, not score-record order, so a
+    /// client-only FIFO could hand the fresh update's score to the deferred
+    /// one (and vice versa). Staleness disambiguates those — the deferred
+    /// update has aged at least one round past the fresh one. Records are
+    /// still consumed front-to-back within a `(client, staleness)` key for
+    /// the degenerate same-staleness case.
     fn emit_filter_scores(&self, outcome: &asyncfl_core::update::FilterOutcome) {
         let Some(sink) = &self.sink else {
             return;
         };
         use asyncfl_telemetry::Sink;
-        let mut by_client: BTreeMap<usize, VecDeque<(u64, f64)>> = BTreeMap::new();
+        let mut by_update: BTreeMap<(usize, u64), VecDeque<(u64, f64)>> = BTreeMap::new();
         for rec in self.filter.last_scores() {
-            by_client
-                .entry(rec.client)
+            by_update
+                .entry((rec.client, rec.staleness))
                 .or_default()
                 .push_back((rec.group, rec.score));
         }
@@ -263,8 +269,8 @@ impl BufferedServer {
         ];
         for (updates, verdict) in partitions {
             for u in updates {
-                let (staleness_group, score) = by_client
-                    .get_mut(&u.client)
+                let (staleness_group, score) = by_update
+                    .get_mut(&(u.client, u.staleness))
                     .and_then(VecDeque::pop_front)
                     .unwrap_or((u.staleness, f64::NAN));
                 sink.emit(&Event::FilterScore {
@@ -417,6 +423,148 @@ mod tests {
     #[should_panic(expected = "aggregation_bound")]
     fn zero_bound_panics() {
         let _ = server(0, 20);
+    }
+
+    /// Defers everything on its first call, accepts everything afterwards —
+    /// a deterministic forced-defer round for bookkeeping tests.
+    #[derive(Default)]
+    struct DeferOnce {
+        calls: usize,
+    }
+
+    impl asyncfl_core::update::UpdateFilter for DeferOnce {
+        fn name(&self) -> &'static str {
+            "defer-once"
+        }
+
+        fn filter(
+            &mut self,
+            updates: Vec<ClientUpdate>,
+            _ctx: &asyncfl_core::update::FilterContext<'_>,
+        ) -> asyncfl_core::update::FilterOutcome {
+            self.calls += 1;
+            if self.calls == 1 {
+                asyncfl_core::update::FilterOutcome {
+                    deferred: updates,
+                    ..Default::default()
+                }
+            } else {
+                asyncfl_core::update::FilterOutcome::accept_all(updates)
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_updates_counted_once_in_detection() {
+        let mut s = BufferedServer::new(
+            Vector::zeros(1),
+            2,
+            20,
+            Box::new(DeferOnce::default()),
+            Box::new(MeanAggregator::new()),
+        );
+        s.receive(upd(0, 0, &[1.0]));
+        let report = s
+            .receive(upd(1, 0, &[1.0]).with_truth_malicious(true))
+            .expect("bound reached");
+        assert_eq!(report.deferred, 2);
+        // A deferral is not a verdict: the confusion matrix stays empty.
+        assert_eq!(s.detection().total(), 0);
+        // The next pass accepts both; each update is counted exactly once.
+        let report = s.aggregate_now();
+        assert_eq!(report.accepted, 2);
+        let d = s.detection();
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.false_negatives, 1);
+        assert_eq!(d.true_negatives, 1);
+    }
+
+    /// Scores every update, rejecting stale ones and accepting fresh ones —
+    /// used to pin score/verdict pairing when one client holds two buffered
+    /// updates (a re-buffered deferred one plus a fresh one).
+    #[derive(Default)]
+    struct SplitByStaleness {
+        scores: Vec<asyncfl_core::update::ScoreRecord>,
+    }
+
+    impl asyncfl_core::update::UpdateFilter for SplitByStaleness {
+        fn name(&self) -> &'static str {
+            "split-by-staleness"
+        }
+
+        fn filter(
+            &mut self,
+            updates: Vec<ClientUpdate>,
+            _ctx: &asyncfl_core::update::FilterContext<'_>,
+        ) -> asyncfl_core::update::FilterOutcome {
+            self.scores.clear();
+            let mut out = asyncfl_core::update::FilterOutcome::default();
+            for u in updates {
+                let score = if u.staleness > 0 { 9.0 } else { 0.1 };
+                self.scores.push(asyncfl_core::update::ScoreRecord {
+                    client: u.client,
+                    staleness: u.staleness,
+                    group: u.staleness,
+                    score,
+                    truth_malicious: u.truth_malicious,
+                });
+                if u.staleness > 0 {
+                    out.rejected.push(u);
+                } else {
+                    out.accepted.push(u);
+                }
+            }
+            out
+        }
+
+        fn last_scores(&self) -> &[asyncfl_core::update::ScoreRecord] {
+            &self.scores
+        }
+    }
+
+    #[test]
+    fn filter_scores_pair_by_client_and_staleness() {
+        use asyncfl_telemetry::{Event, MemorySink, SharedSink, Verdict};
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemorySink::new(256));
+        let mut s = BufferedServer::new(
+            Vector::zeros(1),
+            2,
+            20,
+            Box::new(SplitByStaleness::default()),
+            Box::new(MeanAggregator::new()),
+        )
+        .with_sink(SharedSink::from_arc(mem.clone()));
+
+        // Advance one round with other clients so staleness can be nonzero.
+        s.receive(upd(1, 0, &[0.0]));
+        s.receive(upd(2, 0, &[0.0])).expect("round 0 aggregates");
+
+        // Client 0 now contributes a stale update (buffered first, scored
+        // first) and a fresh one. The filter accepts the fresh update and
+        // rejects the stale one, so the accepted→rejected partition walk
+        // visits them in the *opposite* of score-record order — pairing by
+        // client alone would hand the stale score to the fresh update.
+        s.receive(upd(0, 0, &[1.0]));
+        s.receive(upd(0, 1, &[1.0])).expect("round 1 aggregates");
+
+        let pairs: Vec<(u64, f64, Verdict)> = mem
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::FilterScore {
+                    client: 0,
+                    staleness_group,
+                    score,
+                    verdict,
+                } => Some((*staleness_group, *score, *verdict)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pairs.len(), 2, "{pairs:?}");
+        assert!(pairs.contains(&(0, 0.1, Verdict::Accepted)), "{pairs:?}");
+        assert!(pairs.contains(&(1, 9.0, Verdict::Rejected)), "{pairs:?}");
     }
 
     #[test]

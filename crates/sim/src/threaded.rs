@@ -3,8 +3,8 @@
 //! The paper's testbed runs "500 clients, each operating on an individual
 //! thread in parallel" inside PLATO. This engine reproduces that
 //! architecture: every client is an OS thread that repeatedly snapshots the
-//! global model, trains locally, and submits through a crossbeam channel to
-//! a server thread owning the [`BufferedServer`]. Latency heterogeneity is
+//! global model, trains locally, and submits through an `std::sync::mpsc`
+//! channel to a server thread owning the [`BufferedServer`]. Latency heterogeneity is
 //! emulated with short real sleeps proportional to the client's Zipf factor.
 //!
 //! Unlike [`crate::runner::Simulation`], arrival order depends on the OS
@@ -18,15 +18,14 @@ use asyncfl_attacks::AttackKind;
 use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::update::{ClientUpdate, UpdateFilter};
 use asyncfl_ml::train::{build_model, build_optimizer, evaluate, LocalTrainer};
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::{RngExt, SeedableRng};
 use asyncfl_telemetry::{Event, SharedSink, Sink, Span};
 use asyncfl_tensor::Vector;
-use crossbeam::channel;
-use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::config::SimConfig;
@@ -105,9 +104,7 @@ pub fn run_threaded_with_sink(
     let mut client_seeds = Vec::with_capacity(config.num_clients);
     let mut client_factor = Vec::with_capacity(config.num_clients);
     for c in 0..config.num_clients {
-        let seed = config
-            .seed
-            .wrapping_add((c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = asyncfl_rng::stream::substream_seed(config.seed, c as u64);
         let mut rng = StdRng::seed_from_u64(seed);
         client_data.push(Arc::new(task.client_dataset(
             &config.partitioner,
@@ -143,7 +140,7 @@ pub fn run_threaded_with_sink(
     let accuracy_history = Arc::new(Mutex::new(Vec::<(u64, f64)>::new()));
 
     let trainer = LocalTrainer::from_profile(&config.profile);
-    let (report_tx, report_rx) = channel::unbounded::<u64>();
+    let (report_tx, report_rx) = mpsc::channel::<u64>();
 
     std::thread::scope(|scope| {
         for c in 0..config.num_clients {
@@ -174,7 +171,7 @@ pub fn run_threaded_with_sink(
                     }
                     // Snapshot the latest global model.
                     let (base_params, base_round) = {
-                        let v = view.read();
+                        let v = view.read().unwrap_or_else(PoisonError::into_inner);
                         (v.params.clone(), v.round)
                     };
                     // Emulated processing latency.
@@ -188,7 +185,7 @@ pub fn run_threaded_with_sink(
                     }
                     let honest = &model.params() - &*base_params;
                     let delta = if is_malicious {
-                        let mut pool = collusion.lock();
+                        let mut pool = collusion.lock().unwrap_or_else(PoisonError::into_inner);
                         pool.push_back(honest.clone());
                         while pool.len() > cfg.num_malicious.max(1) {
                             pool.pop_front();
@@ -212,10 +209,10 @@ pub fn run_threaded_with_sink(
                     }
                     // Submit; on aggregation, refresh the shared view.
                     let report = {
-                        let mut s = server.lock();
+                        let mut s = server.lock().unwrap_or_else(PoisonError::into_inner);
                         let r = s.receive(update);
                         if r.is_some() {
-                            let mut v = view.write();
+                            let mut v = view.write().unwrap_or_else(PoisonError::into_inner);
                             v.params = Arc::new(s.global().clone());
                             v.round = s.round();
                         }
@@ -224,7 +221,11 @@ pub fn run_threaded_with_sink(
                     if let Some(report) = report {
                         let completed = report.round_completed + 1;
                         if completed % cfg.eval_every == 0 {
-                            let params = view.read().params.clone();
+                            let params = view
+                                .read()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .params
+                                .clone();
                             eval_model.set_params(&params);
                             let acc = evaluate(eval_model.as_ref(), &test_data);
                             if let Some(s) = &sink {
@@ -233,7 +234,10 @@ pub fn run_threaded_with_sink(
                                     accuracy: acc,
                                 });
                             }
-                            accuracy_history.lock().push((completed, acc));
+                            accuracy_history
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .push((completed, acc));
                         }
                         if completed >= cfg.rounds {
                             done.store(true, Ordering::Release);
@@ -253,14 +257,16 @@ pub fn run_threaded_with_sink(
     let server = Arc::try_unwrap(server)
         // lint:allow(P1) -- unreachable: the scope above joined every thread holding a clone
         .unwrap_or_else(|_| panic!("client threads still hold the server"))
-        .into_inner();
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     let mut eval_model = template.clone();
     eval_model.set_params(server.global());
     let final_accuracy = evaluate(eval_model.as_ref(), &test_data);
     let mut history = Arc::try_unwrap(accuracy_history)
         // lint:allow(P1) -- unreachable: the scope above joined every thread holding a clone
         .unwrap_or_else(|_| panic!("history still shared"))
-        .into_inner();
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     history.sort_by_key(|&(round, _)| round);
     history.dedup_by_key(|&mut (round, _)| round);
     RunResult {

@@ -6,7 +6,7 @@
 //! stay seed-reproducible.
 
 use crate::{Matrix, Vector};
-use rand::{Rng, RngExt};
+use asyncfl_rng::{Rng, RngExt};
 
 /// Samples a matrix with entries uniform in `[-limit, limit]`.
 pub fn uniform_matrix<R: Rng + ?Sized>(
@@ -50,8 +50,8 @@ pub fn he_uniform<R: Rng + ?Sized>(rng: &mut R, fan_out: usize, fan_in: usize) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asyncfl_rng::rngs::StdRng;
+    use asyncfl_rng::SeedableRng;
 
     #[test]
     fn uniform_bounds_respected() {

@@ -111,6 +111,11 @@ pub fn median_vector(vectors: &[Vector]) -> Option<Vector> {
 /// et al. 2018): for each coordinate, drop the `trim` largest and `trim`
 /// smallest values, then average the rest.
 ///
+/// Accepts any iterator of *borrowed* vectors (`&[Vector]`, a `Vec<&Vector>`,
+/// or a `map` over update fields), so hot-path callers never clone full
+/// parameter vectors just to build the input slice — only an O(n) buffer of
+/// references is gathered internally.
+///
 /// Returns `None` for an empty collection.
 ///
 /// NaNs sort to the high end under `total_cmp`, so they land in the trimmed
@@ -120,7 +125,11 @@ pub fn median_vector(vectors: &[Vector]) -> Option<Vector> {
 ///
 /// Panics if `2 * trim >= vectors.len()` (nothing would remain) or if the
 /// vectors have differing dimensions.
-pub fn trimmed_mean_vector(vectors: &[Vector], trim: usize) -> Option<Vector> {
+pub fn trimmed_mean_vector<'a, I>(vectors: I, trim: usize) -> Option<Vector>
+where
+    I: IntoIterator<Item = &'a Vector>,
+{
+    let vectors: Vec<&Vector> = vectors.into_iter().collect();
     let first = vectors.first()?;
     assert!(
         2 * trim < vectors.len(),

@@ -2,7 +2,7 @@
 //!
 //! The paper's testbed runs every client on its own thread; this example
 //! drives the crate's threaded runtime — genuinely concurrent clients,
-//! crossbeam channels, a locked FedBuff server — with AsyncFilter installed,
+//! std mpsc channels, a locked FedBuff server — with AsyncFilter installed,
 //! and contrasts it with the deterministic discrete-event engine on the
 //! same configuration.
 //!

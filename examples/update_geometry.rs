@@ -27,7 +27,7 @@ fn structure(partitioner: Partitioner, label: &str) {
     let log = recorder.log_handle();
     Simulation::new(config).run(Box::new(recorder), AttackKind::None);
 
-    let records = log.lock().clone();
+    let records = log.lock().unwrap().clone();
     let last = records.iter().map(|r| r.round).max().unwrap_or(0);
     let snapshot: Vec<_> = records.into_iter().filter(|r| r.round == last).collect();
     let points: Vec<Vector> = snapshot.iter().map(|r| r.params.clone()).collect();

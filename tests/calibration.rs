@@ -4,8 +4,8 @@
 
 use asyncfilter::data::DatasetProfile;
 use asyncfilter::ml::train::{build_model, build_optimizer, evaluate, LocalTrainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::SeedableRng;
 
 #[test]
 fn bayes_ceilings_bracket_paper_accuracies() {

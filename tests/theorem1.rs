@@ -11,8 +11,7 @@ use asyncfilter::attacks::GradientDeviationAttack;
 use asyncfilter::core::aggregation::MeanAggregator;
 use asyncfilter::core::asyncfilter::ScoreRecord;
 use asyncfilter::prelude::*;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Wraps AsyncFilter and archives the score records of every round.
 struct ScoreArchive {
@@ -29,6 +28,7 @@ impl UpdateFilter for ScoreArchive {
         let outcome = self.inner.filter(updates, ctx);
         self.records
             .lock()
+            .unwrap()
             .extend_from_slice(self.inner.last_scores());
         outcome
     }
@@ -74,7 +74,7 @@ fn expected_benign_score_below_expected_malicious_score() {
         Box::new(MeanAggregator::new()),
     );
 
-    let records = records.lock();
+    let records = records.lock().unwrap();
     assert!(
         records.len() > 50,
         "too few scored updates: {}",
@@ -110,7 +110,7 @@ fn score_gap_grows_with_attack_strength() {
             Box::new(GradientDeviationAttack::new(lambda)),
             Box::new(MeanAggregator::new()),
         );
-        let records = records.lock();
+        let records = records.lock().unwrap();
         let (benign, malicious) = mean_scores_by_truth(&records);
         malicious - benign
     };
@@ -137,6 +137,7 @@ fn assumption_constants_estimable_from_a_real_run() {
 
     let observations: Vec<(usize, Vector)> = log
         .lock()
+        .unwrap()
         .iter()
         .map(|r| (r.client, r.delta.clone()))
         .collect();
