@@ -202,6 +202,7 @@ fn main() {
             experiments: experiment_secs,
             phases,
             scaling: None,
+            training: None,
         };
         if let Err(e) = artifact.write(&path) {
             eprintln!("failed to write --bench-json {path}: {e}");

@@ -209,6 +209,7 @@ fn main() {
             experiments: experiment_secs,
             phases,
             scaling: None,
+            training: None,
         };
         if let Err(e) = artifact.write(&path) {
             eprintln!("failed to write --bench-json {path}: {e}");

@@ -17,7 +17,7 @@
 //!                     breakdown, threads=1 vs threads=N scaling probe)
 //! ```
 
-use asyncfl_bench::perf::{phase_rows, run_scaling_probe, BenchJson};
+use asyncfl_bench::perf::{phase_rows, run_scaling_probe, run_training_probe, BenchJson};
 use asyncfl_bench::{ExperimentId, RunOptions, TraceHandle};
 use asyncfl_telemetry::metrics::MetricsRegistry;
 use asyncfl_telemetry::{SharedSink, Sink};
@@ -176,6 +176,16 @@ fn main() {
             "probe: baseline {:.2}s, parallel {:.2}s, speedup {:.2}x, identical: {}",
             probe.baseline_secs, probe.parallel_secs, probe.speedup, probe.identical
         );
+        println!("Running local-training throughput probe...");
+        let training = run_training_probe(opts.quick);
+        println!(
+            "probe: {} samples in {:.2}s = {:.0} samples/sec ({} steps, {:.0} ns/step)",
+            training.samples,
+            training.wall_secs,
+            training.samples_per_sec,
+            training.steps,
+            training.step_mean_ns
+        );
         let phases = trace
             .as_ref()
             .map(|h| phase_rows(h.registry()))
@@ -189,6 +199,7 @@ fn main() {
             experiments: experiment_secs,
             phases,
             scaling: Some(probe),
+            training: Some(training),
         };
         if let Err(e) = artifact.write(&path) {
             eprintln!("failed to write --bench-json {path}: {e}");

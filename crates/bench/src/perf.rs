@@ -16,6 +16,10 @@
 use asyncfl_attacks::AttackKind;
 use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::AsyncFilter;
+use asyncfl_data::DatasetProfile;
+use asyncfl_ml::train::{build_model, build_optimizer, LocalTrainer};
+use asyncfl_rng::rngs::StdRng;
+use asyncfl_rng::SeedableRng;
 use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::runner::{build_attack, Simulation};
 use asyncfl_telemetry::metrics::MetricsRegistry;
@@ -137,6 +141,70 @@ pub fn run_scaling_probe(threads: usize, quick: bool) -> ScalingProbe {
     }
 }
 
+/// Result of the local-training throughput probe (see
+/// [`run_training_probe`]): one seeded [`LocalTrainer`] run on an
+/// MNIST-profile client shard, timed single-threaded so the number
+/// isolates the batched-kernel hot path from pool scheduling.
+#[derive(Debug, Clone)]
+pub struct TrainingProbe {
+    /// Dataset profile the probe trains on.
+    pub profile: &'static str,
+    /// Samples in the probe shard.
+    pub dataset_size: usize,
+    /// Local epochs per timed `train` call.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Optimizer steps taken during the timed run.
+    pub steps: usize,
+    /// Training samples consumed (`epochs * dataset_size`).
+    pub samples: usize,
+    /// Wall clock of the timed run, seconds.
+    pub wall_secs: f64,
+    /// Throughput: `samples / wall_secs`.
+    pub samples_per_sec: f64,
+    /// Mean wall clock per optimizer step, nanoseconds.
+    pub step_mean_ns: f64,
+}
+
+/// Times a single-threaded [`LocalTrainer`] run on the MNIST profile and
+/// reports throughput. One untimed warm-up call pages in buffers and
+/// lets allocator state settle; the second call is what's measured.
+pub fn run_training_probe(quick: bool) -> TrainingProbe {
+    let mut rng = StdRng::seed_from_u64(0x7121);
+    let profile = DatasetProfile::Mnist;
+    let task = profile.build_task(&mut rng);
+    let dataset_size = if quick { 1_024 } else { 4_096 };
+    let data = task.test_dataset(dataset_size, &mut rng);
+    let trainer = LocalTrainer::from_profile(&profile);
+    let mut model = build_model(&profile, &task, &mut rng);
+    let mut optimizer = build_optimizer(&profile, model.num_params());
+    trainer.train(model.as_mut(), &data, optimizer.as_mut(), &mut rng);
+    let started = Instant::now();
+    let stats = trainer.train(model.as_mut(), &data, optimizer.as_mut(), &mut rng);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let samples = trainer.epochs() * data.len();
+    TrainingProbe {
+        profile: "mnist",
+        dataset_size,
+        epochs: trainer.epochs(),
+        batch_size: trainer.batch_size(),
+        steps: stats.steps,
+        samples,
+        wall_secs,
+        samples_per_sec: if wall_secs > 0.0 {
+            samples as f64 / wall_secs
+        } else {
+            0.0
+        },
+        step_mean_ns: if stats.steps > 0 {
+            wall_secs * 1e9 / stats.steps as f64
+        } else {
+            0.0
+        },
+    }
+}
+
 /// The full artifact a bench binary writes for `--bench-json`.
 #[derive(Debug, Clone, Default)]
 pub struct BenchJson {
@@ -154,6 +222,8 @@ pub struct BenchJson {
     pub phases: Vec<PhaseRow>,
     /// Threads-scaling probe (repro only).
     pub scaling: Option<ScalingProbe>,
+    /// Local-training throughput probe (repro only).
+    pub training: Option<TrainingProbe>,
 }
 
 /// Formats an `f64` as a JSON number (finite values only; anything else
@@ -225,7 +295,7 @@ impl BenchJson {
         }
         s.push_str("  ],\n");
         match &self.scaling {
-            None => s.push_str("  \"threads_scaling\": null\n"),
+            None => s.push_str("  \"threads_scaling\": null,\n"),
             Some(probe) => {
                 s.push_str("  \"threads_scaling\": {\n");
                 s.push_str(&format!("    \"threads\": {},\n", probe.threads));
@@ -242,6 +312,25 @@ impl BenchJson {
                 ));
                 s.push_str(&format!("    \"speedup\": {},\n", num(probe.speedup)));
                 s.push_str(&format!("    \"byte_identical\": {}\n", probe.identical));
+                s.push_str("  },\n");
+            }
+        }
+        match &self.training {
+            None => s.push_str("  \"training_throughput\": null\n"),
+            Some(t) => {
+                s.push_str("  \"training_throughput\": {\n");
+                s.push_str(&format!("    \"profile\": \"{}\",\n", escape(t.profile)));
+                s.push_str(&format!("    \"dataset_size\": {},\n", t.dataset_size));
+                s.push_str(&format!("    \"epochs\": {},\n", t.epochs));
+                s.push_str(&format!("    \"batch_size\": {},\n", t.batch_size));
+                s.push_str(&format!("    \"steps\": {},\n", t.steps));
+                s.push_str(&format!("    \"samples\": {},\n", t.samples));
+                s.push_str(&format!("    \"wall_secs\": {},\n", num(t.wall_secs)));
+                s.push_str(&format!(
+                    "    \"samples_per_sec\": {},\n",
+                    num(t.samples_per_sec)
+                ));
+                s.push_str(&format!("    \"step_mean_ns\": {}\n", num(t.step_mean_ns)));
                 s.push_str("  }\n");
             }
         }
@@ -291,6 +380,17 @@ mod tests {
                 speedup: 2.5,
                 identical: true,
             }),
+            training: Some(TrainingProbe {
+                profile: "mnist",
+                dataset_size: 4096,
+                epochs: 3,
+                batch_size: 32,
+                steps: 384,
+                samples: 12288,
+                wall_secs: 0.25,
+                samples_per_sec: 49152.0,
+                step_mean_ns: 651041.7,
+            }),
         }
         .render();
         // Structural sanity without a JSON parser: balanced braces/brackets
@@ -307,9 +407,36 @@ mod tests {
             "\"speedup\": 2.500000",
             "\"byte_identical\": true",
             "\"span\": \"local_training\"",
+            "\"training_throughput\": {",
+            "\"samples_per_sec\": 49152.000000",
+            "\"steps\": 384",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn absent_probes_render_as_null() {
+        let json = BenchJson {
+            binary: "detection",
+            ..Default::default()
+        }
+        .render();
+        assert!(json.contains("\"threads_scaling\": null"), "{json}");
+        assert!(json.contains("\"training_throughput\": null"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn training_probe_reports_consistent_counts() {
+        let probe = run_training_probe(true);
+        assert_eq!(probe.samples, probe.epochs * probe.dataset_size);
+        assert_eq!(
+            probe.steps,
+            probe.epochs * probe.dataset_size.div_ceil(probe.batch_size)
+        );
+        assert!(probe.samples_per_sec > 0.0);
+        assert!(probe.step_mean_ns > 0.0);
     }
 
     #[test]

@@ -181,13 +181,55 @@ impl Dataset {
     /// Yields shuffled minibatches of at most `batch_size` sample indices,
     /// covering every sample exactly once (the final batch may be smaller).
     ///
+    /// The returned [`Minibatches`] holds one shuffled permutation buffer
+    /// and lends `&[usize]` chunks out of it — no per-batch allocation.
+    ///
     /// # Panics
     ///
     /// Panics if `batch_size == 0`.
-    pub fn minibatches<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    pub fn minibatches<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Minibatches {
         assert!(batch_size > 0, "minibatches: batch_size must be positive");
-        let order = permutation(rng, self.samples.len());
-        order.chunks(batch_size).map(|c| c.to_vec()).collect()
+        Minibatches {
+            order: permutation(rng, self.samples.len()),
+            batch_size,
+        }
+    }
+}
+
+/// A shuffled epoch of minibatch index slices, backed by one permutation
+/// buffer (see [`Dataset::minibatches`]).
+///
+/// Iterate by reference: `for batch in &epoch { … }` yields `&[usize]`
+/// chunks of at most `batch_size` indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Minibatches {
+    order: Vec<usize>,
+    batch_size: usize,
+}
+
+impl Minibatches {
+    /// Number of batches in the epoch (zero for an empty dataset).
+    pub fn len(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// Returns `true` if the epoch holds no batches.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates over the index slices.
+    pub fn iter(&self) -> std::slice::Chunks<'_, usize> {
+        self.order.chunks(self.batch_size)
+    }
+}
+
+impl<'a> IntoIterator for &'a Minibatches {
+    type Item = &'a [usize];
+    type IntoIter = std::slice::Chunks<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -292,10 +334,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let batches = ds.minibatches(3, &mut rng);
         assert_eq!(batches.len(), 4);
-        assert_eq!(batches.last().unwrap().len(), 1);
-        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        assert!(!batches.is_empty());
+        assert_eq!(batches.iter().last().unwrap().len(), 1);
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn minibatches_of_empty_dataset_yield_nothing() {
+        let ds = Dataset::empty(3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let batches = ds.minibatches(4, &mut rng);
+        assert_eq!(batches.len(), 0);
+        assert!(batches.is_empty());
+        assert_eq!(batches.iter().count(), 0);
+        assert_eq!((&batches).into_iter().count(), 0);
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub mod profiles;
 pub mod sampling;
 pub mod synthetic;
 
-pub use dataset::{Dataset, Sample};
+pub use dataset::{Dataset, Minibatches, Sample};
 pub use profiles::DatasetProfile;
 pub use synthetic::{Task, TaskSpec};

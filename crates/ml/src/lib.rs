@@ -10,14 +10,20 @@
 //!
 //! # Modules
 //!
-//! * [`loss`] — cross-entropy on softmax logits, plus its gradient.
+//! * [`loss`] — cross-entropy on softmax logits, plus its gradient
+//!   (allocating and fused in-place forms).
 //! * [`model`] — the object-safe [`model::Model`] trait and the two
 //!   concrete models ([`model::SoftmaxRegression`],
-//!   [`model::Mlp`]); parameters flatten to/from
-//!   [`asyncfl_tensor::Vector`] so defenses can treat updates as
-//!   plain geometry.
+//!   [`model::Mlp`]); parameters live in one flat
+//!   [`asyncfl_tensor::Vector`] (borrowable in place) so defenses can
+//!   treat updates as plain geometry and optimizers can step without
+//!   copying.
+//! * [`scratch`] — [`scratch::TrainScratch`] reusable batch buffers and
+//!   the shared batched forward/backward kernels behind every model's
+//!   `loss_and_grad_batch_into`.
 //! * [`optimizer`] — [`optimizer::Sgd`] (with momentum) and
-//!   [`optimizer::Adam`], matching the paper's Table 1.
+//!   [`optimizer::Adam`], matching the paper's Table 1; state buffers can
+//!   be preallocated.
 //! * [`train`] — local training loops, evaluation, and the
 //!   [`train::build_model`]/[`train::build_optimizer`]
 //!   factories that interpret a [`asyncfl_data::DatasetProfile`].
@@ -47,10 +53,12 @@
 pub mod loss;
 pub mod model;
 pub mod optimizer;
+pub mod scratch;
 pub mod stack;
 pub mod train;
 
 pub use model::{Mlp, Model, SoftmaxRegression};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use scratch::TrainScratch;
 pub use stack::MlpStack;
 pub use train::LocalTrainer;

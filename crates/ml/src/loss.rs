@@ -1,6 +1,6 @@
 //! Cross-entropy loss on softmax logits.
 
-use asyncfl_tensor::ops::{log_softmax, softmax};
+use asyncfl_tensor::ops::{log_softmax, log_sum_exp, softmax};
 
 /// Cross-entropy loss `−log p(label)` for one sample given raw logits.
 ///
@@ -37,6 +37,33 @@ pub fn cross_entropy_grad(logits: &[f64], label: usize) -> Vec<f64> {
     let mut g = softmax(logits);
     g[label] -= 1.0;
     g
+}
+
+/// Fused cross-entropy loss and logit-gradient, in place: converts a row
+/// of raw logits into `softmax(logits) − onehot(label)` and returns the
+/// loss `−log p(label)`.
+///
+/// This is the allocation-free form of [`cross_entropy`] +
+/// [`cross_entropy_grad`] used by the batched training path; it performs
+/// the exact same floating-point operations, so the two formulations agree
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `label >= logits.len()`.
+pub fn cross_entropy_grad_in_place(logits: &mut [f64], label: usize) -> f64 {
+    assert!(
+        label < logits.len(),
+        "cross_entropy_grad_in_place: label {label} out of range for {} logits",
+        logits.len()
+    );
+    let lse = log_sum_exp(logits);
+    let loss = -(logits[label] - lse);
+    for x in logits.iter_mut() {
+        *x = (*x - lse).exp();
+    }
+    logits[label] -= 1.0;
+    loss
 }
 
 #[cfg(test)]
@@ -92,6 +119,28 @@ mod tests {
                 g[i]
             );
         }
+    }
+
+    #[test]
+    fn in_place_form_is_bit_identical_to_allocating_form() {
+        let logits = [0.3, -1.2, 0.8, 0.0, 5.5];
+        for label in 0..logits.len() {
+            let loss = cross_entropy(&logits, label);
+            let grad = cross_entropy_grad(&logits, label);
+            let mut row = logits;
+            let fused_loss = cross_entropy_grad_in_place(&mut row, label);
+            assert_eq!(fused_loss.to_bits(), loss.to_bits(), "loss label {label}");
+            for (a, b) in row.iter().zip(&grad) {
+                assert_eq!(a.to_bits(), b.to_bits(), "grad label {label}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn in_place_bad_label_panics() {
+        let mut row = [0.0, 0.0];
+        let _ = cross_entropy_grad_in_place(&mut row, 2);
     }
 
     proptest! {

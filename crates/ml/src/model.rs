@@ -1,21 +1,44 @@
 //! Classification models with flat-parameter views.
 //!
-//! Both models expose their parameters as a single flat
-//! [`Vector`] (`params`/`set_params`), because the entire defense stack —
-//! AsyncFilter's staleness groups, FLDetector's Hessian estimates, the
-//! attacks' perturbations — operates on parameter-space geometry, never on
-//! model internals.
+//! Both models store their parameters as a single flat [`Vector`] (borrowed
+//! zero-copy via `params_ref`/`params_mut`), because the entire defense
+//! stack — AsyncFilter's staleness groups, FLDetector's Hessian estimates,
+//! the attacks' perturbations — operates on parameter-space geometry, never
+//! on model internals. The same flat layout lets the optimizer step
+//! parameters in place and lets the batched training kernels
+//! ([`crate::scratch`]) slice weight and bias blocks without copying.
 
-use crate::loss::{cross_entropy, cross_entropy_grad};
+use crate::loss::cross_entropy;
+use crate::scratch::{self, LayerSpec, TrainScratch};
 use asyncfl_data::Sample;
 use asyncfl_rng::Rng;
 use asyncfl_tensor::ops::argmax;
 use asyncfl_tensor::{init, Matrix, Vector};
 
+/// Gathers a batch of samples into a feature matrix and label buffer, then
+/// evaluates the batched loss/gradient — the compatibility bridge from the
+/// by-reference [`Model::loss_and_grad`] API to the batched hot path.
+fn loss_and_grad_gathered<M: Model + ?Sized>(model: &M, batch: &[&Sample]) -> (f64, Vector) {
+    assert!(!batch.is_empty(), "loss_and_grad: empty batch");
+    let d = model.input_dim();
+    let mut x = Matrix::zeros(batch.len(), d);
+    let mut labels = Vec::with_capacity(batch.len());
+    for (i, s) in batch.iter().enumerate() {
+        x.row_mut(i).copy_from_slice(s.features.as_slice());
+        labels.push(s.label);
+    }
+    let mut scratch = TrainScratch::new();
+    let mut grad = Vector::zeros(model.num_params());
+    let loss = model.loss_and_grad_batch_into(&x, &labels, &mut scratch, &mut grad);
+    (loss, grad)
+}
+
 /// An object-safe classification model with hand-derived gradients.
 ///
 /// Implementations must keep `params()`/`set_params()` mutually inverse and
 /// `grad` consistent with `loss` (verified by finite-difference tests).
+/// Batched and per-sample gradient paths must agree bit-for-bit (the
+/// reduction-order policy in `crates/ml/src/scratch.rs`).
 ///
 /// `Send + Sync` so the simulator's worker pool can clone a shared
 /// template model from several training threads; implementations hold
@@ -30,25 +53,109 @@ pub trait Model: Send + Sync {
     /// Number of output classes.
     fn num_classes(&self) -> usize;
 
-    /// Flattens all parameters into one vector.
-    fn params(&self) -> Vector;
+    /// Borrows the flat parameter vector (zero-copy).
+    fn params_ref(&self) -> &Vector;
+
+    /// Mutably borrows the flat parameter vector, for in-place optimizer
+    /// steps. Callers must preserve the length.
+    fn params_mut(&mut self) -> &mut Vector;
+
+    /// Flattens all parameters into one owned vector.
+    fn params(&self) -> Vector {
+        self.params_ref().clone()
+    }
 
     /// Overwrites all parameters from a flat vector.
     ///
     /// # Panics
     ///
     /// Panics if `params.len() != self.num_params()`.
-    fn set_params(&mut self, params: &Vector);
+    fn set_params(&mut self, params: &Vector) {
+        let n = self.num_params();
+        assert_eq!(
+            params.len(),
+            n,
+            "set_params: expected {n} params, got {}",
+            params.len()
+        );
+        self.params_mut()
+            .as_mut_slice()
+            .copy_from_slice(params.as_slice());
+    }
 
     /// Raw class logits for one feature vector.
     fn logits(&self, features: &Vector) -> Vec<f64>;
 
     /// Mean loss and flat mean gradient over a batch of samples.
     ///
+    /// The defaults for this method and [`Model::loss_and_grad_batch_into`]
+    /// are defined in terms of each other — implementations must override
+    /// at least one of the two.
+    ///
     /// # Panics
     ///
     /// Panics if `batch` is empty.
-    fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector);
+    fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector) {
+        loss_and_grad_gathered(self, batch)
+    }
+
+    /// Mean loss over a batch of feature rows, with the flat mean gradient
+    /// written into `grad` (fully overwritten) — the allocation-free hot
+    /// path used by [`crate::train::LocalTrainer`]. `scratch` buffers are
+    /// reused across calls; their contents are unspecified afterwards.
+    ///
+    /// The default implementation gathers the rows into samples and falls
+    /// back to [`Model::loss_and_grad`]; the in-crate models override it
+    /// with fully batched matrix kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no rows, `labels.len() != x.rows()`, or
+    /// `grad.len() != self.num_params()`.
+    fn loss_and_grad_batch_into(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        scratch: &mut TrainScratch,
+        grad: &mut Vector,
+    ) -> f64 {
+        let _ = scratch;
+        assert!(x.rows() > 0, "loss_and_grad: empty batch");
+        assert_eq!(
+            labels.len(),
+            x.rows(),
+            "loss_and_grad_batch_into: {} labels for {} rows",
+            labels.len(),
+            x.rows()
+        );
+        assert_eq!(
+            grad.len(),
+            self.num_params(),
+            "loss_and_grad_batch_into: grad dim {} does not match {} params",
+            grad.len(),
+            self.num_params()
+        );
+        let samples: Vec<Sample> = (0..x.rows())
+            .map(|i| Sample::new(Vector::from(x.row(i).to_vec()), labels[i]))
+            .collect();
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let (loss, g) = self.loss_and_grad(&refs);
+        grad.as_mut_slice().copy_from_slice(g.as_slice());
+        loss
+    }
+
+    /// Computes logits for every row of `x` into `scratch` (readable via
+    /// [`TrainScratch::logits`]) — the batched form of [`Model::logits`]
+    /// used by `evaluate`.
+    fn logits_batch_into(&self, x: &Matrix, scratch: &mut TrainScratch) {
+        let k = self.num_classes();
+        let out = scratch.logits_mut();
+        out.resize(x.rows(), k);
+        for i in 0..x.rows() {
+            let row = self.logits(&Vector::from(x.row(i).to_vec()));
+            out.row_mut(i).copy_from_slice(&row);
+        }
+    }
 
     /// Predicted class (argmax of logits); class 0 for a degenerate model
     /// with no outputs.
@@ -81,90 +188,74 @@ impl Clone for Box<dyn Model> {
 /// Multinomial logistic regression: `logits = W·x + b`.
 ///
 /// The LeNet-5 stand-in for the MNIST-family profiles (see `DESIGN.md`).
+/// Parameters are stored flat as `[W|b]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SoftmaxRegression {
-    w: Matrix,
-    b: Vector,
+    flat: Vector,
+    layers: Vec<LayerSpec>,
 }
 
 impl SoftmaxRegression {
     /// Creates a model with Xavier-initialized weights and zero biases.
     pub fn new<R: Rng + ?Sized>(input_dim: usize, num_classes: usize, rng: &mut R) -> Self {
+        let w = init::xavier_uniform(rng, num_classes, input_dim);
+        let layers = scratch::layer_specs(input_dim, &[num_classes]);
+        let mut flat = Vec::with_capacity(scratch::total_params(&layers));
+        flat.extend_from_slice(w.as_slice());
+        flat.resize(scratch::total_params(&layers), 0.0);
         Self {
-            w: init::xavier_uniform(rng, num_classes, input_dim),
-            b: Vector::zeros(num_classes),
+            flat: Vector::from(flat),
+            layers,
         }
     }
 
     /// Creates a model with all-zero parameters (useful in tests).
     pub fn zeroed(input_dim: usize, num_classes: usize) -> Self {
+        let layers = scratch::layer_specs(input_dim, &[num_classes]);
         Self {
-            w: Matrix::zeros(num_classes, input_dim),
-            b: Vector::zeros(num_classes),
+            flat: Vector::zeros(scratch::total_params(&layers)),
+            layers,
         }
     }
 }
 
 impl Model for SoftmaxRegression {
     fn num_params(&self) -> usize {
-        self.w.len() + self.b.len()
+        self.flat.len()
     }
 
     fn input_dim(&self) -> usize {
-        self.w.cols()
+        self.layers[0].in_dim
     }
 
     fn num_classes(&self) -> usize {
-        self.w.rows()
+        self.layers[0].out_dim
     }
 
-    fn params(&self) -> Vector {
-        let mut out = Vec::with_capacity(self.num_params());
-        out.extend_from_slice(self.w.as_slice());
-        out.extend_from_slice(self.b.as_slice());
-        Vector::from(out)
+    fn params_ref(&self) -> &Vector {
+        &self.flat
     }
 
-    fn set_params(&mut self, params: &Vector) {
-        assert_eq!(
-            params.len(),
-            self.num_params(),
-            "set_params: expected {} params, got {}",
-            self.num_params(),
-            params.len()
-        );
-        let split = self.w.len();
-        self.w.copy_from_slice(&params.as_slice()[..split]);
-        self.b
-            .as_mut_slice()
-            .copy_from_slice(&params.as_slice()[split..]);
+    fn params_mut(&mut self) -> &mut Vector {
+        &mut self.flat
     }
 
     fn logits(&self, features: &Vector) -> Vec<f64> {
-        (&self.w.matvec(features) + &self.b).into_inner()
+        scratch::logits_one(self.flat.as_slice(), &self.layers, features.as_slice())
     }
 
-    fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector) {
-        assert!(!batch.is_empty(), "loss_and_grad: empty batch");
-        let k = self.num_classes();
-        let d = self.input_dim();
-        let mut gw = Matrix::zeros(k, d);
-        let mut gb = Vector::zeros(k);
-        let mut loss = 0.0;
-        for s in batch {
-            let logits = self.logits(&s.features);
-            loss += cross_entropy(&logits, s.label);
-            let dz = Vector::from(cross_entropy_grad(&logits, s.label));
-            gw.rank1_update(1.0, &dz, &s.features);
-            gb += &dz;
-        }
-        let inv = 1.0 / batch.len() as f64;
-        gw.scale(inv);
-        gb.scale(inv);
-        let mut flat = Vec::with_capacity(self.num_params());
-        flat.extend_from_slice(gw.as_slice());
-        flat.extend_from_slice(gb.as_slice());
-        (loss * inv, Vector::from(flat))
+    fn loss_and_grad_batch_into(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        scratch: &mut TrainScratch,
+        grad: &mut Vector,
+    ) -> f64 {
+        scratch::loss_and_grad_batch(self.flat.as_slice(), &self.layers, x, labels, scratch, grad)
+    }
+
+    fn logits_batch_into(&self, x: &Matrix, scratch: &mut TrainScratch) {
+        scratch::forward_batch(self.flat.as_slice(), &self.layers, x, scratch);
     }
 
     fn clone_box(&self) -> Box<dyn Model> {
@@ -175,12 +266,11 @@ impl Model for SoftmaxRegression {
 /// A one-hidden-layer ReLU perceptron: `logits = W₂·relu(W₁·x + b₁) + b₂`.
 ///
 /// The VGG-16 stand-in for the CIFAR-family profiles (see `DESIGN.md`).
+/// Parameters are stored flat as `[W₁|b₁|W₂|b₂]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
-    w1: Matrix,
-    b1: Vector,
-    w2: Matrix,
-    b2: Vector,
+    flat: Vector,
+    layers: Vec<LayerSpec>,
 }
 
 impl Mlp {
@@ -191,110 +281,61 @@ impl Mlp {
         num_classes: usize,
         rng: &mut R,
     ) -> Self {
+        let w1 = init::he_uniform(rng, hidden, input_dim);
+        let w2 = init::xavier_uniform(rng, num_classes, hidden);
+        let layers = scratch::layer_specs(input_dim, &[hidden, num_classes]);
+        let mut flat = vec![0.0; scratch::total_params(&layers)];
+        flat[layers[0].w_off..layers[0].w_off + w1.len()].copy_from_slice(w1.as_slice());
+        flat[layers[1].w_off..layers[1].w_off + w2.len()].copy_from_slice(w2.as_slice());
         Self {
-            w1: init::he_uniform(rng, hidden, input_dim),
-            b1: Vector::zeros(hidden),
-            w2: init::xavier_uniform(rng, num_classes, hidden),
-            b2: Vector::zeros(num_classes),
+            flat: Vector::from(flat),
+            layers,
         }
     }
 
     /// Hidden-layer width.
     pub fn hidden_dim(&self) -> usize {
-        self.w1.rows()
-    }
-
-    fn forward(&self, features: &Vector) -> (Vector, Vector) {
-        let pre = &self.w1.matvec(features) + &self.b1;
-        let hidden = pre.map(|x| x.max(0.0));
-        let logits = &self.w2.matvec(&hidden) + &self.b2;
-        (hidden, logits)
+        self.layers[0].out_dim
     }
 }
 
 impl Model for Mlp {
     fn num_params(&self) -> usize {
-        self.w1.len() + self.b1.len() + self.w2.len() + self.b2.len()
+        self.flat.len()
     }
 
     fn input_dim(&self) -> usize {
-        self.w1.cols()
+        self.layers[0].in_dim
     }
 
     fn num_classes(&self) -> usize {
-        self.w2.rows()
+        self.layers[1].out_dim
     }
 
-    fn params(&self) -> Vector {
-        let mut out = Vec::with_capacity(self.num_params());
-        out.extend_from_slice(self.w1.as_slice());
-        out.extend_from_slice(self.b1.as_slice());
-        out.extend_from_slice(self.w2.as_slice());
-        out.extend_from_slice(self.b2.as_slice());
-        Vector::from(out)
+    fn params_ref(&self) -> &Vector {
+        &self.flat
     }
 
-    fn set_params(&mut self, params: &Vector) {
-        assert_eq!(
-            params.len(),
-            self.num_params(),
-            "set_params: expected {} params, got {}",
-            self.num_params(),
-            params.len()
-        );
-        let p = params.as_slice();
-        let mut at = 0;
-        let mut take = |n: usize| {
-            let s = &p[at..at + n];
-            at += n;
-            s
-        };
-        self.w1.copy_from_slice(take(self.w1.len()));
-        let b1_len = self.b1.len();
-        self.b1.as_mut_slice().copy_from_slice(take(b1_len));
-        self.w2.copy_from_slice(take(self.w2.len()));
-        let b2_len = self.b2.len();
-        self.b2.as_mut_slice().copy_from_slice(take(b2_len));
+    fn params_mut(&mut self) -> &mut Vector {
+        &mut self.flat
     }
 
     fn logits(&self, features: &Vector) -> Vec<f64> {
-        self.forward(features).1.into_inner()
+        scratch::logits_one(self.flat.as_slice(), &self.layers, features.as_slice())
     }
 
-    fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector) {
-        assert!(!batch.is_empty(), "loss_and_grad: empty batch");
-        let h = self.hidden_dim();
-        let d = self.input_dim();
-        let k = self.num_classes();
-        let mut gw1 = Matrix::zeros(h, d);
-        let mut gb1 = Vector::zeros(h);
-        let mut gw2 = Matrix::zeros(k, h);
-        let mut gb2 = Vector::zeros(k);
-        let mut loss = 0.0;
-        for s in batch {
-            let (hidden, logits) = self.forward(&s.features);
-            let logits = logits.into_inner();
-            loss += cross_entropy(&logits, s.label);
-            let dz = Vector::from(cross_entropy_grad(&logits, s.label));
-            gw2.rank1_update(1.0, &dz, &hidden);
-            gb2 += &dz;
-            let dh = self.w2.t_matvec(&dz);
-            // ReLU mask: gradient flows only through active units.
-            let dpre = Vector::from_fn(h, |i| if hidden[i] > 0.0 { dh[i] } else { 0.0 });
-            gw1.rank1_update(1.0, &dpre, &s.features);
-            gb1 += &dpre;
-        }
-        let inv = 1.0 / batch.len() as f64;
-        let mut flat = Vec::with_capacity(self.num_params());
-        for part in [
-            gw1.as_slice(),
-            gb1.as_slice(),
-            gw2.as_slice(),
-            gb2.as_slice(),
-        ] {
-            flat.extend(part.iter().map(|x| x * inv));
-        }
-        (loss * inv, Vector::from(flat))
+    fn loss_and_grad_batch_into(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        scratch: &mut TrainScratch,
+        grad: &mut Vector,
+    ) -> f64 {
+        scratch::loss_and_grad_batch(self.flat.as_slice(), &self.layers, x, labels, scratch, grad)
+    }
+
+    fn logits_batch_into(&self, x: &Matrix, scratch: &mut TrainScratch) {
+        scratch::forward_batch(self.flat.as_slice(), &self.layers, x, scratch);
     }
 
     fn clone_box(&self) -> Box<dyn Model> {
@@ -346,6 +387,81 @@ mod tests {
         model.set_params(&params);
     }
 
+    /// Finite-difference check through the batched API directly.
+    fn check_gradient_batched(model: &mut dyn Model, samples: &[Sample]) {
+        let d = model.input_dim();
+        let mut x = Matrix::zeros(samples.len(), d);
+        let mut labels = Vec::new();
+        for (i, s) in samples.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(s.features.as_slice());
+            labels.push(s.label);
+        }
+        let mut scratch = TrainScratch::new();
+        let mut grad = Vector::zeros(model.num_params());
+        model.loss_and_grad_batch_into(&x, &labels, &mut scratch, &mut grad);
+        let params = model.params();
+        let batch = batch_of(samples);
+        let eps = 1e-5;
+        let idxs: Vec<usize> = (0..params.len())
+            .step_by((params.len() / 13).max(1))
+            .collect();
+        for &i in &idxs {
+            let mut plus = params.clone();
+            plus[i] += eps;
+            model.set_params(&plus);
+            let lp = model.loss(&batch);
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            model.set_params(&minus);
+            let lm = model.loss(&batch);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-4,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+        model.set_params(&params);
+    }
+
+    /// The batched path must agree with a per-sample accumulation done by
+    /// hand (sum of single-sample gradients / n) to tight tolerance.
+    fn check_batched_matches_per_sample(model: &dyn Model, samples: &[Sample]) {
+        let d = model.input_dim();
+        let n = samples.len();
+        let mut x = Matrix::zeros(n, d);
+        let mut labels = Vec::new();
+        for (i, s) in samples.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(s.features.as_slice());
+            labels.push(s.label);
+        }
+        let mut scratch = TrainScratch::new();
+        let mut batched = Vector::zeros(model.num_params());
+        let batched_loss = model.loss_and_grad_batch_into(&x, &labels, &mut scratch, &mut batched);
+
+        let mut acc = Vector::zeros(model.num_params());
+        let mut loss_acc = 0.0;
+        for s in samples {
+            let (l, g) = model.loss_and_grad(&[s]);
+            loss_acc += l;
+            acc.axpy(1.0, &g);
+        }
+        acc.scale(1.0 / n as f64);
+        loss_acc /= n as f64;
+        assert!(
+            (batched_loss - loss_acc).abs() < 1e-10,
+            "loss: batched {batched_loss} vs per-sample {loss_acc}"
+        );
+        for i in 0..acc.len() {
+            assert!(
+                (batched[i] - acc[i]).abs() < 1e-10,
+                "grad {i}: batched {} vs per-sample {}",
+                batched[i],
+                acc[i]
+            );
+        }
+    }
+
     #[test]
     fn softmax_regression_param_roundtrip() {
         let mut rng = StdRng::seed_from_u64(1);
@@ -358,6 +474,7 @@ mod tests {
         p2.scale(2.0);
         m.set_params(&p2);
         assert_eq!(m.params(), p2);
+        assert_eq!(m.params_ref(), &p2);
     }
 
     #[test]
@@ -370,6 +487,14 @@ mod tests {
         let shifted = p.map(|x| x + 0.25);
         m.set_params(&shifted);
         assert_eq!(m.params(), shifted);
+    }
+
+    #[test]
+    fn params_mut_is_zero_copy() {
+        let mut m = SoftmaxRegression::zeroed(3, 2);
+        m.params_mut()[0] = 7.5;
+        assert_eq!(m.params_ref()[0], 7.5);
+        assert_eq!(m.logits(&Vector::from(vec![1.0, 0.0, 0.0]))[0], 7.5);
     }
 
     #[test]
@@ -394,6 +519,55 @@ mod tests {
         let mut m = Mlp::new(6, 5, 3, &mut rng);
         let samples = toy_batch(6, 3, 6, 55);
         check_gradient(&mut m, &batch_of(&samples));
+    }
+
+    #[test]
+    fn softmax_regression_batched_gradient_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut m = SoftmaxRegression::new(7, 4, &mut rng);
+        let samples = toy_batch(7, 4, 9, 144);
+        check_gradient_batched(&mut m, &samples);
+    }
+
+    #[test]
+    fn mlp_batched_gradient_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut m = Mlp::new(6, 5, 3, &mut rng);
+        let samples = toy_batch(6, 3, 9, 155);
+        check_gradient_batched(&mut m, &samples);
+    }
+
+    #[test]
+    fn softmax_regression_batched_matches_per_sample_mean() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let m = SoftmaxRegression::new(8, 3, &mut rng);
+        let samples = toy_batch(8, 3, 11, 166);
+        check_batched_matches_per_sample(&m, &samples);
+    }
+
+    #[test]
+    fn mlp_batched_matches_per_sample_mean() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = Mlp::new(6, 7, 4, &mut rng);
+        let samples = toy_batch(6, 4, 11, 177);
+        check_batched_matches_per_sample(&m, &samples);
+    }
+
+    #[test]
+    fn logits_batch_into_rows_match_per_sample_logits() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let m = Mlp::new(5, 4, 3, &mut rng);
+        let samples = toy_batch(5, 3, 6, 188);
+        let mut x = Matrix::zeros(samples.len(), 5);
+        for (i, s) in samples.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(s.features.as_slice());
+        }
+        let mut scratch = TrainScratch::new();
+        m.logits_batch_into(&x, &mut scratch);
+        for (i, s) in samples.iter().enumerate() {
+            let single = m.logits(&s.features);
+            assert_eq!(scratch.logits().row(i), single.as_slice(), "row {i}");
+        }
     }
 
     #[test]

@@ -21,7 +21,17 @@ pub trait Optimizer: Send {
     /// The configured learning rate.
     fn learning_rate(&self) -> f64;
 
-    /// Resets internal state (momentum buffers, Adam moments).
+    /// Dimension of the currently allocated state buffers (momentum /
+    /// moment vectors), or `None` when no state is allocated. Optimizers
+    /// built through [`crate::train::build_optimizer`] preallocate their
+    /// state, so this is `Some(num_params)` before the first `step`.
+    fn state_dim(&self) -> Option<usize> {
+        None
+    }
+
+    /// Resets internal state (momentum buffers, Adam moments). Any
+    /// preallocated buffers are dropped and re-created lazily on the next
+    /// `step`.
     fn reset(&mut self);
 }
 
@@ -56,6 +66,21 @@ impl Sgd {
         }
     }
 
+    /// Creates an SGD optimizer with its momentum buffer preallocated for
+    /// `num_params` parameters (no allocation on the first `step`). With
+    /// zero momentum SGD is stateless and nothing is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid `lr`/`momentum` values as [`Sgd::new`].
+    pub fn preallocated(lr: f64, momentum: f64, num_params: usize) -> Self {
+        let mut sgd = Self::new(lr, momentum);
+        if momentum > 0.0 {
+            sgd.velocity = Some(Vector::zeros(num_params));
+        }
+        sgd
+    }
+
     /// The momentum coefficient.
     pub fn momentum(&self) -> f64 {
         self.momentum
@@ -88,6 +113,10 @@ impl Optimizer for Sgd {
 
     fn learning_rate(&self) -> f64 {
         self.lr
+    }
+
+    fn state_dim(&self) -> Option<usize> {
+        self.velocity.as_ref().map(Vector::len)
     }
 
     fn reset(&mut self) {
@@ -141,6 +170,20 @@ impl Adam {
             v: None,
         }
     }
+
+    /// Creates an Adam optimizer (standard betas) with both moment buffers
+    /// preallocated for `num_params` parameters, so the first `step` does
+    /// not allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn preallocated(lr: f64, num_params: usize) -> Self {
+        let mut adam = Self::new(lr);
+        adam.m = Some(Vector::zeros(num_params));
+        adam.v = Some(Vector::zeros(num_params));
+        adam
+    }
 }
 
 impl Optimizer for Adam {
@@ -177,6 +220,10 @@ impl Optimizer for Adam {
 
     fn learning_rate(&self) -> f64 {
         self.lr
+    }
+
+    fn state_dim(&self) -> Option<usize> {
+        self.m.as_ref().map(Vector::len)
     }
 
     fn reset(&mut self) {
@@ -286,6 +333,51 @@ mod tests {
         adam.step(&mut p, &Vector::from(vec![1.0]));
         adam.reset();
         assert_eq!(adam, Adam::new(0.1));
+    }
+
+    #[test]
+    fn preallocated_state_exists_before_first_step() {
+        let sgd = Sgd::preallocated(0.1, 0.9, 12);
+        assert_eq!(sgd.state_dim(), Some(12));
+        let adam = Adam::preallocated(0.1, 7);
+        assert_eq!(adam.state_dim(), Some(7));
+        // Zero-momentum SGD is stateless: nothing to preallocate.
+        assert_eq!(Sgd::preallocated(0.1, 0.0, 12).state_dim(), None);
+        // Lazy constructors allocate nothing until stepped.
+        assert_eq!(Sgd::new(0.1, 0.9).state_dim(), None);
+        assert_eq!(Adam::new(0.1).state_dim(), None);
+    }
+
+    #[test]
+    fn preallocated_matches_lazy_trajectory_bitwise() {
+        let grads = [
+            Vector::from(vec![1.0, -2.0, 0.5]),
+            Vector::from(vec![-0.3, 0.7, 1.1]),
+            Vector::from(vec![0.05, -0.4, 2.0]),
+        ];
+        let run = |mut opt: Box<dyn Optimizer>| {
+            let mut p = Vector::from(vec![5.0, -3.0, 1.0]);
+            for g in &grads {
+                opt.step(&mut p, g);
+            }
+            p
+        };
+        let lazy_sgd = run(Box::new(Sgd::new(0.1, 0.9)));
+        let pre_sgd = run(Box::new(Sgd::preallocated(0.1, 0.9, 3)));
+        assert_eq!(lazy_sgd, pre_sgd);
+        let lazy_adam = run(Box::new(Adam::new(0.1)));
+        let pre_adam = run(Box::new(Adam::preallocated(0.1, 3)));
+        assert_eq!(lazy_adam, pre_adam);
+    }
+
+    #[test]
+    fn state_dim_is_stable_across_steps() {
+        let mut opt = Adam::preallocated(0.1, 2);
+        let mut p = Vector::zeros(2);
+        opt.step(&mut p, &Vector::from(vec![1.0, -1.0]));
+        assert_eq!(opt.state_dim(), Some(2));
+        opt.reset();
+        assert_eq!(opt.state_dim(), None);
     }
 
     #[test]

@@ -4,20 +4,20 @@
 //!
 //! [`crate::model::Mlp`] hardcodes one hidden layer for clarity;
 //! `MlpStack` generalizes to any number of hidden layers with the same
-//! flat-parameter contract, so experiments can study how model depth
-//! interacts with update geometry and filtering.
+//! flat-parameter contract (`[W|b]` per layer), so experiments can study
+//! how model depth interacts with update geometry and filtering. All depths
+//! share the batched kernels in [`crate::scratch`].
 
-use crate::loss::{cross_entropy, cross_entropy_grad};
 use crate::model::Model;
-use asyncfl_data::Sample;
+use crate::scratch::{self, LayerSpec, TrainScratch};
 use asyncfl_rng::Rng;
 use asyncfl_tensor::{init, Matrix, Vector};
 
 /// A fully-connected ReLU network with arbitrary hidden widths.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MlpStack {
-    weights: Vec<Matrix>,
-    biases: Vec<Vector>,
+    flat: Vector,
+    layers: Vec<LayerSpec>,
 }
 
 impl MlpStack {
@@ -42,139 +42,69 @@ impl MlpStack {
             hidden.iter().all(|&h| h > 0),
             "MlpStack: hidden widths must be positive"
         );
-        let mut weights = Vec::with_capacity(hidden.len() + 1);
-        let mut biases = Vec::with_capacity(hidden.len() + 1);
+        let mut dims: Vec<usize> = hidden.to_vec();
+        dims.push(num_classes);
+        let layers = scratch::layer_specs(input_dim, &dims);
+        let mut flat = vec![0.0; scratch::total_params(&layers)];
         let mut fan_in = input_dim;
-        for &width in hidden {
-            weights.push(init::he_uniform(rng, width, fan_in));
-            biases.push(Vector::zeros(width));
+        for (l, (spec, &width)) in layers.iter().zip(&dims).enumerate() {
+            let w = if l + 1 == layers.len() {
+                init::xavier_uniform(rng, width, fan_in)
+            } else {
+                init::he_uniform(rng, width, fan_in)
+            };
+            flat[spec.w_off..spec.w_off + w.len()].copy_from_slice(w.as_slice());
             fan_in = width;
         }
-        weights.push(init::xavier_uniform(rng, num_classes, fan_in));
-        biases.push(Vector::zeros(num_classes));
-        Self { weights, biases }
+        Self {
+            flat: Vector::from(flat),
+            layers,
+        }
     }
 
     /// Number of layers (hidden + output).
     pub fn depth(&self) -> usize {
-        self.weights.len()
-    }
-
-    /// Forward pass returning every layer's post-activation output
-    /// (hidden activations, then raw logits last).
-    fn forward(&self, features: &Vector) -> Vec<Vector> {
-        let mut activations = Vec::with_capacity(self.weights.len());
-        let mut x = features.clone();
-        for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
-            let mut z = &w.matvec(&x) + b;
-            if l + 1 < self.weights.len() {
-                z.map_in_place(|v| v.max(0.0));
-            }
-            activations.push(z.clone());
-            x = z;
-        }
-        activations
+        self.layers.len()
     }
 }
 
 impl Model for MlpStack {
     fn num_params(&self) -> usize {
-        self.weights
-            .iter()
-            .zip(&self.biases)
-            .map(|(w, b)| w.len() + b.len())
-            .sum()
+        self.flat.len()
     }
 
     fn input_dim(&self) -> usize {
-        self.weights[0].cols()
+        self.layers[0].in_dim
     }
 
     fn num_classes(&self) -> usize {
-        self.weights.last().map_or(0, Matrix::rows)
+        self.layers.last().map_or(0, |l| l.out_dim)
     }
 
-    fn params(&self) -> Vector {
-        let mut out = Vec::with_capacity(self.num_params());
-        for (w, b) in self.weights.iter().zip(&self.biases) {
-            out.extend_from_slice(w.as_slice());
-            out.extend_from_slice(b.as_slice());
-        }
-        Vector::from(out)
+    fn params_ref(&self) -> &Vector {
+        &self.flat
     }
 
-    fn set_params(&mut self, params: &Vector) {
-        assert_eq!(
-            params.len(),
-            self.num_params(),
-            "set_params: expected {} params, got {}",
-            self.num_params(),
-            params.len()
-        );
-        let p = params.as_slice();
-        let mut at = 0;
-        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
-            w.copy_from_slice(&p[at..at + w.len()]);
-            at += w.len();
-            let blen = b.len();
-            b.as_mut_slice().copy_from_slice(&p[at..at + blen]);
-            at += blen;
-        }
+    fn params_mut(&mut self) -> &mut Vector {
+        &mut self.flat
     }
 
     fn logits(&self, features: &Vector) -> Vec<f64> {
-        self.forward(features)
-            .pop()
-            .map(Vector::into_inner)
-            .unwrap_or_default()
+        scratch::logits_one(self.flat.as_slice(), &self.layers, features.as_slice())
     }
 
-    fn loss_and_grad(&self, batch: &[&Sample]) -> (f64, Vector) {
-        assert!(!batch.is_empty(), "loss_and_grad: empty batch");
-        let mut gw: Vec<Matrix> = self
-            .weights
-            .iter()
-            .map(|w| Matrix::zeros(w.rows(), w.cols()))
-            .collect();
-        let mut gb: Vec<Vector> = self.biases.iter().map(|b| Vector::zeros(b.len())).collect();
-        let mut loss = 0.0;
-        for s in batch {
-            let activations = self.forward(&s.features);
-            let Some(last) = activations.last() else {
-                continue;
-            };
-            let logits = last.as_slice();
-            loss += cross_entropy(logits, s.label);
-            // Backprop through the stack.
-            let mut delta = Vector::from(cross_entropy_grad(logits, s.label));
-            for l in (0..self.weights.len()).rev() {
-                let input = if l == 0 {
-                    &s.features
-                } else {
-                    &activations[l - 1]
-                };
-                gw[l].rank1_update(1.0, &delta, input);
-                gb[l] += &delta;
-                if l > 0 {
-                    let back = self.weights[l].t_matvec(&delta);
-                    // ReLU mask of the previous layer's activation.
-                    delta = Vector::from_fn(back.len(), |i| {
-                        if activations[l - 1][i] > 0.0 {
-                            back[i]
-                        } else {
-                            0.0
-                        }
-                    });
-                }
-            }
-        }
-        let inv = 1.0 / batch.len() as f64;
-        let mut flat = Vec::with_capacity(self.num_params());
-        for (w, b) in gw.iter().zip(&gb) {
-            flat.extend(w.as_slice().iter().map(|x| x * inv));
-            flat.extend(b.iter().map(|x| x * inv));
-        }
-        (loss * inv, Vector::from(flat))
+    fn loss_and_grad_batch_into(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        scratch: &mut TrainScratch,
+        grad: &mut Vector,
+    ) -> f64 {
+        scratch::loss_and_grad_batch(self.flat.as_slice(), &self.layers, x, labels, scratch, grad)
+    }
+
+    fn logits_batch_into(&self, x: &Matrix, scratch: &mut TrainScratch) {
+        scratch::forward_batch(self.flat.as_slice(), &self.layers, x, scratch);
     }
 
     fn clone_box(&self) -> Box<dyn Model> {
@@ -185,6 +115,7 @@ impl Model for MlpStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asyncfl_data::Sample;
     use asyncfl_rng::rngs::StdRng;
     use asyncfl_rng::SeedableRng;
 
@@ -243,6 +174,40 @@ mod tests {
                 (numeric - grad[i]).abs() < 1e-4,
                 "param {i}: numeric {numeric} vs analytic {}",
                 grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batched_path_matches_per_sample_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = MlpStack::new(6, &[5, 4], 3, &mut rng);
+        let samples = toy_batch(6, 3, 10, 99);
+        let mut x = Matrix::zeros(samples.len(), 6);
+        let mut labels = Vec::new();
+        for (i, s) in samples.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(s.features.as_slice());
+            labels.push(s.label);
+        }
+        let mut scratch = TrainScratch::new();
+        let mut batched = Vector::zeros(m.num_params());
+        let batched_loss = m.loss_and_grad_batch_into(&x, &labels, &mut scratch, &mut batched);
+        let mut acc = Vector::zeros(m.num_params());
+        let mut loss_acc = 0.0;
+        for s in &samples {
+            let (l, g) = m.loss_and_grad(&[s]);
+            loss_acc += l;
+            acc.axpy(1.0, &g);
+        }
+        acc.scale(1.0 / samples.len() as f64);
+        loss_acc /= samples.len() as f64;
+        assert!((batched_loss - loss_acc).abs() < 1e-10);
+        for i in 0..acc.len() {
+            assert!(
+                (batched[i] - acc[i]).abs() < 1e-10,
+                "grad {i}: {} vs {}",
+                batched[i],
+                acc[i]
             );
         }
     }

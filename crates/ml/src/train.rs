@@ -6,10 +6,28 @@
 
 use crate::model::{Mlp, Model, SoftmaxRegression};
 use crate::optimizer::{Adam, Optimizer, Sgd};
+use crate::scratch::TrainScratch;
 use asyncfl_data::profiles::{DatasetProfile, ModelKind, OptimizerKind};
 use asyncfl_data::synthetic::Task;
-use asyncfl_data::{Dataset, Sample};
+use asyncfl_data::Dataset;
 use asyncfl_rng::Rng;
+use asyncfl_tensor::ops::argmax;
+use asyncfl_tensor::{Matrix, Vector};
+
+/// Number of test rows batched per forward pass in [`evaluate`].
+const EVAL_CHUNK: usize = 256;
+
+/// Copies the samples at `idx` into a reusable feature matrix and label
+/// buffer — the gather step of the allocation-free training loop.
+fn gather_batch(data: &Dataset, idx: &[usize], x: &mut Matrix, labels: &mut Vec<usize>) {
+    x.resize(idx.len(), data.feature_dim());
+    labels.clear();
+    for (r, &i) in idx.iter().enumerate() {
+        let s = &data.samples()[i];
+        x.row_mut(r).copy_from_slice(s.features.as_slice());
+        labels.push(s.label);
+    }
+}
 
 /// Statistics from one local training run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -95,6 +113,13 @@ impl LocalTrainer {
 
     /// Trains `model` on `data` in place and reports statistics.
     ///
+    /// The loop is allocation-free in steady state: one scratch, gradient
+    /// vector, feature matrix and label buffer are reused across every
+    /// minibatch of every epoch, gradients flow through the batched
+    /// [`Model::loss_and_grad_batch_into`] path, and the optimizer steps
+    /// the model's flat parameters in place (no per-step
+    /// `params`/`set_params` round-trip).
+    ///
     /// Skips silently (zero steps) on an empty dataset — a client with no
     /// data simply returns the model it received.
     pub fn train<R: Rng + ?Sized>(
@@ -107,18 +132,21 @@ impl LocalTrainer {
         if data.is_empty() {
             return TrainStats::default();
         }
-        let mut params = model.params();
+        let mut scratch = TrainScratch::new();
+        let mut grad = Vector::zeros(model.num_params());
+        let mut x = Matrix::default();
+        let mut labels = Vec::with_capacity(self.batch_size);
         let mut steps = 0;
         let mut final_loss = 0.0;
         for epoch in 0..self.epochs {
             let mut epoch_loss = 0.0;
             let batches = data.minibatches(self.batch_size, rng);
             let n_batches = batches.len();
-            for batch_idx in batches {
-                let batch: Vec<&Sample> = batch_idx.iter().map(|&i| &data.samples()[i]).collect();
-                let (loss, mut grad) = model.loss_and_grad(&batch);
+            for batch_idx in &batches {
+                gather_batch(data, batch_idx, &mut x, &mut labels);
+                let loss = model.loss_and_grad_batch_into(&x, &labels, &mut scratch, &mut grad);
                 if self.weight_decay > 0.0 {
-                    grad.axpy(self.weight_decay, &params);
+                    grad.axpy(self.weight_decay, model.params_ref());
                 }
                 if let Some(max_norm) = self.grad_clip {
                     let norm = grad.norm();
@@ -126,8 +154,7 @@ impl LocalTrainer {
                         grad.scale(max_norm / norm);
                     }
                 }
-                optimizer.step(&mut params, &grad);
-                model.set_params(&params);
+                optimizer.step(model.params_mut(), &grad);
                 epoch_loss += loss;
                 steps += 1;
             }
@@ -141,14 +168,30 @@ impl LocalTrainer {
 
 /// Test accuracy of `model` on `data` (fraction of correct argmax
 /// predictions); `0.0` for an empty dataset.
+///
+/// Predictions run through the batched
+/// [`Model::logits_batch_into`] path in chunks of a few hundred rows, so
+/// evaluation performs no per-sample logits allocation.
 pub fn evaluate(model: &dyn Model, data: &Dataset) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
-    let correct = data
-        .iter()
-        .filter(|s| model.predict(&s.features) == s.label)
-        .count();
+    let mut scratch = TrainScratch::new();
+    let mut x = Matrix::default();
+    let mut correct = 0;
+    for chunk in data.samples().chunks(EVAL_CHUNK) {
+        x.resize(chunk.len(), data.feature_dim());
+        for (r, s) in chunk.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(s.features.as_slice());
+        }
+        model.logits_batch_into(&x, &mut scratch);
+        let logits = scratch.logits();
+        for (r, s) in chunk.iter().enumerate() {
+            if argmax(logits.row(r)).unwrap_or(0) == s.label {
+                correct += 1;
+            }
+        }
+    }
     correct as f64 / data.len() as f64
 }
 
@@ -175,13 +218,15 @@ pub fn build_model<R: Rng + ?Sized>(
 }
 
 /// Instantiates the optimizer a profile prescribes (Table 1's
-/// "Optimizer/Learning rate/Momentum" rows).
-///
-/// `_num_params` is accepted for future optimizers that preallocate state.
-pub fn build_optimizer(profile: &DatasetProfile, _num_params: usize) -> Box<dyn Optimizer> {
+/// "Optimizer/Learning rate/Momentum" rows), with state buffers
+/// preallocated for `num_params` parameters so the first `step` performs
+/// no allocation.
+pub fn build_optimizer(profile: &DatasetProfile, num_params: usize) -> Box<dyn Optimizer> {
     match profile.training_config().optimizer {
-        OptimizerKind::Sgd { lr, momentum } => Box::new(Sgd::new(lr, momentum)),
-        OptimizerKind::Adam { lr } => Box::new(Adam::new(lr)),
+        OptimizerKind::Sgd { lr, momentum } => {
+            Box::new(Sgd::preallocated(lr, momentum, num_params))
+        }
+        OptimizerKind::Adam { lr } => Box::new(Adam::preallocated(lr, num_params)),
     }
 }
 
@@ -361,6 +406,38 @@ mod tests {
     #[should_panic(expected = "grad clip")]
     fn zero_grad_clip_panics() {
         let _ = LocalTrainer::new(1, 1).with_grad_clip(0.0);
+    }
+
+    #[test]
+    fn build_optimizer_preallocates_state_before_first_step() {
+        // SGD+momentum (MNIST family) and Adam (CIFAR family) must both
+        // have their state buffers sized at construction, not lazily on
+        // the first step.
+        let sgd = build_optimizer(&DatasetProfile::Mnist, 37);
+        assert_eq!(sgd.state_dim(), Some(37));
+        let adam = build_optimizer(&DatasetProfile::Cifar10, 53);
+        assert_eq!(adam.state_dim(), Some(53));
+        // Stepping must not resize or replace the preallocated state.
+        let mut opt = build_optimizer(&DatasetProfile::Mnist, 4);
+        let mut p = Vector::zeros(4);
+        opt.step(&mut p, &Vector::from(vec![1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(opt.state_dim(), Some(4));
+    }
+
+    #[test]
+    fn batched_evaluate_matches_per_sample_predict() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let profile = DatasetProfile::Cifar10;
+        let task = profile.build_task(&mut rng);
+        let data = task.test_dataset(EVAL_CHUNK + 71, &mut rng);
+        let model = build_model(&profile, &task, &mut rng);
+        let batched = evaluate(model.as_ref(), &data);
+        let per_sample = data
+            .iter()
+            .filter(|s| model.predict(&s.features) == s.label)
+            .count() as f64
+            / data.len() as f64;
+        assert_eq!(batched, per_sample);
     }
 
     #[test]

@@ -150,7 +150,7 @@ fn trusted_delta(
         optimizer.as_mut(),
         &mut rng,
     );
-    Some(&model.params() - global)
+    Some(model.params_ref() - global)
 }
 
 /// How strongly the GD attack scales its reversal in simulation runs.
@@ -360,7 +360,7 @@ impl Simulation {
                     rng,
                 );
             }
-            &model.params() - base
+            model.params_ref() - base
         };
 
         let worker = |task: TrainTask| {

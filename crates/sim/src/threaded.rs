@@ -183,7 +183,7 @@ pub fn run_threaded_with_sink(
                             Span::start(sink.as_ref().map(|s| s.as_dyn()), "local_training");
                         trainer.train(model.as_mut(), &data, optimizer.as_mut(), &mut rng);
                     }
-                    let honest = &model.params() - &*base_params;
+                    let honest = model.params_ref() - &*base_params;
                     let delta = if is_malicious {
                         let mut pool = collusion.lock().unwrap_or_else(PoisonError::into_inner);
                         pool.push_back(honest.clone());

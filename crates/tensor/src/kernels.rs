@@ -1,5 +1,5 @@
-//! Chunked reduction kernels shared by [`crate::Vector`] and
-//! [`crate::Matrix`].
+//! Chunked reduction and GEMM kernels shared by [`crate::Vector`],
+//! [`crate::Matrix`] and the batched training path in `asyncfl-ml`.
 //!
 //! The naive `zip().map().sum()` reductions form one serial dependency
 //! chain of float additions, which LLVM must preserve (float addition is
@@ -8,6 +8,15 @@
 //! them in a *fixed* tree order, which LLVM auto-vectorizes to SIMD adds
 //! while still producing bit-identical results on every run: the summation
 //! order is a deterministic function of the slice length alone.
+//!
+//! The slice-level GEMM entry points ([`gemm_nt`], [`gemm_nn`],
+//! [`gemm_tn_acc`], [`add_row_broadcast`]) exist so callers that keep
+//! *flat* parameter storage (the `asyncfl-ml` models) can run whole
+//! minibatches as matrix products without materializing `Matrix` views.
+//! They are built from the same [`dot`]/[`axpy`] primitives, so batched
+//! and per-sample code paths produce bit-identical accumulations: every
+//! output element sees its per-sample contributions in the same order
+//! either way.
 
 /// Accumulator width. Eight `f64` lanes = two AVX2 registers / one
 /// AVX-512 register; also fine on NEON (four 2-wide registers).
@@ -20,8 +29,11 @@ fn reduce(acc: [f64; LANES], tail: f64) -> f64 {
 }
 
 /// Dot product `Σ aᵢ·bᵢ` over equal-length slices.
+///
+/// The reduction order is a fixed function of the slice length, so the
+/// result is bit-identical run to run.
 #[inline]
-pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0_f64; LANES];
     let mut ca = a.chunks_exact(LANES);
@@ -111,8 +123,10 @@ pub(crate) fn sum_abs(a: &[f64]) -> f64 {
 }
 
 /// In-place `y ← y + α·x` over equal-length slices.
+///
+/// Purely element-wise, so the result equals the scalar loop exactly.
 #[inline]
-pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     debug_assert_eq!(y.len(), x.len());
     let mut cy = y.chunks_exact_mut(LANES);
     let mut cx = x.chunks_exact(LANES);
@@ -123,6 +137,96 @@ pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     }
     for (yv, xv) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
         *yv += alpha * xv;
+    }
+}
+
+/// GEMM (no-transpose × transpose): `out ← A·Bᵀ` where `A` is `m×k`,
+/// `B` is `n×k` and `out` is `m×n`, all row-major.
+///
+/// Every output element is one [`dot`] of a row of `A` with a row of `B` —
+/// the cache-friendly orientation for row-major storage, and bit-identical
+/// to the per-sample `matvec` it batches.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given shape.
+pub fn gemm_nt(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm_nt: A is not {m}x{k}");
+    assert_eq!(b.len(), n * k, "gemm_nt: B is not {n}x{k}");
+    assert_eq!(out.len(), m * n, "gemm_nt: out is not {m}x{n}");
+    for (i, out_row) in out.chunks_exact_mut(n.max(1)).enumerate().take(m) {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// GEMM (no-transpose × no-transpose): `out ← A·B` where `A` is `m×k`,
+/// `B` is `k×n` and `out` is `m×n`, all row-major.
+///
+/// Each output row is accumulated as `Σⱼ A[i][j]·B.row(j)` via [`axpy`],
+/// so per-element additions happen in ascending `j` order — the same
+/// order as the transposed mat-vec loop it batches.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given shape.
+pub fn gemm_nn(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm_nn: A is not {m}x{k}");
+    assert_eq!(b.len(), k * n, "gemm_nn: B is not {k}x{n}");
+    assert_eq!(out.len(), m * n, "gemm_nn: out is not {m}x{n}");
+    out.fill(0.0);
+    for (i, out_row) in out.chunks_exact_mut(n.max(1)).enumerate().take(m) {
+        for j in 0..k {
+            axpy(out_row, a[i * k + j], &b[j * n..(j + 1) * n]);
+        }
+    }
+}
+
+/// Accumulating GEMM (transpose × no-transpose): `out += Aᵀ·B` where `A`
+/// is `m×k`, `B` is `m×n` and `out` is `k×n`, all row-major.
+///
+/// This is batched rank-1 accumulation — the gradient of a linear layer
+/// over a minibatch (`∂L/∂W += δᵀ·inputs`). The outer loop walks samples
+/// (rows of `A`/`B`) in order, so each output element sees its per-sample
+/// contributions in exactly the order a per-sample `rank1_update` loop
+/// would produce.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given shape.
+pub fn gemm_tn_acc(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm_tn_acc: A is not {m}x{k}");
+    assert_eq!(b.len(), m * n, "gemm_tn_acc: B is not {m}x{n}");
+    assert_eq!(out.len(), k * n, "gemm_tn_acc: out is not {k}x{n}");
+    for i in 0..m {
+        let b_row = &b[i * n..(i + 1) * n];
+        for j in 0..k {
+            axpy(&mut out[j * n..(j + 1) * n], a[i * k + j], b_row);
+        }
+    }
+}
+
+/// Row-broadcast addition: adds `bias` to every `bias.len()`-wide row of
+/// the row-major buffer `out`.
+///
+/// # Panics
+///
+/// Panics if `bias` is empty while `out` is not, or `out.len()` is not a
+/// multiple of `bias.len()`.
+pub fn add_row_broadcast(out: &mut [f64], bias: &[f64]) {
+    if out.is_empty() {
+        return;
+    }
+    assert!(
+        !bias.is_empty() && out.len().is_multiple_of(bias.len()),
+        "add_row_broadcast: buffer length {} is not a multiple of bias length {}",
+        out.len(),
+        bias.len()
+    );
+    for row in out.chunks_exact_mut(bias.len()) {
+        axpy(row, 1.0, bias);
     }
 }
 
@@ -176,6 +280,111 @@ mod tests {
         for _ in 0..8 {
             assert_eq!(first.to_bits(), dot(&a, &b).to_bits());
         }
+    }
+
+    fn naive_gemm(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    out[i * n + j] += a[i * k + l] * b[l * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn transpose(a: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+        let mut out = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = a[r * cols + c];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_variants_agree_with_naive_products() {
+        for (m, k, n) in [(1, 1, 1), (3, 4, 2), (5, 8, 7), (2, 17, 9), (4, 1, 3)] {
+            let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.13).sin()).collect();
+            let b: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.29).cos()).collect();
+            let want = naive_gemm(&a, &b, m, k, n);
+            let tol = 1e-12 * (k as f64);
+
+            let mut nn = vec![0.0; m * n];
+            gemm_nn(&mut nn, &a, &b, m, k, n);
+            let mut nt = vec![0.0; m * n];
+            gemm_nt(&mut nt, &a, &transpose(&b, k, n), m, k, n);
+            let mut tn = vec![0.0; m * n];
+            gemm_tn_acc(&mut tn, &transpose(&a, m, k), &b, k, m, n);
+            for i in 0..m * n {
+                assert!((nn[i] - want[i]).abs() < tol, "gemm_nn {m}x{k}x{n} @{i}");
+                assert!((nt[i] - want[i]).abs() < tol, "gemm_nt {m}x{k}x{n} @{i}");
+                assert!(
+                    (tn[i] - want[i]).abs() < tol,
+                    "gemm_tn_acc {m}x{k}x{n} @{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_acc_accumulates_instead_of_overwriting() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        // m=2 samples, k=1, n=1: out += Σ aᵢ·bᵢ = 11.
+        let mut out = [100.0];
+        gemm_tn_acc(&mut out, &a, &b, 2, 1, 1);
+        assert_eq!(out[0], 111.0);
+    }
+
+    #[test]
+    fn gemm_nt_batches_the_per_row_dot() {
+        // One row of gemm_nt must equal dot() bit-for-bit: the batched
+        // forward pass may not perturb the per-sample arithmetic.
+        let a: Vec<f64> = (0..23).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..23).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut out = [0.0];
+        gemm_nt(&mut out, &a, &b, 1, 23, 1);
+        assert_eq!(out[0].to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_to_each_row() {
+        let mut out = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        add_row_broadcast(&mut out, &[10.0, 20.0]);
+        assert_eq!(out, [11.0, 22.0, 13.0, 24.0, 15.0, 26.0]);
+        let mut empty: [f64; 0] = [];
+        add_row_broadcast(&mut empty, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_nn: A is not")]
+    fn gemm_nn_shape_mismatch_panics() {
+        let mut out = [0.0; 4];
+        gemm_nn(&mut out, &[1.0; 3], &[1.0; 4], 2, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_nt: B is not")]
+    fn gemm_nt_shape_mismatch_panics() {
+        let mut out = [0.0; 4];
+        gemm_nt(&mut out, &[1.0; 4], &[1.0; 3], 2, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_tn_acc: out is not")]
+    fn gemm_tn_acc_shape_mismatch_panics() {
+        let mut out = [0.0; 3];
+        gemm_tn_acc(&mut out, &[1.0; 4], &[1.0; 4], 2, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of bias length")]
+    fn add_row_broadcast_ragged_panics() {
+        let mut out = [0.0; 5];
+        add_row_broadcast(&mut out, &[1.0, 2.0]);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   rank-1 updates, enough to express linear and MLP layers by hand.
 //! * [`ops`] — free functions on slices: softmax, log-sum-exp, argmax,
 //!   cosine similarity, clipping.
+//! * [`kernels`] — the slice-level reduction and GEMM primitives behind
+//!   `Vector`/`Matrix`, exported for callers (the ML models) that keep
+//!   flat parameter storage and batch whole minibatches as matrix ops.
 //! * [`stats`] — summary statistics over collections of vectors
 //!   (mean, coordinate-wise median and trimmed mean, variance), used both by
 //!   baseline robust aggregators and by test assertions.
@@ -36,7 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod init;
-pub(crate) mod kernels;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod stats;

@@ -1,8 +1,11 @@
 //! Row-major dense `f64` matrices.
 //!
-//! [`Matrix`] is deliberately minimal: the ML substrate only needs
-//! matrix–vector products (forward pass), transposed matrix–vector products
+//! [`Matrix`] covers what the ML substrate needs: matrix–vector and
+//! matrix–matrix products (batched forward pass), transposed products
 //! (backward pass) and rank-1 accumulation (gradient of a linear layer).
+//! All products route through the fixed-reduction-order
+//! [`crate::kernels`], so batched and per-sample formulations of the same
+//! arithmetic agree bit-for-bit.
 
 use crate::Vector;
 use std::fmt;
@@ -188,8 +191,115 @@ impl Matrix {
             x.len(),
             self.cols
         );
-        let xs = x.as_slice();
-        Vector::from_fn(self.rows, |r| crate::kernels::dot(self.row(r), xs))
+        let mut out = Vector::zeros(self.rows);
+        crate::kernels::gemm_nt(
+            out.as_mut_slice(),
+            &self.data,
+            x.as_slice(),
+            self.rows,
+            self.cols,
+            1,
+        );
+        out
+    }
+
+    /// Matrix–matrix product `self * other` (`m×k · k×n → m×n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.rows() != self.cols()`.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            other.rows, self.cols,
+            "matmul: {}x{} · {}x{} shape mismatch",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.cols);
+        crate::kernels::gemm_nn(
+            &mut out.data,
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        out
+    }
+
+    /// Transposed product `selfᵀ * other` (`m×k`ᵀ `· m×n → k×n`) without
+    /// materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.rows() != self.rows()`.
+    pub fn t_matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            other.rows, self.rows,
+            "t_matmul: {}x{}ᵀ · {}x{} shape mismatch",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.cols, other.cols);
+        crate::kernels::gemm_tn_acc(
+            &mut out.data,
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        out
+    }
+
+    /// Product with a transposed right factor `self * otherᵀ`
+    /// (`m×k · n×k`ᵀ `→ m×n`) without materializing the transpose — the
+    /// cache-friendly orientation for row-major weights (`X · Wᵀ` is the
+    /// batched forward pass of a linear layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.cols() != self.cols()`.
+    pub fn matmul_nt(&self, other: &Self) -> Self {
+        assert_eq!(
+            other.cols, self.cols,
+            "matmul_nt: {}x{} · ({}x{})ᵀ shape mismatch",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.rows);
+        crate::kernels::gemm_nt(
+            &mut out.data,
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
+        out
+    }
+
+    /// Adds `bias` to every row in place (the broadcast `+ b` of a batched
+    /// affine layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, bias: &Vector) {
+        assert_eq!(
+            bias.len(),
+            self.cols,
+            "add_row_broadcast: bias dim {} does not match cols {}",
+            bias.len(),
+            self.cols
+        );
+        crate::kernels::add_row_broadcast(&mut self.data, bias.as_slice());
+    }
+
+    /// Reshapes the matrix to `rows × cols`, reusing the existing
+    /// allocation when capacity allows. Entries are unspecified afterwards
+    /// (a mix of old values and zeros) — callers overwrite them.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Transposed matrix–vector product `selfᵀ * y`.
@@ -208,15 +318,14 @@ impl Matrix {
             self.rows
         );
         let mut out = Vector::zeros(self.cols);
-        let o = out.as_mut_slice();
-        for (r, &yr) in y.iter().enumerate() {
-            if yr == 0.0 {
-                continue;
-            }
-            for (c, &m) in self.row(r).iter().enumerate() {
-                o[c] += yr * m;
-            }
-        }
+        crate::kernels::gemm_tn_acc(
+            out.as_mut_slice(),
+            y.as_slice(),
+            &self.data,
+            self.rows,
+            1,
+            self.cols,
+        );
         out
     }
 
@@ -246,14 +355,8 @@ impl Matrix {
         );
         let cols = self.cols;
         for (r, &yr) in y.iter().enumerate() {
-            let coeff = alpha * yr;
-            if coeff == 0.0 {
-                continue;
-            }
             let row = &mut self.data[r * cols..(r + 1) * cols];
-            for (c, &xc) in x.iter().enumerate() {
-                row[c] += coeff * xc;
-            }
+            crate::kernels::axpy(row, alpha * yr, x.as_slice());
         }
     }
 
@@ -412,6 +515,87 @@ mod tests {
     }
 
     #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.matmul(&Matrix::identity(3)), m);
+        assert_eq!(Matrix::identity(2).matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, -3.0]]);
+        assert_eq!(a.t_matmul(&b), a.transposed().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 0.0, 1.0], &[1.0, -3.0, 2.0]]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transposed()));
+    }
+
+    #[test]
+    fn matmul_nt_columns_match_matvec() {
+        // Batched forward pass contract: row i of X·Wᵀ equals W·xᵢ exactly.
+        let w = Matrix::from_fn(3, 5, |r, c| ((r * 5 + c) as f64 * 0.31).sin());
+        let x = Matrix::from_fn(4, 5, |r, c| ((r * 5 + c) as f64 * 0.17).cos());
+        let z = x.matmul_nt(&w);
+        for i in 0..4 {
+            let xi = Vector::from(x.row(i).to_vec());
+            let zi = w.matvec(&xi);
+            assert_eq!(z.row(i), zi.as_slice(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_per_row() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_broadcast(&Vector::from(vec![1.0, 2.0, 3.0]));
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn resize_changes_shape_and_reuses_storage() {
+        let mut m = Matrix::zeros(4, 4);
+        m.resize(2, 3);
+        assert_eq!((m.rows(), m.cols(), m.len()), (2, 3, 6));
+        m.resize(5, 2);
+        assert_eq!((m.rows(), m.cols(), m.len()), (5, 2, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_matmul")]
+    fn t_matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        let _ = a.t_matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_row_broadcast")]
+    fn add_row_broadcast_shape_mismatch_panics() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_broadcast(&Vector::zeros(2));
+    }
+
+    #[test]
     fn copy_from_slice_roundtrip() {
         let mut m = Matrix::zeros(2, 2);
         m.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
@@ -445,6 +629,23 @@ mod tests {
         ) {
             let m = Matrix::from_vec(3, 4, entries);
             prop_assert_eq!(m.transposed().transposed(), m);
+        }
+
+        #[test]
+        fn prop_matmul_associates_with_matvec(
+            a_entries in proptest::collection::vec(-10.0..10.0f64, 6),
+            b_entries in proptest::collection::vec(-10.0..10.0f64, 12),
+            xs in proptest::collection::vec(-10.0..10.0f64, 4),
+        ) {
+            // (A·B)·x == A·(B·x) up to rounding.
+            let a = Matrix::from_vec(2, 3, a_entries);
+            let b = Matrix::from_vec(3, 4, b_entries);
+            let x = Vector::from(xs);
+            let lhs = a.matmul(&b).matvec(&x);
+            let rhs = a.matvec(&b.matvec(&x));
+            for (l, r) in lhs.iter().zip(rhs.iter()) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
         }
 
         #[test]
