@@ -15,7 +15,7 @@
 
 use asyncfl_analysis::report::{pct, Table};
 use asyncfl_attacks::AttackKind;
-use asyncfl_bench::perf::{phase_rows, BenchJson};
+use asyncfl_bench::perf::{counter_rows, gauge_rows, phase_rows, run_rss_probe, BenchJson};
 use asyncfl_bench::TraceHandle;
 use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::asyncfilter::{
@@ -25,8 +25,13 @@ use asyncfl_data::DatasetProfile;
 use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::runner::{build_attack, Simulation};
 use asyncfl_telemetry::metrics::MetricsRegistry;
-use asyncfl_telemetry::{SharedSink, Sink};
+use asyncfl_telemetry::{SharedSink, Sink, Stopwatch};
 use std::sync::Arc;
+
+// Count allocations so --bench-json reports real alloc/RSS numbers.
+#[global_allocator]
+static ALLOC: asyncfl_telemetry::alloc::CountingAllocator =
+    asyncfl_telemetry::alloc::CountingAllocator::new();
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -159,7 +164,7 @@ fn main() {
     );
     let mut experiment_secs: Vec<(String, f64)> = Vec::new();
     for (label, config) in variants {
-        let started = std::time::Instant::now();
+        let started = Stopwatch::start();
         let mut row = Vec::new();
         for &attack in &attacks {
             let mut sim_config = SimConfig::paper_default(DatasetProfile::FashionMnist);
@@ -178,7 +183,7 @@ fn main() {
             );
             row.push(pct(result.final_accuracy));
         }
-        experiment_secs.push((label.to_string(), started.elapsed().as_secs_f64()));
+        experiment_secs.push((label.to_string(), started.elapsed_secs()));
         table.push_row(label, row);
         eprint!(".");
     }
@@ -189,20 +194,22 @@ fn main() {
     }
 
     if let Some(path) = bench_json_path {
-        let phases = trace
+        let registry: Option<&MetricsRegistry> = trace
             .as_ref()
-            .map(|h| phase_rows(h.registry()))
-            .or_else(|| standalone_registry.as_ref().map(|r| phase_rows(r)))
-            .unwrap_or_default();
+            .map(|h| h.registry())
+            .or(standalone_registry.as_deref());
         let artifact = BenchJson {
             binary: "ablations",
             quick,
             threads,
             total_secs: experiment_secs.iter().map(|(_, s)| s).sum(),
             experiments: experiment_secs,
-            phases,
+            phases: registry.map(phase_rows).unwrap_or_default(),
+            counters: registry.map(counter_rows).unwrap_or_default(),
+            gauges: registry.map(gauge_rows).unwrap_or_default(),
             scaling: None,
             training: None,
+            rss: Some(run_rss_probe()),
         };
         if let Err(e) = artifact.write(&path) {
             eprintln!("failed to write --bench-json {path}: {e}");

@@ -1,0 +1,154 @@
+//! `asyncfl-bench-diff` — compare two `BENCH_*.json` artifacts.
+//!
+//! ```text
+//! asyncfl-bench-diff old.json new.json                # markdown delta table
+//! asyncfl-bench-diff old.json new.json --json         # machine-readable
+//! asyncfl-bench-diff old.json new.json --gate         # exit 1 on regression
+//!     [--max-mean-regress 25] [--max-p99-regress 50]
+//!     [--max-alloc-regress 10] [--phases filter,aggregate,local_training]
+//!     [--out report.md]
+//! ```
+//!
+//! Exit codes: `0` ok (or gate passed), `1` gate breached, `2` usage or
+//! parse error. Without `--gate`, regressions are reported but the exit
+//! code stays `0` — the gate is opt-in so exploratory diffs never fail a
+//! shell pipeline.
+
+#![forbid(unsafe_code)]
+
+use asyncfl_bench::diff::{diff, parse_json, summarize, DiffReport, GateConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: asyncfl-bench-diff <old.json> <new.json> \
+[--json] [--gate] [--max-mean-regress PCT] [--max-p99-regress PCT] \
+[--max-alloc-regress PCT] [--phases a,b,c] [--out FILE]";
+
+/// Default phases the gate watches: the three hot paths whose cost the
+/// paper's overhead claim (§6) is about.
+const DEFAULT_GATED: &[&str] = &["filter", "aggregate", "local_training"];
+
+struct Cli {
+    old_path: String,
+    new_path: String,
+    json: bool,
+    gate: bool,
+    out: Option<String>,
+    phases: Vec<String>,
+    config: GateConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut positional = Vec::new();
+    let mut cli = Cli {
+        old_path: String::new(),
+        new_path: String::new(),
+        json: false,
+        gate: false,
+        out: None,
+        phases: DEFAULT_GATED.iter().map(|s| s.to_string()).collect(),
+        config: GateConfig::default(),
+    };
+    let mut i = 0;
+    let take_value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => cli.json = true,
+            "--gate" => cli.gate = true,
+            "--out" => cli.out = Some(take_value(&mut i, "--out")?),
+            "--phases" => {
+                cli.phases = take_value(&mut i, "--phases")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--max-mean-regress" => {
+                cli.config.max_mean_regress_pct = take_value(&mut i, "--max-mean-regress")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-mean-regress: {e}"))?;
+            }
+            "--max-p99-regress" => {
+                cli.config.max_p99_regress_pct =
+                    take_value(&mut i, "--max-p99-regress")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-p99-regress: {e}"))?;
+            }
+            "--max-alloc-regress" => {
+                cli.config.max_alloc_regress_pct = take_value(&mut i, "--max-alloc-regress")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-alloc-regress: {e}"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => positional.push(path.to_string()),
+        }
+        i += 1;
+    }
+    match positional.len() {
+        2 => {
+            cli.old_path = positional.remove(0);
+            cli.new_path = positional.remove(0);
+            Ok(cli)
+        }
+        n => Err(format!("expected 2 artifact paths, got {n}")),
+    }
+}
+
+fn load(path: &str) -> Result<asyncfl_bench::diff::BenchSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    summarize(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(cli: &Cli) -> Result<DiffReport, String> {
+    let old = load(&cli.old_path)?;
+    let new = load(&cli.new_path)?;
+    Ok(diff(old, new, &cli.phases, cli.config))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&cli) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = if cli.json {
+        report.render_json()
+    } else {
+        report.render_markdown()
+    };
+    print!("{rendered}");
+    if let Some(out) = &cli.out {
+        // --out always writes the markdown view (the CI artifact),
+        // independent of what stdout carries.
+        if let Err(e) = std::fs::write(out, report.render_markdown()) {
+            eprintln!("error: {out}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if cli.gate && !report.breaches.is_empty() {
+        eprintln!(
+            "gate: {} breach(es) beyond thresholds (mean {}%, p99 {}%, alloc {}%)",
+            report.breaches.len(),
+            cli.config.max_mean_regress_pct,
+            cli.config.max_p99_regress_pct,
+            cli.config.max_alloc_regress_pct
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -20,7 +20,7 @@
 use asyncfl_analysis::detection::{auc, LabelledScore};
 use asyncfl_analysis::report::Table;
 use asyncfl_attacks::AttackKind;
-use asyncfl_bench::perf::{phase_rows, BenchJson};
+use asyncfl_bench::perf::{counter_rows, gauge_rows, phase_rows, run_rss_probe, BenchJson};
 use asyncfl_bench::TraceHandle;
 use asyncfl_core::aggregation::MeanAggregator;
 use asyncfl_core::asyncfilter::{AsyncFilter, ScoreRecord};
@@ -30,8 +30,13 @@ use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::metrics::DetectionStats;
 use asyncfl_sim::runner::{build_attack, Simulation};
 use asyncfl_telemetry::metrics::MetricsRegistry;
-use asyncfl_telemetry::{SharedSink, Sink, Verdict};
+use asyncfl_telemetry::{SharedSink, Sink, Stopwatch, Verdict};
 use std::sync::{Arc, Mutex};
+
+// Count allocations so --bench-json reports real alloc/RSS numbers.
+#[global_allocator]
+static ALLOC: asyncfl_telemetry::alloc::CountingAllocator =
+    asyncfl_telemetry::alloc::CountingAllocator::new();
 
 /// Delegates to AsyncFilter while archiving every round's scores.
 struct ScoreArchive {
@@ -121,7 +126,7 @@ fn main() {
         ],
     );
     for attack in AttackKind::ATTACKS_ONLY {
-        let started = std::time::Instant::now();
+        let started = Stopwatch::start();
         let mut cfg = SimConfig::paper_default(DatasetProfile::FashionMnist);
         cfg.threads = threads;
         if quick {
@@ -164,7 +169,7 @@ fn main() {
                 format!("{:.3}", auc(&observations)),
             ],
         );
-        experiment_secs.push((attack.label().to_string(), started.elapsed().as_secs_f64()));
+        experiment_secs.push((attack.label().to_string(), started.elapsed_secs()));
         eprint!(".");
     }
     eprintln!();
@@ -196,20 +201,22 @@ fn main() {
     }
 
     if let Some(path) = bench_json_path {
-        let phases = trace
+        let registry: Option<&MetricsRegistry> = trace
             .as_ref()
-            .map(|h| phase_rows(h.registry()))
-            .or_else(|| standalone_registry.as_ref().map(|r| phase_rows(r)))
-            .unwrap_or_default();
+            .map(|h| h.registry())
+            .or(standalone_registry.as_deref());
         let artifact = BenchJson {
             binary: "detection",
             quick,
             threads,
             total_secs: experiment_secs.iter().map(|(_, s)| s).sum(),
             experiments: experiment_secs,
-            phases,
+            phases: registry.map(phase_rows).unwrap_or_default(),
+            counters: registry.map(counter_rows).unwrap_or_default(),
+            gauges: registry.map(gauge_rows).unwrap_or_default(),
             scaling: None,
             training: None,
+            rss: Some(run_rss_probe()),
         };
         if let Err(e) = artifact.write(&path) {
             eprintln!("failed to write --bench-json {path}: {e}");

@@ -17,12 +17,21 @@
 //!                     breakdown, threads=1 vs threads=N scaling probe)
 //! ```
 
-use asyncfl_bench::perf::{phase_rows, run_scaling_probe, run_training_probe, BenchJson};
+use asyncfl_bench::perf::{
+    counter_rows, gauge_rows, phase_rows, run_rss_probe, run_scaling_probe, run_training_probe,
+    BenchJson,
+};
 use asyncfl_bench::{ExperimentId, RunOptions, TraceHandle};
 use asyncfl_telemetry::metrics::MetricsRegistry;
-use asyncfl_telemetry::{SharedSink, Sink};
+use asyncfl_telemetry::{SharedSink, Sink, Stopwatch};
 use std::str::FromStr;
 use std::sync::Arc;
+
+// Count every allocation the harness makes, so per-phase alloc_bytes and
+// the peak_rss_estimate probe in --bench-json measure real numbers.
+#[global_allocator]
+static ALLOC: asyncfl_telemetry::alloc::CountingAllocator =
+    asyncfl_telemetry::alloc::CountingAllocator::new();
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -145,7 +154,7 @@ fn main() {
 
     let mut experiment_secs: Vec<(String, f64)> = Vec::new();
     for id in targets {
-        let started = std::time::Instant::now();
+        let started = Stopwatch::start();
         println!("== {} — {} ==\n", id.name(), id.description());
         let report = id.run_report(&opts);
         print!("{}", report.to_markdown());
@@ -172,10 +181,13 @@ fn main() {
             opts.threads.max(2)
         );
         let probe = run_scaling_probe(opts.threads, opts.quick);
-        println!(
-            "probe: baseline {:.2}s, parallel {:.2}s, speedup {:.2}x, identical: {}",
-            probe.baseline_secs, probe.parallel_secs, probe.speedup, probe.identical
-        );
+        match probe.skipped {
+            Some(reason) => println!("probe: skipped ({reason})"),
+            None => println!(
+                "probe: baseline {:.2}s, parallel {:.2}s, speedup {:.2}x, identical: {}",
+                probe.baseline_secs, probe.parallel_secs, probe.speedup, probe.identical
+            ),
+        }
         println!("Running local-training throughput probe...");
         let training = run_training_probe(opts.quick);
         println!(
@@ -186,20 +198,22 @@ fn main() {
             training.steps,
             training.step_mean_ns
         );
-        let phases = trace
+        let registry: Option<&MetricsRegistry> = trace
             .as_ref()
-            .map(|h| phase_rows(h.registry()))
-            .or_else(|| standalone_registry.as_ref().map(|r| phase_rows(r)))
-            .unwrap_or_default();
+            .map(|h| h.registry())
+            .or(standalone_registry.as_deref());
         let artifact = BenchJson {
             binary: "repro",
             quick: opts.quick,
             threads: opts.threads,
             total_secs: experiment_secs.iter().map(|(_, s)| s).sum(),
             experiments: experiment_secs,
-            phases,
+            phases: registry.map(phase_rows).unwrap_or_default(),
+            counters: registry.map(counter_rows).unwrap_or_default(),
+            gauges: registry.map(gauge_rows).unwrap_or_default(),
             scaling: Some(probe),
             training: Some(training),
+            rss: Some(run_rss_probe()),
         };
         if let Err(e) = artifact.write(&path) {
             eprintln!("failed to write --bench-json {path}: {e}");

@@ -23,9 +23,10 @@ use asyncfl_rng::SeedableRng;
 use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::runner::{build_attack, Simulation};
 use asyncfl_telemetry::metrics::MetricsRegistry;
-use std::time::Instant;
+use asyncfl_telemetry::Stopwatch;
 
-/// One span's latency summary, in nanoseconds (bucketed; see
+/// One span's latency + allocation summary (latency in nanoseconds,
+/// allocation in bytes; both bucketed — see
 /// [`asyncfl_telemetry::metrics::Log2Histogram`]).
 #[derive(Debug, Clone)]
 pub struct PhaseRow {
@@ -43,23 +44,121 @@ pub struct PhaseRow {
     pub p95_ns: u64,
     /// 99th percentile, nanoseconds.
     pub p99_ns: u64,
+    /// Total bytes allocated across all closes of this span (0 when no
+    /// counting allocator was installed — "not measured").
+    pub alloc_bytes_total: u64,
+    /// Mean bytes allocated per span close.
+    pub alloc_bytes_mean: f64,
+    /// 99th percentile of per-close allocated bytes.
+    pub alloc_bytes_p99: u64,
+    /// Largest allocator live-byte high-water mark seen at any close.
+    pub peak_live_bytes: u64,
 }
 
 /// Extracts the per-phase breakdown from a registry's span histograms.
 pub fn phase_rows(registry: &MetricsRegistry) -> Vec<PhaseRow> {
+    let allocs = registry.span_allocs();
     registry
         .spans()
         .into_iter()
-        .map(|(name, hist)| PhaseRow {
-            span: name.to_string(),
-            count: hist.count(),
-            total_secs: hist.sum() as f64 / 1e9,
-            mean_ns: hist.mean().unwrap_or(0.0),
-            p50_ns: hist.percentile(50.0).unwrap_or(0),
-            p95_ns: hist.percentile(95.0).unwrap_or(0),
-            p99_ns: hist.percentile(99.0).unwrap_or(0),
+        .map(|(name, hist)| {
+            let alloc = allocs.get(name);
+            PhaseRow {
+                span: name.to_string(),
+                count: hist.count(),
+                total_secs: hist.sum() as f64 / 1e9,
+                mean_ns: hist.mean().unwrap_or(0.0),
+                p50_ns: hist.percentile(50.0).unwrap_or(0),
+                p95_ns: hist.percentile(95.0).unwrap_or(0),
+                p99_ns: hist.percentile(99.0).unwrap_or(0),
+                alloc_bytes_total: alloc.map_or(0, |h| h.sum()),
+                alloc_bytes_mean: alloc.and_then(|h| h.mean()).unwrap_or(0.0),
+                alloc_bytes_p99: alloc.and_then(|h| h.percentile(99.0)).unwrap_or(0),
+                peak_live_bytes: registry.span_peak_live(name),
+            }
         })
         .collect()
+}
+
+/// One gauge's sample summary pulled from the registry.
+#[derive(Debug, Clone)]
+pub struct GaugeRow {
+    /// Gauge name (`buffer_occupancy`, `deferred_queue_depth`, …).
+    pub name: String,
+    /// Samples taken.
+    pub count: u64,
+    /// Most recent sample.
+    pub last: u64,
+    /// Mean of all samples.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Extracts the gauge summaries from a registry.
+pub fn gauge_rows(registry: &MetricsRegistry) -> Vec<GaugeRow> {
+    registry
+        .gauges()
+        .into_iter()
+        .map(|(name, hist)| GaugeRow {
+            name: name.to_string(),
+            count: hist.count(),
+            last: registry.gauge_last(name).unwrap_or(0),
+            mean: hist.mean().unwrap_or(0.0),
+            max: hist.max().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Extracts the named monotonic counters from a registry.
+pub fn counter_rows(registry: &MetricsRegistry) -> Vec<(String, u64)> {
+    registry
+        .counters()
+        .into_iter()
+        .map(|(name, n)| (name.to_string(), n))
+        .collect()
+}
+
+/// Peak-memory estimate for the whole bench process: the counting
+/// allocator's view plus, on Linux, the kernel's `VmHWM` (peak resident
+/// set) from `/proc/self/status`. The two bracket the truth — the
+/// allocator undercounts (allocator metadata, stacks, code) and `VmHWM`
+/// overcounts relative to heap (it includes everything resident).
+#[derive(Debug, Clone, Default)]
+pub struct RssProbe {
+    /// Allocator live-byte high-water mark (0 when not installed).
+    pub alloc_peak_live_bytes: u64,
+    /// Cumulative bytes allocated over the process lifetime.
+    pub alloc_total_bytes: u64,
+    /// Cumulative allocation calls.
+    pub alloc_count: u64,
+    /// Kernel peak resident set size in bytes, when readable.
+    pub vm_hwm_bytes: Option<u64>,
+}
+
+/// Parses the `VmHWM:` line out of `/proc/self/status` contents.
+/// Exposed for tests; returns bytes (the kernel reports kB).
+pub fn parse_vm_hwm(status: &str) -> Option<u64> {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Samples the peak-RSS estimate for this process.
+pub fn run_rss_probe() -> RssProbe {
+    let snap = asyncfl_telemetry::alloc::snapshot();
+    RssProbe {
+        alloc_peak_live_bytes: snap.peak_live_bytes,
+        alloc_total_bytes: snap.allocated_bytes,
+        alloc_count: snap.alloc_count,
+        vm_hwm_bytes: std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| parse_vm_hwm(&s)),
+    }
 }
 
 /// Result of the threads-scaling probe: the same seeded AsyncFilter-vs-GD
@@ -88,6 +187,12 @@ pub struct ScalingProbe {
     /// Whether the two legs produced structurally identical `RunResult`s
     /// (the determinism guarantee, re-checked in the artifact itself).
     pub identical: bool,
+    /// Why timing was skipped, if it was. On a single-CPU host the
+    /// parallel leg can only measure pool overhead, so a "speedup" number
+    /// would read as a regression while measuring nothing — the probe
+    /// records the skip reason instead (determinism itself is pinned
+    /// separately by `tests/determinism.rs`).
+    pub skipped: Option<&'static str>,
 }
 
 fn probe_config(quick: bool, threads: usize) -> SimConfig {
@@ -109,25 +214,40 @@ fn probe_config(quick: bool, threads: usize) -> SimConfig {
 fn probe_run(cfg: SimConfig) -> (f64, asyncfl_sim::metrics::RunResult) {
     let mut sim = Simulation::new(cfg.clone());
     let attack = build_attack(AttackKind::Gd, cfg.num_clients, cfg.num_malicious);
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let result = sim.run_with(
         Box::new(AsyncFilter::default()),
         attack,
         Box::new(MeanAggregator::new()),
     );
-    (started.elapsed().as_secs_f64(), result)
+    (started.elapsed_secs(), result)
 }
 
 /// Times the deterministic engine at `threads = 1` vs `threads`, on the
-/// same seed, and verifies the results match.
+/// same seed, and verifies the results match. On a single-CPU host the
+/// timing legs are skipped entirely (see [`ScalingProbe::skipped`]).
 pub fn run_scaling_probe(threads: usize, quick: bool) -> ScalingProbe {
     let threads = threads.max(2);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = probe_config(quick, 1);
+    if host_cpus == 1 {
+        return ScalingProbe {
+            threads,
+            host_cpus,
+            clients: cfg.num_clients,
+            rounds: cfg.rounds,
+            baseline_secs: 0.0,
+            parallel_secs: 0.0,
+            speedup: 0.0,
+            identical: true,
+            skipped: Some("single-cpu host"),
+        };
+    }
     let (baseline_secs, baseline) = probe_run(probe_config(quick, 1));
     let (parallel_secs, parallel) = probe_run(probe_config(quick, threads));
-    let cfg = probe_config(quick, 1);
     ScalingProbe {
         threads,
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus,
         clients: cfg.num_clients,
         rounds: cfg.rounds,
         baseline_secs,
@@ -138,6 +258,7 @@ pub fn run_scaling_probe(threads: usize, quick: bool) -> ScalingProbe {
             0.0
         },
         identical: baseline == parallel,
+        skipped: None,
     }
 }
 
@@ -180,9 +301,9 @@ pub fn run_training_probe(quick: bool) -> TrainingProbe {
     let mut model = build_model(&profile, &task, &mut rng);
     let mut optimizer = build_optimizer(&profile, model.num_params());
     trainer.train(model.as_mut(), &data, optimizer.as_mut(), &mut rng);
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let stats = trainer.train(model.as_mut(), &data, optimizer.as_mut(), &mut rng);
-    let wall_secs = started.elapsed().as_secs_f64();
+    let wall_secs = started.elapsed_secs();
     let samples = trainer.epochs() * data.len();
     TrainingProbe {
         profile: "mnist",
@@ -220,10 +341,16 @@ pub struct BenchJson {
     pub total_secs: f64,
     /// Per-phase span breakdown from the telemetry registry.
     pub phases: Vec<PhaseRow>,
+    /// Named monotonic counters from the registry.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge sample summaries from the registry.
+    pub gauges: Vec<GaugeRow>,
     /// Threads-scaling probe (repro only).
     pub scaling: Option<ScalingProbe>,
     /// Local-training throughput probe (repro only).
     pub training: Option<TrainingProbe>,
+    /// Process peak-memory estimate, sampled at the end of the run.
+    pub rss: Option<RssProbe>,
 }
 
 /// Formats an `f64` as a JSON number (finite values only; anything else
@@ -259,7 +386,7 @@ impl BenchJson {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"asyncfl-bench-v1\",\n");
+        s.push_str("  \"schema\": \"asyncfl-bench-v2\",\n");
         s.push_str(&format!("  \"binary\": \"{}\",\n", escape(self.binary)));
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
@@ -283,17 +410,66 @@ impl BenchJson {
             let comma = if i + 1 < self.phases.len() { "," } else { "" };
             s.push_str(&format!(
                 "    {{\"span\": \"{}\", \"count\": {}, \"total_secs\": {}, \
-                 \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}{comma}\n",
+                 \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+                 \"alloc_bytes_total\": {}, \"alloc_bytes_mean\": {}, \
+                 \"alloc_bytes_p99\": {}, \"peak_live_bytes\": {}}}{comma}\n",
                 escape(&p.span),
                 p.count,
                 num(p.total_secs),
                 num(p.mean_ns),
                 p.p50_ns,
                 p.p95_ns,
-                p.p99_ns
+                p.p99_ns,
+                p.alloc_bytes_total,
+                num(p.alloc_bytes_mean),
+                p.alloc_bytes_p99,
+                p.peak_live_bytes
             ));
         }
         s.push_str("  ],\n");
+        s.push_str("  \"counters\": [\n");
+        for (i, (name, n)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {n}}}{comma}\n",
+                escape(name)
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"gauges\": [\n");
+        for (i, g) in self.gauges.iter().enumerate() {
+            let comma = if i + 1 < self.gauges.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"count\": {}, \"last\": {}, \
+                 \"mean\": {}, \"max\": {}}}{comma}\n",
+                escape(&g.name),
+                g.count,
+                g.last,
+                num(g.mean),
+                g.max
+            ));
+        }
+        s.push_str("  ],\n");
+        match &self.rss {
+            None => s.push_str("  \"peak_rss_estimate\": null,\n"),
+            Some(r) => {
+                s.push_str("  \"peak_rss_estimate\": {\n");
+                s.push_str(&format!(
+                    "    \"alloc_peak_live_bytes\": {},\n",
+                    r.alloc_peak_live_bytes
+                ));
+                s.push_str(&format!(
+                    "    \"alloc_total_bytes\": {},\n",
+                    r.alloc_total_bytes
+                ));
+                s.push_str(&format!("    \"alloc_count\": {},\n", r.alloc_count));
+                match r.vm_hwm_bytes {
+                    None => s.push_str("    \"vm_hwm_bytes\": null\n"),
+                    Some(b) => s.push_str(&format!("    \"vm_hwm_bytes\": {b}\n")),
+                }
+                s.push_str("  },\n");
+            }
+        }
         match &self.scaling {
             None => s.push_str("  \"threads_scaling\": null,\n"),
             Some(probe) => {
@@ -302,16 +478,25 @@ impl BenchJson {
                 s.push_str(&format!("    \"host_cpus\": {},\n", probe.host_cpus));
                 s.push_str(&format!("    \"clients\": {},\n", probe.clients));
                 s.push_str(&format!("    \"rounds\": {},\n", probe.rounds));
-                s.push_str(&format!(
-                    "    \"baseline_secs\": {},\n",
-                    num(probe.baseline_secs)
-                ));
-                s.push_str(&format!(
-                    "    \"parallel_secs\": {},\n",
-                    num(probe.parallel_secs)
-                ));
-                s.push_str(&format!("    \"speedup\": {},\n", num(probe.speedup)));
-                s.push_str(&format!("    \"byte_identical\": {}\n", probe.identical));
+                match probe.skipped {
+                    Some(reason) => {
+                        // No timing numbers on a skipped probe: a speedup
+                        // measured on a single CPU is noise, not data.
+                        s.push_str(&format!("    \"skipped\": \"{}\"\n", escape(reason)));
+                    }
+                    None => {
+                        s.push_str(&format!(
+                            "    \"baseline_secs\": {},\n",
+                            num(probe.baseline_secs)
+                        ));
+                        s.push_str(&format!(
+                            "    \"parallel_secs\": {},\n",
+                            num(probe.parallel_secs)
+                        ));
+                        s.push_str(&format!("    \"speedup\": {},\n", num(probe.speedup)));
+                        s.push_str(&format!("    \"byte_identical\": {}\n", probe.identical));
+                    }
+                }
                 s.push_str("  },\n");
             }
         }
@@ -369,6 +554,18 @@ mod tests {
                 p50_ns: 9_000_000,
                 p95_ns: 12_000_000,
                 p99_ns: 13_000_000,
+                alloc_bytes_total: 1_048_576,
+                alloc_bytes_mean: 104_857.6,
+                alloc_bytes_p99: 131_072,
+                peak_live_bytes: 4_194_304,
+            }],
+            counters: vec![("deferred_requeued".into(), 7)],
+            gauges: vec![GaugeRow {
+                name: "buffer_occupancy".into(),
+                count: 10,
+                last: 16,
+                mean: 15.2,
+                max: 16,
             }],
             scaling: Some(ScalingProbe {
                 threads: 4,
@@ -379,6 +576,13 @@ mod tests {
                 parallel_secs: 0.8,
                 speedup: 2.5,
                 identical: true,
+                skipped: None,
+            }),
+            rss: Some(RssProbe {
+                alloc_peak_live_bytes: 8_388_608,
+                alloc_total_bytes: 67_108_864,
+                alloc_count: 120_000,
+                vm_hwm_bytes: Some(25_165_824),
             }),
             training: Some(TrainingProbe {
                 profile: "mnist",
@@ -402,16 +606,83 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for needle in [
-            "\"schema\": \"asyncfl-bench-v1\"",
+            "\"schema\": \"asyncfl-bench-v2\"",
             "\"binary\": \"repro\"",
             "\"speedup\": 2.500000",
             "\"byte_identical\": true",
             "\"span\": \"local_training\"",
+            "\"alloc_bytes_total\": 1048576",
+            "\"peak_live_bytes\": 4194304",
+            "\"name\": \"deferred_requeued\", \"value\": 7",
+            "\"name\": \"buffer_occupancy\"",
+            "\"alloc_peak_live_bytes\": 8388608",
+            "\"vm_hwm_bytes\": 25165824",
             "\"training_throughput\": {",
             "\"samples_per_sec\": 49152.000000",
             "\"steps\": 384",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn skipped_scaling_probe_renders_reason_not_speedup() {
+        let json = BenchJson {
+            binary: "repro",
+            scaling: Some(ScalingProbe {
+                threads: 2,
+                host_cpus: 1,
+                clients: 32,
+                rounds: 10,
+                baseline_secs: 0.0,
+                parallel_secs: 0.0,
+                speedup: 0.0,
+                identical: true,
+                skipped: Some("single-cpu host"),
+            }),
+            ..Default::default()
+        }
+        .render();
+        assert!(json.contains("\"skipped\": \"single-cpu host\""), "{json}");
+        assert!(
+            !json.contains("\"speedup\""),
+            "skipped probe must not report a speedup: {json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn scaling_probe_skips_on_single_cpu_host() {
+        // This container is single-CPU, so the probe must refuse to time.
+        // (On a multi-CPU host it runs the legs instead; both paths keep
+        // the probe's metadata intact.)
+        let probe = run_scaling_probe(2, true);
+        if probe.host_cpus == 1 {
+            assert_eq!(probe.skipped, Some("single-cpu host"));
+            assert_eq!(probe.baseline_secs, 0.0);
+        } else {
+            assert!(probe.skipped.is_none());
+            assert!(probe.baseline_secs > 0.0);
+            assert!(probe.identical, "threads=1 vs N diverged");
+        }
+    }
+
+    #[test]
+    fn vm_hwm_parser_handles_kernel_format() {
+        let status = "Name:\trepro\nVmPeak:\t  123456 kB\nVmHWM:\t   20480 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(20480 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tx\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn rss_probe_is_readable_on_linux() {
+        let probe = run_rss_probe();
+        // The bench *test* binary does not install the counting allocator,
+        // so the allocator side may be zero — but /proc must parse.
+        if cfg!(target_os = "linux") {
+            let hwm = probe.vm_hwm_bytes.expect("VmHWM readable on Linux");
+            assert!(hwm > 0);
         }
     }
 
@@ -424,6 +695,7 @@ mod tests {
         .render();
         assert!(json.contains("\"threads_scaling\": null"), "{json}");
         assert!(json.contains("\"training_throughput\": null"), "{json}");
+        assert!(json.contains("\"peak_rss_estimate\": null"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -44,8 +44,10 @@ pub struct FileClass {
     pub is_example: bool,
     /// Part of `crates/bench` (measurement harness; exempt from D1/D2/P1).
     pub is_bench_crate: bool,
-    /// Part of `crates/telemetry` (owns the wall clock; exempt from D2).
+    /// Part of `crates/telemetry` (owns the wall clock; exempt from D2/D4).
     pub is_telemetry_crate: bool,
+    /// Part of `crates/criterion` (vendored measurement shim; exempt from D4).
+    pub is_criterion_crate: bool,
 }
 
 impl FileClass {
@@ -65,6 +67,7 @@ impl FileClass {
             is_example: has_dir("examples"),
             is_bench_crate: crate_name.as_deref() == Some("bench"),
             is_telemetry_crate: crate_name.as_deref() == Some("telemetry"),
+            is_criterion_crate: crate_name.as_deref() == Some("criterion"),
             crate_name,
         }
     }

@@ -36,6 +36,10 @@ pub const RULES: &[Rule] = &[
         summary: "no external rand/crossbeam/parking_lot in non-test code (hermetic build)",
     },
     Rule {
+        id: "D4",
+        summary: "no bare Instant::now() outside the telemetry crate (use telemetry::Stopwatch)",
+    },
+    Rule {
         id: "F1",
         summary: "no partial_cmp on floats (NaN-unsafe); use f64::total_cmp",
     },
@@ -73,6 +77,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
 
     let d1_applies = !class.is_bench_crate && !class.is_test_file;
     let d2_applies = !class.is_bench_crate && !class.is_telemetry_crate;
+    let d4_applies = !class.is_telemetry_crate && !class.is_criterion_crate;
     let d3_applies = !class.is_test_file;
     let f2_applies = !class.is_test_file;
     let p1_applies =
@@ -131,6 +136,29 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
                         .to_string(),
                 });
             }
+        }
+
+        // D4 — one sanctioned wall clock. Every timing measurement flows
+        // through `asyncfl_telemetry::Stopwatch` so span nanos, bench wall
+        // clocks and scaling probes all read the same clock, and the audit
+        // surface for time-dependence stays a single module. The telemetry
+        // crate (which owns the clock) and the criterion shim (a vendored
+        // measurement harness) are the only places allowed to touch
+        // `Instant` directly.
+        if d4_applies
+            && t.kind == TokenKind::Ident
+            && t.text == "Instant"
+            && matches!(next, Some(n) if n.text == "::")
+            && matches!(toks.get(i + 2), Some(n2) if n2.text == "now")
+        {
+            hits.push(RuleHit {
+                rule: "D4",
+                line: t.line,
+                message: "Instant::now() bypasses the sanctioned wall clock; use \
+                          asyncfl_telemetry::Stopwatch so all timing reads one \
+                          auditable source"
+                    .to_string(),
+            });
         }
 
         // D3 — hermetic build: the runtime dependency graph is first-party

@@ -84,6 +84,36 @@ fn d2_applies_even_inside_tests() {
 }
 
 #[test]
+fn d4_instant_now_outside_telemetry() {
+    fires_and_allows(
+        "D4",
+        2,
+        "fn f() {\n    let t = std::time::Instant::now();\n}\n",
+        "fn f() {\n    \
+             // lint:allow(D4) -- measuring the lint itself\n    \
+             let t = std::time::Instant::now();\n}\n",
+    );
+}
+
+#[test]
+fn d4_exempts_telemetry_and_criterion_crates() {
+    let snippet = "fn f() { let t = Instant::now(); }\n";
+    assert!(check_source("crates/telemetry/src/clock.rs", snippet)
+        .violations
+        .is_empty());
+    assert!(check_source("crates/criterion/src/lib.rs", snippet)
+        .violations
+        .is_empty());
+    // The bench crate is NOT exempt: its harnesses time through Stopwatch.
+    let found = check_source("crates/bench/src/perf.rs", snippet).violations;
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, "D4");
+    // Bare `Instant` without ::now (e.g. storing one handed out by the
+    // clock module) does not fire.
+    assert!(violations("fn f(t: std::time::Instant) {}\n").is_empty());
+}
+
+#[test]
 fn d3_rand_import_breaks_hermetic_build() {
     fires_and_allows(
         "D3",

@@ -503,6 +503,26 @@ impl Simulation {
 
                 if let Some(report) = received {
                     round_reports.push(report);
+                    // Sample engine-level resource gauges once per
+                    // aggregation (not per event): the completion-heap
+                    // depth, how many in-flight jobs hold a live model
+                    // snapshot, and the allocator's live bytes (zero when
+                    // no counting allocator is installed).
+                    if let Some(s) = &sink {
+                        s.emit(&Event::GaugeSample {
+                            name: "event_queue_depth",
+                            value: heap.len() as u64,
+                        });
+                        let resident = heap.iter().filter(|j| !j.idle).count() as u64;
+                        s.emit(&Event::GaugeSample {
+                            name: "resident_client_states",
+                            value: resident,
+                        });
+                        s.emit(&Event::GaugeSample {
+                            name: "alloc_live_bytes",
+                            value: asyncfl_telemetry::alloc::live_bytes(),
+                        });
+                    }
                     let completed = report.round_completed + 1;
                     if completed % cfg.eval_every == 0 {
                         eval_model.set_params(server.global());

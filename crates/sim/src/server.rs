@@ -195,6 +195,14 @@ impl BufferedServer {
             }
         });
 
+        // Buffer occupancy Ω at aggregation time (post staleness screen,
+        // pre filter) — the quantity the paper's buffer-size ablation
+        // (Fig. 10) varies, now observable per aggregation.
+        self.emit(Event::GaugeSample {
+            name: "buffer_occupancy",
+            value: batch.len() as u64,
+        });
+
         let sink_ref = self.sink.as_ref().map(|s| s.as_dyn());
         let ctx = {
             let mut ctx = FilterContext::new(self.round, &self.global, self.staleness_limit);
@@ -225,7 +233,17 @@ impl BufferedServer {
         };
         self.round += 1;
         // Deferred updates contribute "at a later stage".
+        if !outcome.deferred.is_empty() {
+            self.emit(Event::CounterAdd {
+                name: "deferred_requeued",
+                delta: outcome.deferred.len() as u64,
+            });
+        }
         self.buffer.extend(outcome.deferred);
+        self.emit(Event::GaugeSample {
+            name: "deferred_queue_depth",
+            value: self.buffer.len() as u64,
+        });
         self.emit(Event::AggregationCompleted {
             round: report.round_completed,
             accepted: report.accepted,
@@ -627,6 +645,64 @@ mod tests {
             3,
             "filter + kmeans + aggregate"
         );
+    }
+
+    #[test]
+    fn gauges_and_counters_track_buffer_churn() {
+        use asyncfl_telemetry::{Event, MemorySink, MetricsRegistry, SharedSink, Sink};
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemorySink::new(1024));
+        let mut s = BufferedServer::new(
+            Vector::zeros(1),
+            2,
+            20,
+            Box::new(DeferOnce::default()),
+            Box::new(MeanAggregator::new()),
+        )
+        .with_sink(SharedSink::from_arc(mem.clone()));
+
+        s.receive(upd(0, 0, &[1.0]));
+        let report = s.receive(upd(1, 0, &[1.0])).expect("bound reached");
+        assert_eq!(report.deferred, 2);
+
+        // Fold into a registry and check the gauge/counter views.
+        let reg = MetricsRegistry::new();
+        for e in mem.events() {
+            reg.emit(&e);
+        }
+        // Buffer held 2 updates at aggregation time.
+        assert_eq!(reg.gauge_last("buffer_occupancy"), Some(2));
+        // Both updates were re-buffered: counter bumped, depth gauge = 2.
+        assert_eq!(reg.counter("deferred_requeued"), 2);
+        assert_eq!(reg.gauge_last("deferred_queue_depth"), Some(2));
+
+        // Second aggregation accepts both: depth returns to 0 and the
+        // requeue counter stays put.
+        s.aggregate_now();
+        let reg = MetricsRegistry::new();
+        for e in mem.events() {
+            reg.emit(&e);
+        }
+        assert_eq!(reg.counter("deferred_requeued"), 2);
+        assert_eq!(reg.gauge_last("deferred_queue_depth"), Some(0));
+        let occ = reg.gauge("buffer_occupancy").expect("sampled each round");
+        assert_eq!(occ.count(), 2);
+
+        // Unsinked servers emit nothing and pay nothing.
+        let mut silent = BufferedServer::new(
+            Vector::zeros(1),
+            2,
+            20,
+            Box::new(PassthroughFilter),
+            Box::new(MeanAggregator::new()),
+        );
+        silent.receive(upd(0, 0, &[1.0]));
+        silent.receive(upd(1, 0, &[1.0])).expect("bound reached");
+        assert!(matches!(
+            mem.events().first(),
+            Some(Event::UpdateReceived { .. })
+        ));
     }
 
     #[test]

@@ -20,13 +20,13 @@ use asyncfl_core::update::{ClientUpdate, UpdateFilter};
 use asyncfl_ml::train::{build_model, build_optimizer, evaluate, LocalTrainer};
 use asyncfl_rng::rngs::StdRng;
 use asyncfl_rng::{RngExt, SeedableRng};
-use asyncfl_telemetry::{Event, SharedSink, Sink, Span};
+use asyncfl_telemetry::{Event, SharedSink, Sink, Span, Stopwatch};
 use asyncfl_tensor::Vector;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::config::SimConfig;
 use crate::latency::LatencyModel;
@@ -86,7 +86,7 @@ pub fn run_threaded_with_sink(
         // lint:allow(P1) -- documented entry-point contract; validate() is the recoverable path
         panic!("invalid SimConfig: {e}");
     }
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut master = StdRng::seed_from_u64(config.seed);
     let task = config.profile.build_task(&mut master);
     let test_data = Arc::new(task.test_dataset(config.test_samples, &mut master));
@@ -280,7 +280,7 @@ pub fn run_threaded_with_sink(
         // The threaded engine reports per-round traces only through the
         // server's aggregate statistics; per-aggregation counts would race.
         round_reports: Vec::new(),
-        sim_time: started.elapsed().as_secs_f64(),
+        sim_time: started.elapsed_secs(),
     }
 }
 

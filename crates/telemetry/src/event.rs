@@ -101,6 +101,30 @@ pub enum Event {
         name: &'static str,
         /// Elapsed wall-clock nanoseconds.
         nanos: u64,
+        /// Bytes allocated while the span was open (process-global
+        /// counter delta from [`crate::alloc`]; `0` when no
+        /// [`crate::alloc::CountingAllocator`] is installed).
+        alloc_bytes: u64,
+        /// The allocator's live-byte high-water mark at span close
+        /// (process-global and monotonic; `0` when no counting
+        /// allocator is installed).
+        peak_live_bytes: u64,
+    },
+    /// A named monotonic counter was incremented (e.g. bookkeeping the
+    /// hot loops want tallied without a full structured event per item).
+    CounterAdd {
+        /// Stable counter name (see `docs/OBSERVABILITY.md`).
+        name: &'static str,
+        /// Increment (counters only ever go up).
+        delta: u64,
+    },
+    /// A point-in-time sample of a named gauge (buffer occupancy,
+    /// queue depths, resident bytes, …).
+    GaugeSample {
+        /// Stable gauge name (see `docs/OBSERVABILITY.md`).
+        name: &'static str,
+        /// The sampled value.
+        value: u64,
     },
 }
 
@@ -115,6 +139,8 @@ impl Event {
             Event::AggregationCompleted { .. } => "aggregation_completed",
             Event::AccuracyCheckpoint { .. } => "accuracy_checkpoint",
             Event::SpanClosed { .. } => "span_closed",
+            Event::CounterAdd { .. } => "counter_add",
+            Event::GaugeSample { .. } => "gauge_sample",
         }
     }
 
@@ -182,10 +208,29 @@ impl Event {
                 out.push_str("\"accuracy\":");
                 write_f64(out, *accuracy);
             }
-            Event::SpanClosed { name, nanos } => {
+            Event::SpanClosed {
+                name,
+                nanos,
+                alloc_bytes,
+                peak_live_bytes,
+            } => {
                 out.push_str(",\"name\":\"");
                 escape_json_into(name, out);
-                let _ = write!(out, "\",\"nanos\":{nanos}");
+                let _ = write!(
+                    out,
+                    "\",\"nanos\":{nanos},\"alloc_bytes\":{alloc_bytes},\
+                     \"peak_live_bytes\":{peak_live_bytes}"
+                );
+            }
+            Event::CounterAdd { name, delta } => {
+                out.push_str(",\"name\":\"");
+                escape_json_into(name, out);
+                let _ = write!(out, "\",\"delta\":{delta}");
+            }
+            Event::GaugeSample { name, value } => {
+                out.push_str(",\"name\":\"");
+                escape_json_into(name, out);
+                let _ = write!(out, "\",\"value\":{value}");
             }
         }
         out.push('}');
@@ -291,10 +336,28 @@ mod tests {
         let e = Event::SpanClosed {
             name: "filter",
             nanos: 1234,
+            alloc_bytes: 4096,
+            peak_live_bytes: 65536,
         };
         assert_eq!(
             e.to_json(),
-            r#"{"type":"span_closed","name":"filter","nanos":1234}"#
+            r#"{"type":"span_closed","name":"filter","nanos":1234,"alloc_bytes":4096,"peak_live_bytes":65536}"#
+        );
+        let e = Event::CounterAdd {
+            name: "deferred_requeued",
+            delta: 3,
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"type":"counter_add","name":"deferred_requeued","delta":3}"#
+        );
+        let e = Event::GaugeSample {
+            name: "buffer_occupancy",
+            value: 40,
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"type":"gauge_sample","name":"buffer_occupancy","value":40}"#
         );
     }
 

@@ -22,7 +22,15 @@
 //!   percentile queries.
 //! * [`Span`] — an RAII stopwatch: construct at the top of a hot path,
 //!   and on drop it emits [`Event::SpanClosed`] with the elapsed
-//!   nanoseconds. With no sink attached it never reads the clock.
+//!   nanoseconds plus the bytes allocated inside the span. With no sink
+//!   attached it never reads the clock or the allocator counters.
+//! * [`alloc::CountingAllocator`] — an opt-in `#[global_allocator]`
+//!   wrapping the system allocator with byte/count accounting, the data
+//!   source for per-span `alloc_bytes` and the bench `peak_rss_estimate`
+//!   probe.
+//! * [`clock::Stopwatch`] — the single sanctioned direct wall-clock for
+//!   harness-level timing (lint rule D4 forbids bare `Instant::now()`
+//!   elsewhere).
 //!
 //! The crate deliberately has **zero dependencies** so every other crate in
 //! the workspace can depend on it without build-graph consequences.
@@ -52,15 +60,27 @@
 //! assert_eq!(registry.verdict_count(Verdict::Rejected), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned unsafe region in the workspace
+// lives in `alloc` (implementing `GlobalAlloc` requires unsafe fn
+// signatures) behind a scoped `allow` with a safety comment.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
+pub mod clock;
 pub mod event;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
+pub use clock::Stopwatch;
 pub use event::{Event, Verdict};
 pub use metrics::{Log2Histogram, MetricsRegistry};
 pub use sink::{FanoutSink, JsonlSink, MemorySink, NullSink, SharedSink, Sink};
 pub use span::Span;
+
+// Install the counting allocator in this crate's own test binary so the
+// alloc/span unit tests observe real counter movement.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: alloc::CountingAllocator = alloc::CountingAllocator::new();

@@ -342,6 +342,8 @@ mod tests {
         sink.emit(&Event::SpanClosed {
             name: "filter",
             nanos: 5,
+            alloc_bytes: 0,
+            peak_live_bytes: 0,
         });
         assert_eq!(sink.count_kind("update_received"), 1);
         assert_eq!(sink.count_kind("span_closed"), 1);

@@ -1,16 +1,28 @@
-//! RAII timing spans.
+//! RAII timing + allocation spans.
 //!
-//! A [`Span`] reads the monotonic clock when constructed and, when
-//! dropped, emits [`Event::SpanClosed`] with the elapsed nanoseconds to
-//! the sink it was given. With no sink ([`Span::start`] with `None`) it
-//! is inert: no clock read, no allocation, nothing emitted — so wrapping
-//! hot paths in spans costs nothing on the default untraced path.
+//! A [`Span`] reads the monotonic clock (and the [`crate::alloc`]
+//! counters) when constructed and, when dropped, emits
+//! [`Event::SpanClosed`] with the elapsed nanoseconds, the bytes
+//! allocated while the span was open, and the allocator's live-byte
+//! high-water mark at close. With no sink ([`Span::start`] with `None`)
+//! it is inert: no clock read, no counter read, nothing emitted — so
+//! wrapping hot paths in spans costs nothing on the default untraced
+//! path.
+//!
+//! Allocation attribution is process-global: the delta counts every
+//! thread's allocations during the span's lifetime, which is exact for
+//! the single-threaded hot paths (`filter`, `aggregate`, the inline
+//! engine's `local_training`) and an over-approximation when pool
+//! workers overlap. When no [`crate::alloc::CountingAllocator`] is
+//! installed both fields are zero.
 
+use crate::alloc;
 use crate::event::Event;
 use crate::sink::Sink;
 use std::time::Instant;
 
-/// An RAII stopwatch that reports its lifetime to a [`Sink`] on drop.
+/// An RAII stopwatch + allocation meter that reports its lifetime to a
+/// [`Sink`] on drop.
 ///
 /// ```
 /// use asyncfl_telemetry::{MemorySink, Span};
@@ -24,8 +36,14 @@ use std::time::Instant;
 /// ```
 pub struct Span<'a> {
     /// `None` when untraced; then no clock was read either.
-    armed: Option<(&'a dyn Sink, Instant)>,
+    armed: Option<Armed<'a>>,
     name: &'static str,
+}
+
+struct Armed<'a> {
+    sink: &'a dyn Sink,
+    started: Instant,
+    alloc_bytes_at_start: u64,
 }
 
 impl std::fmt::Debug for Span<'_> {
@@ -42,7 +60,11 @@ impl<'a> Span<'a> {
     /// read and drop does nothing.
     pub fn start(sink: Option<&'a dyn Sink>, name: &'static str) -> Self {
         Self {
-            armed: sink.map(|s| (s, Instant::now())),
+            armed: sink.map(|sink| Armed {
+                sink,
+                started: Instant::now(),
+                alloc_bytes_at_start: alloc::allocated_bytes(),
+            }),
             name,
         }
     }
@@ -63,11 +85,13 @@ impl<'a> Span<'a> {
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        if let Some((sink, started)) = self.armed.take() {
-            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            sink.emit(&Event::SpanClosed {
+        if let Some(armed) = self.armed.take() {
+            let nanos = u64::try_from(armed.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            armed.sink.emit(&Event::SpanClosed {
                 name: self.name,
                 nanos,
+                alloc_bytes: alloc::allocated_bytes().saturating_sub(armed.alloc_bytes_at_start),
+                peak_live_bytes: alloc::peak_live_bytes(),
             });
         }
     }
@@ -109,5 +133,31 @@ mod tests {
         let span = Span::start(Some(&sink), "early");
         span.finish();
         assert_eq!(sink.count_kind("span_closed"), 1);
+    }
+
+    #[test]
+    fn armed_span_attributes_allocations() {
+        // The telemetry test binary installs the counting allocator (see
+        // lib.rs), so a deliberate allocation inside the span must show
+        // up in its alloc_bytes delta.
+        let sink = MemorySink::new(8);
+        {
+            let _span = Span::start(Some(&sink), "alloc_attr");
+            std::hint::black_box(Vec::<u8>::with_capacity(1 << 20));
+        }
+        match &sink.events()[0] {
+            Event::SpanClosed {
+                alloc_bytes,
+                peak_live_bytes,
+                ..
+            } => {
+                assert!(
+                    *alloc_bytes >= (1 << 20),
+                    "span missed a 1 MiB allocation: {alloc_bytes}"
+                );
+                assert!(*peak_live_bytes > 0);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 }

@@ -15,6 +15,13 @@ use asyncfilter::prelude::*;
 use asyncfilter::sim::runner::build_attack;
 use std::sync::Arc;
 
+// Run the determinism pins with allocation accounting live: the counting
+// allocator is observer-only, so verdict traces must stay byte-identical
+// with it installed (threads=1 and threads=4 both covered below).
+#[global_allocator]
+static ALLOC: asyncfilter::telemetry::alloc::CountingAllocator =
+    asyncfilter::telemetry::alloc::CountingAllocator::new();
+
 fn small_config() -> SimConfig {
     let mut cfg = SimConfig::smoke_test();
     cfg.num_clients = 16;

@@ -8,6 +8,12 @@ use asyncfilter::sim::threaded::run_threaded_with_sink;
 use asyncfilter::telemetry::JsonlSink;
 use std::sync::Arc;
 
+// Install the counting allocator so span_closed events in this binary carry
+// real alloc_bytes numbers (without it the fields are 0 = "not measured").
+#[global_allocator]
+static ALLOC: asyncfilter::telemetry::alloc::CountingAllocator =
+    asyncfilter::telemetry::alloc::CountingAllocator::new();
+
 fn small_config() -> SimConfig {
     let mut cfg = SimConfig::smoke_test();
     cfg.rounds = 6;
@@ -153,6 +159,127 @@ fn jsonl_trace_is_parseable() {
         );
         assert!(line.contains("\"type\":\""), "missing type tag: {line}");
     }
+}
+
+#[test]
+fn counters_gauges_and_alloc_spans_round_trip_through_jsonl() {
+    // Direct emission: every new event kind must encode as one valid JSON
+    // object per line with its fields intact.
+    let path =
+        std::env::temp_dir().join(format!("asyncfl-gauge-trace-{}.jsonl", std::process::id()));
+    let jsonl = Arc::new(JsonlSink::create(&path).expect("create trace file"));
+    jsonl.emit(&Event::CounterAdd {
+        name: "deferred_requeued",
+        delta: 3,
+    });
+    jsonl.emit(&Event::GaugeSample {
+        name: "buffer_occupancy",
+        value: 17,
+    });
+    jsonl.emit(&Event::SpanClosed {
+        name: "filter",
+        nanos: 1_234,
+        alloc_bytes: 4_096,
+        peak_live_bytes: 65_536,
+    });
+    jsonl.flush().expect("flush trace");
+    assert_eq!(jsonl.io_errors(), 0);
+
+    let body = std::fs::read_to_string(&path).expect("read trace back");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for line in &lines {
+        assert!(parse_json_object(line), "not a JSON object: {line}");
+    }
+    assert!(
+        lines[0].contains("\"type\":\"counter_add\""),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[0].contains("\"name\":\"deferred_requeued\"") && lines[0].contains("\"delta\":3"),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("\"type\":\"gauge_sample\""),
+        "{}",
+        lines[1]
+    );
+    assert!(
+        lines[1].contains("\"name\":\"buffer_occupancy\"") && lines[1].contains("\"value\":17"),
+        "{}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains("\"type\":\"span_closed\""),
+        "{}",
+        lines[2]
+    );
+    assert!(
+        lines[2].contains("\"alloc_bytes\":4096") && lines[2].contains("\"peak_live_bytes\":65536"),
+        "{}",
+        lines[2]
+    );
+}
+
+#[test]
+fn traced_runs_carry_gauges_and_alloc_annotated_spans() {
+    // A real simulation now samples server/engine gauges once per
+    // aggregation and attributes allocations to spans — and the verdict
+    // reconciliation that detection --trace enforces must survive the
+    // extra event kinds.
+    let (result, mem) = traced_run(Box::new(AsyncFilter::default()), AttackKind::Gd);
+    assert_eq!(mem.dropped(), 0);
+
+    let gauge_names: std::collections::BTreeSet<&'static str> = mem
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::GaugeSample { name, .. } => Some(name),
+            _ => None,
+        })
+        .collect();
+    for expected in [
+        "buffer_occupancy",
+        "deferred_queue_depth",
+        "event_queue_depth",
+        "resident_client_states",
+        "alloc_live_bytes",
+    ] {
+        assert!(gauge_names.contains(expected), "missing gauge {expected}");
+    }
+
+    // With the counting allocator installed, the run's spans must observe
+    // real allocation traffic (filter/aggregate both build Vecs).
+    assert!(asyncfilter::telemetry::alloc::is_active());
+    let span_alloc_total: u64 = mem
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::SpanClosed { alloc_bytes, .. } => Some(alloc_bytes),
+            _ => None,
+        })
+        .sum();
+    assert!(span_alloc_total > 0, "spans must attribute allocations");
+
+    // The same terminal-verdict reconciliation the detection binary's
+    // --trace exit check performs.
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for e in mem.events() {
+        if let Event::FilterScore { verdict, .. } = e {
+            match verdict {
+                Verdict::Accepted => accepted += 1,
+                Verdict::Rejected => rejected += 1,
+                Verdict::Deferred => {}
+            }
+        }
+    }
+    let d = result.detection;
+    assert_eq!(rejected, (d.true_positives + d.false_positives) as u64);
+    assert_eq!(accepted, (d.false_negatives + d.true_negatives) as u64);
 }
 
 #[test]
