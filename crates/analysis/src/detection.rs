@@ -6,6 +6,8 @@
 //! updates independent of the clustering threshold — via the ROC curve and
 //! its AUC.
 
+use asyncfl_tensor::kernels;
+
 /// One labelled score observation: `(score, is_malicious)`.
 pub type LabelledScore = (f64, bool);
 
@@ -77,11 +79,11 @@ pub fn auc(observations: &[LabelledScore]) -> f64 {
     if points.len() < 2 {
         return 0.5;
     }
-    let mut area = 0.0;
-    for w in points.windows(2) {
-        area += (w[1].fpr - w[0].fpr) * 0.5 * (w[0].tpr + w[1].tpr);
-    }
-    area
+    kernels::sum_seq(
+        points
+            .windows(2)
+            .map(|w| (w[1].fpr - w[0].fpr) * 0.5 * (w[0].tpr + w[1].tpr)),
+    )
 }
 
 /// Best achievable Youden index `max(tpr − fpr)` over all thresholds —

@@ -16,6 +16,7 @@ use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::metrics::RunResult;
 use asyncfl_sim::runner::{build_attack, Simulation};
 use asyncfl_telemetry::SharedSink;
+use asyncfl_tensor::kernels;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -323,7 +324,7 @@ impl ExperimentGrid {
         if accs.is_empty() {
             None
         } else {
-            Some(accs.iter().sum::<f64>() / accs.len() as f64)
+            Some(kernels::mean_seq(&accs))
         }
     }
 
@@ -341,8 +342,10 @@ impl ExperimentGrid {
         if accs.is_empty() {
             return None;
         }
-        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-        Some((accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64).sqrt())
+        let mean = kernels::mean_seq(&accs);
+        let var =
+            kernels::sum_seq(accs.iter().map(|a| (a - mean) * (a - mean))) / accs.len() as f64;
+        Some(var.sqrt())
     }
 
     fn cells(&self) -> Vec<(DefenseKind, AttackKind, u64)> {

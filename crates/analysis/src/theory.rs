@@ -18,6 +18,7 @@
 //! concrete federation. `tests/theorem1.rs` checks the theorem's
 //! *conclusion* end-to-end; this module checks its *hypotheses*.
 
+use asyncfl_tensor::kernels::sum_seq;
 use asyncfl_tensor::{stats, Vector};
 use std::collections::BTreeMap;
 
@@ -97,7 +98,7 @@ pub fn estimate_constants(observations: &[(usize, Vector)]) -> Option<TheoryCons
         let Some(mean) = stats::mean_vector(&owned) else {
             continue;
         };
-        let var = owned.iter().map(|d| d.distance_squared(&mean)).sum::<f64>() / owned.len() as f64;
+        let var = sum_seq(owned.iter().map(|d| d.distance_squared(&mean))) / owned.len() as f64;
         let sigma = var.sqrt();
         sigma_l_min = sigma_l_min.min(sigma);
         sigma_l_max = sigma_l_max.max(sigma);
@@ -107,11 +108,11 @@ pub fn estimate_constants(observations: &[(usize, Vector)]) -> Option<TheoryCons
     }
 
     // Assumption 2, global: RMS of per-client mean deviations.
-    let sigma_g_max = (client_means
-        .iter()
-        .map(|(_, m)| m.distance_squared(&population))
-        .sum::<f64>()
-        / client_means.len() as f64)
+    let sigma_g_max = (sum_seq(
+        client_means
+            .iter()
+            .map(|(_, m)| m.distance_squared(&population)),
+    ) / client_means.len() as f64)
         .sqrt();
 
     let premise_bound = if sigma_g_max > 0.0 {

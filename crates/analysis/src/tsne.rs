@@ -11,6 +11,7 @@
 use asyncfl_data::sampling::standard_normal;
 use asyncfl_rng::rngs::StdRng;
 use asyncfl_rng::SeedableRng;
+use asyncfl_tensor::kernels::sum_seq;
 use asyncfl_tensor::Vector;
 
 /// t-SNE hyperparameters.
@@ -94,8 +95,8 @@ pub fn embed(points: &[Vector], config: &TsneConfig) -> Vec<(f64, f64)> {
                     continue;
                 }
                 let w = (-beta * d2[i][j]).exp();
-                sum += w;
-                weighted += beta * d2[i][j] * w;
+                sum += w; // lint:allow(F3) -- fused accumulators; a split pass would recompute exp()
+                weighted += beta * d2[i][j] * w; // lint:allow(F3) -- fused accumulators; a split pass would recompute exp()
             }
             if sum <= 0.0 {
                 break;
@@ -122,7 +123,7 @@ pub fn embed(points: &[Vector], config: &TsneConfig) -> Vec<(f64, f64)> {
         for j in 0..n {
             if j != i {
                 p[i][j] = (-beta * d2[i][j]).exp();
-                sum += p[i][j];
+                sum += p[i][j]; // lint:allow(F3) -- accumulates the row being written in place
             }
         }
         if sum > 0.0 {
@@ -168,7 +169,7 @@ pub fn embed(points: &[Vector], config: &TsneConfig) -> Vec<(f64, f64)> {
                 let w = 1.0 / (1.0 + dx * dx + dy * dy);
                 q_num[i][j] = w;
                 q_num[j][i] = w;
-                q_sum += 2.0 * w;
+                q_sum += 2.0 * w; // lint:allow(F3) -- accumulates the matrix being written in place
             }
         }
         let q_sum = q_sum.max(1e-12);
@@ -184,8 +185,8 @@ pub fn embed(points: &[Vector], config: &TsneConfig) -> Vec<(f64, f64)> {
                 }
                 let q = q_num[i][j] / q_sum;
                 let coeff = 4.0 * (ex * pij[i][j] - q) * q_num[i][j];
-                gx += coeff * (y[i].0 - y[j].0);
-                gy += coeff * (y[i].1 - y[j].1);
+                gx += coeff * (y[i].0 - y[j].0); // lint:allow(F3) -- fused 2-D gradient accumulators
+                gy += coeff * (y[i].1 - y[j].1); // lint:allow(F3) -- fused 2-D gradient accumulators
             }
             velocity[i].0 = momentum * velocity[i].0 - config.learning_rate * gx;
             velocity[i].1 = momentum * velocity[i].1 - config.learning_rate * gy;
@@ -195,8 +196,8 @@ pub fn embed(points: &[Vector], config: &TsneConfig) -> Vec<(f64, f64)> {
             y[i].1 += velocity[i].1;
         }
         // Re-center to keep coordinates bounded.
-        let cx = y.iter().map(|p| p.0).sum::<f64>() / n as f64;
-        let cy = y.iter().map(|p| p.1).sum::<f64>() / n as f64;
+        let cx = sum_seq(y.iter().map(|p| p.0)) / n as f64;
+        let cy = sum_seq(y.iter().map(|p| p.1)) / n as f64;
         for p in &mut y {
             p.0 -= cx;
             p.1 -= cy;

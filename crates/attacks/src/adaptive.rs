@@ -19,6 +19,7 @@
 
 use crate::traits::Attack;
 use asyncfl_rng::rngs::StdRng;
+use asyncfl_tensor::kernels::sum_seq;
 use asyncfl_tensor::{stats, Vector};
 
 /// A deviation-budgeted reverse attack.
@@ -72,10 +73,7 @@ impl Attack for AdaptiveStealthAttack {
         }
         // RMS spread of the colluders around their mean — the attacker's
         // best estimate of what "benign deviation" looks like.
-        let spread = (colluding_deltas
-            .iter()
-            .map(|d| d.distance_squared(&mu))
-            .sum::<f64>()
+        let spread = (sum_seq(colluding_deltas.iter().map(|d| d.distance_squared(&mu)))
             / colluding_deltas.len() as f64)
             .sqrt();
         // Push opposite to the mean direction, with the deviation from μ

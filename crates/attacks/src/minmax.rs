@@ -15,6 +15,7 @@
 
 use crate::traits::Attack;
 use asyncfl_rng::rngs::StdRng;
+use asyncfl_tensor::kernels::sum_seq;
 use asyncfl_tensor::{stats, Vector};
 
 /// Perturbation direction `∇ᵖ` for the optimization attacks.
@@ -101,7 +102,7 @@ fn max_distance_to_all(v: &Vector, deltas: &[Vector]) -> f64 {
 }
 
 fn sum_sq_distances(v: &Vector, deltas: &[Vector]) -> f64 {
-    deltas.iter().map(|d| v.distance_squared(d)).sum()
+    sum_seq(deltas.iter().map(|d| v.distance_squared(d)))
 }
 
 /// The Min-Max attack.

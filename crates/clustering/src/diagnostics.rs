@@ -9,6 +9,7 @@
 
 use crate::kmeans::KMeans;
 use asyncfl_rng::{Rng, RngExt};
+use asyncfl_tensor::kernels::sum_seq;
 use asyncfl_tensor::Vector;
 
 /// Mean silhouette coefficient of a clustering, in `[-1, 1]`;
@@ -42,22 +43,22 @@ pub fn silhouette(points: &[Vector], assignments: &[usize]) -> f64 {
             continue; // contributes 0
         }
         // a(i): mean distance to own cluster (excluding self).
-        let a_i = members[own]
-            .iter()
-            .filter(|&&j| j != i)
-            .map(|&j| p.distance(&points[j]))
-            .sum::<f64>()
-            / (members[own].len() - 1) as f64;
+        let a_i = sum_seq(
+            members[own]
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| p.distance(&points[j])),
+        ) / (members[own].len() - 1) as f64;
         // b(i): smallest mean distance to another non-empty cluster.
         let b_i = members
             .iter()
             .enumerate()
             .filter(|(c, m)| *c != own && !m.is_empty())
-            .map(|(_, m)| m.iter().map(|&j| p.distance(&points[j])).sum::<f64>() / m.len() as f64)
+            .map(|(_, m)| sum_seq(m.iter().map(|&j| p.distance(&points[j]))) / m.len() as f64)
             .fold(f64::INFINITY, f64::min);
         let denom = a_i.max(b_i);
         if denom > 0.0 {
-            total += (b_i - a_i) / denom;
+            total += (b_i - a_i) / denom; // lint:allow(F3) -- conditional accumulation across early-continue branches
         }
     }
     total / points.len() as f64
@@ -116,8 +117,8 @@ pub fn gap_statistic<R: Rng + ?Sized>(
             .collect();
         refs.push(log_inertia(&fake, rng));
     }
-    let mean_ref = refs.iter().sum::<f64>() / b as f64;
-    let var_ref = refs.iter().map(|x| (x - mean_ref).powi(2)).sum::<f64>() / b as f64;
+    let mean_ref = sum_seq(refs.iter().copied()) / b as f64;
+    let var_ref = sum_seq(refs.iter().map(|x| (x - mean_ref).powi(2))) / b as f64;
     let s_k = (var_ref * (1.0 + 1.0 / b as f64)).sqrt();
     (mean_ref - observed, s_k)
 }

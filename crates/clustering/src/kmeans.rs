@@ -5,6 +5,7 @@
 //! AsyncFilter itself, prefer the exact solver in [`crate::one_dim`].
 
 use asyncfl_rng::{Rng, RngExt};
+use asyncfl_tensor::kernels::sum_seq;
 use asyncfl_tensor::Vector;
 
 /// Configuration for a k-means run.
@@ -115,7 +116,7 @@ impl KMeans {
                     // Keep an empty cluster's previous centroid.
                     *centroid = centroids[c].clone();
                 }
-                motion += centroid.distance(&centroids[c]);
+                motion += centroid.distance(&centroids[c]); // lint:allow(F3) -- fused with the centroid rebuild it measures
             }
             centroids = new_centroids;
             if motion <= self.tol {
@@ -129,7 +130,7 @@ impl KMeans {
             let (a, d2) = nearest(p, &centroids);
             assignments[i] = a;
             sizes[a] += 1;
-            inertia += d2;
+            inertia += d2; // lint:allow(F3) -- fused with the assignment/size bookkeeping per point
         }
         // Pad to the requested k when there were fewer points than clusters.
         if let Some(last) = centroids.last().cloned() {
@@ -162,7 +163,7 @@ impl KMeans {
             .map(|p| p.distance_squared(&centroids[0]))
             .collect();
         while centroids.len() < k {
-            let total: f64 = d2.iter().sum();
+            let total = sum_seq(d2.iter().copied());
             let next = if total <= 0.0 {
                 // All remaining points coincide with a centroid.
                 rng.random_range(0..points.len())

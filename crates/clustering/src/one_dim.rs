@@ -142,7 +142,7 @@ pub fn kmeans_1d(values: &[f64], k: usize) -> KMeans1dResult {
             sorted[n - 1]
         });
         sizes.push(len);
-        inertia += interval_cost(lo, hi);
+        inertia += interval_cost(lo, hi); // lint:allow(F3) -- fused with the centroid/size construction per interval
     }
     // Pad empty clusters when k > distinct values.
     while centroids.len() < k {

@@ -10,6 +10,7 @@
 //! global parameter vector `ω_g + combine(δ…)` — the FedBuff convention.
 
 use crate::update::ClientUpdate;
+use asyncfl_tensor::kernels::sum_seq;
 use asyncfl_tensor::{stats, Vector};
 
 /// An aggregation rule over accepted updates.
@@ -192,13 +193,15 @@ impl KrumAggregator {
         }
         // Number of neighbours to sum over: n - f - 2, at least 1.
         let k = n.saturating_sub(self.assumed_malicious + 2).max(1);
-        for i in 0..n {
-            let mut dists: Vec<f64> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| updates[i].delta.distance_squared(&updates[j].delta))
+        for (i, (s, ui)) in scores.iter_mut().zip(updates).enumerate() {
+            let mut dists: Vec<f64> = updates
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, uj)| ui.delta.distance_squared(&uj.delta))
                 .collect();
             dists.sort_by(f64::total_cmp);
-            scores[i] = dists.iter().take(k).sum();
+            *s = sum_seq(dists.iter().take(k).copied());
         }
         scores
     }
@@ -219,10 +222,13 @@ impl Aggregator for KrumAggregator {
         }
         let scores = self.scores(updates);
         let mut order: Vec<usize> = (0..updates.len()).collect();
+        // lint:allow(P2) -- order permutes 0..updates.len(), matching scores' length
         order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+        // lint:allow(P2) -- select is clamped to updates.len()
         let chosen = &order[..self.select.min(updates.len())];
         let mut mean = Vector::zeros(global.len());
         for &i in chosen {
+            // lint:allow(P2) -- chosen comes from order, a permutation of 0..updates.len()
             mean.axpy(1.0 / chosen.len() as f64, &updates[i].delta);
         }
         global + &mean
@@ -271,8 +277,8 @@ impl Aggregator for SignMajorityAggregator {
         let dim = global.len();
         let mut votes = vec![0i64; dim];
         for u in updates {
-            for (d, &x) in u.delta.iter().enumerate() {
-                votes[d] += if x > 0.0 {
+            for (v, &x) in votes.iter_mut().zip(u.delta.iter()) {
+                *v += if x > 0.0 {
                     1
                 } else if x < 0.0 {
                     -1
@@ -282,8 +288,8 @@ impl Aggregator for SignMajorityAggregator {
             }
         }
         let mut out = global.clone();
-        for (d, &v) in votes.iter().enumerate() {
-            out[d] += self.step * (v.signum() as f64);
+        for (o, &v) in out.iter_mut().zip(&votes) {
+            *o += self.step * (v.signum() as f64);
         }
         out
     }

@@ -30,6 +30,7 @@
 use crate::update::{ClientUpdate, FilterContext, FilterOutcome, UpdateFilter};
 use asyncfl_clustering::one_dim::kmeans_1d;
 use asyncfl_telemetry::Span;
+use asyncfl_tensor::kernels::sum_seq;
 use asyncfl_tensor::Vector;
 use std::collections::BTreeMap;
 
@@ -307,6 +308,7 @@ impl AsyncFilter {
             } else if members.len() >= 2 {
                 est.insert(
                     key,
+                    // lint:allow(P2) -- group members hold indices below updates.len()
                     robust_bootstrap(members.iter().map(|&i| &updates[i].params)),
                 );
             } else {
@@ -374,14 +376,16 @@ impl UpdateFilter for AsyncFilter {
         // computed once per pass and reused by every eq. 7 denominator.
         let mut dist_sq = vec![0.0f64; finite.len()];
         for (&key, members) in &grouped {
+            // lint:allow(P2) -- every grouped key was inserted into both maps above
             let own = &estimates[&key];
-            let own_norm_sq = est_norm_sq[&key];
+            let own_norm_sq = est_norm_sq[&key]; // lint:allow(P2) -- same key set as estimates
             for &i in members {
-                dist_sq[i] = finite[i].params.distance_squared_from_norms(
-                    finite[i].params_norm_squared(),
-                    own,
-                    own_norm_sq,
-                );
+                // lint:allow(P2) -- members hold indices below finite.len()
+                let u = &finite[i];
+                let d =
+                    u.params
+                        .distance_squared_from_norms(u.params_norm_squared(), own, own_norm_sq);
+                dist_sq[i] = d; // lint:allow(P2) -- dist_sq was sized to finite.len()
             }
         }
         let dist: Vec<f64> = dist_sq.iter().map(|d| d.sqrt()).collect();
@@ -389,10 +393,10 @@ impl UpdateFilter for AsyncFilter {
         let mut scores = vec![0.0f64; finite.len()];
         match self.config.score_normalization {
             ScoreNormalization::Global => {
-                let denom = dist_sq.iter().sum::<f64>().sqrt();
+                let denom = sum_seq(dist_sq.iter().copied()).sqrt();
                 if denom > 0.0 {
-                    for (i, &d) in dist.iter().enumerate() {
-                        scores[i] = d / denom;
+                    for (s, &d) in scores.iter_mut().zip(&dist) {
+                        *s = d / denom;
                     }
                     // Eq. 7 invariant: the score vector is unit-norm.
                     debug_assert!(
@@ -403,9 +407,11 @@ impl UpdateFilter for AsyncFilter {
             }
             ScoreNormalization::WithinGroup => {
                 for members in grouped.values() {
-                    let denom = members.iter().map(|&i| dist_sq[i]).sum::<f64>().sqrt();
+                    // lint:allow(P2) -- members hold indices below dist_sq.len()
+                    let denom = sum_seq(members.iter().map(|&i| dist_sq[i])).sqrt();
                     if denom > 0.0 {
                         for &i in members {
+                            // lint:allow(P2) -- members hold indices below scores.len()
                             scores[i] = dist[i] / denom;
                         }
                         // Eq. 7 invariant, per group: unit-norm score slice.
@@ -422,10 +428,10 @@ impl UpdateFilter for AsyncFilter {
                 if grouped.len() == 1 {
                     // Degenerates to score = 1 for everyone; fall back to the
                     // within-group reading so ordering survives.
-                    let denom = dist_sq.iter().sum::<f64>().sqrt();
+                    let denom = sum_seq(dist_sq.iter().copied()).sqrt();
                     if denom > 0.0 {
-                        for (i, &d) in dist.iter().enumerate() {
-                            scores[i] = d / denom;
+                        for (s, &d) in scores.iter_mut().zip(&dist) {
+                            *s = d / denom;
                         }
                         debug_assert!(
                             (scores.iter().map(|s| s * s).sum::<f64>() - 1.0).abs() < 1e-6,
@@ -442,13 +448,14 @@ impl UpdateFilter for AsyncFilter {
                     let cross: Vec<Vec<f64>> = estimates
                         .iter()
                         .map(|(&key, ma)| {
+                            // lint:allow(P2) -- est_norm_sq mirrors estimates' key set
                             let ma_norm_sq = est_norm_sq[&key];
                             finite
                                 .iter()
-                                .enumerate()
-                                .map(|(i, u)| {
-                                    if own_key[i] == key {
-                                        dist_sq[i]
+                                .zip(own_key.iter().zip(&dist_sq))
+                                .map(|(u, (&ok, &dsq))| {
+                                    if ok == key {
+                                        dsq
                                     } else {
                                         u.params.distance_squared_from_norms(
                                             u.params_norm_squared(),
@@ -460,22 +467,23 @@ impl UpdateFilter for AsyncFilter {
                                 .collect()
                         })
                         .collect();
-                    for i in 0..finite.len() {
-                        let denom = cross.iter().map(|row| row[i]).sum::<f64>().sqrt();
+                    for (i, (s, &d)) in scores.iter_mut().zip(&dist).enumerate() {
+                        // lint:allow(P2) -- every cross row has one entry per finite update
+                        let denom = sum_seq(cross.iter().map(|row| row[i])).sqrt();
                         if denom > 0.0 {
-                            scores[i] = dist[i] / denom;
+                            *s = d / denom;
                         }
                     }
                 }
             }
         }
 
-        for (i, u) in finite.iter().enumerate() {
+        for (u, &score) in finite.iter().zip(&scores) {
             self.last_scores.push(ScoreRecord {
                 client: u.client,
                 staleness: u.staleness,
                 group: self.group_key(u.staleness),
-                score: scores[i],
+                score,
                 truth_malicious: u.truth_malicious,
             });
         }
@@ -494,13 +502,13 @@ impl UpdateFilter for AsyncFilter {
         // `min_separation` times as much as the middle stands out from the
         // bottom — a benign score continuum produces comparable gaps, an
         // actual poisoning cluster produces a dominant top gap.
-        let c_top = clustering.centroids[reject_cluster];
-        let c_low = clustering.centroids[accept_cluster];
-        // Gate reference: the median score of the *non-top* clusters. Using
-        // the overall median would let a large attacker cohort (e.g. the
-        // doubled-attacker study, 40 %) drag the reference up and mask
-        // itself; excluding the top cluster keeps the reference benign for
-        // any attacker share below the remaining majority.
+        let c_top = clustering.centroids[reject_cluster]; // lint:allow(P2) -- cluster ids index centroids
+        let c_low = clustering.centroids[accept_cluster]; // lint:allow(P2) -- cluster ids index centroids
+                                                          // Gate reference: the median score of the *non-top* clusters. Using
+                                                          // the overall median would let a large attacker cohort (e.g. the
+                                                          // doubled-attacker study, 40 %) drag the reference up and mask
+                                                          // itself; excluding the top cluster keeps the reference benign for
+                                                          // any attacker share below the remaining majority.
         let rest: Vec<f64> = scores
             .iter()
             .zip(&clustering.assignments)
@@ -522,8 +530,8 @@ impl UpdateFilter for AsyncFilter {
         // when the separation gate tolerates them for aggregation, letting
         // them into the moving average would poison the reference and erase
         // the very separation the gate is waiting for.
-        for (i, u) in finite.iter().enumerate() {
-            if degenerate || clustering.assignments[i] != reject_cluster {
+        for (u, &a) in finite.iter().zip(&clustering.assignments) {
+            if degenerate || a != reject_cluster {
                 let key = self.group_key(u.staleness);
                 self.absorb(key, &u.params);
             }
@@ -534,8 +542,7 @@ impl UpdateFilter for AsyncFilter {
             return outcome;
         }
 
-        for (i, u) in finite.into_iter().enumerate() {
-            let c = clustering.assignments[i];
+        for (u, &c) in finite.into_iter().zip(&clustering.assignments) {
             if c == reject_cluster {
                 outcome.rejected.push(u);
             } else if c == accept_cluster {

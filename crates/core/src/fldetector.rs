@@ -20,6 +20,7 @@ use asyncfl_clustering::diagnostics::two_clusters_preferred;
 use asyncfl_clustering::one_dim::kmeans_1d;
 use asyncfl_rng::rngs::StdRng;
 use asyncfl_rng::SeedableRng;
+use asyncfl_tensor::kernels::sum_seq;
 use asyncfl_tensor::Vector;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -117,8 +118,7 @@ impl FlDetector {
             1.0
         };
         q.scale(1.0 / gamma.max(1e-12));
-        for (i, (s, y)) in usable.iter().enumerate() {
-            let (alpha, rho) = alphas[usable.len() - 1 - i];
+        for ((s, y), &(alpha, rho)) in usable.iter().zip(alphas.iter().rev()) {
             let beta = rho * s.dot(&q);
             q.axpy(alpha - beta, y);
         }
@@ -129,7 +129,7 @@ impl FlDetector {
     fn mean_error(&self, client: usize) -> f64 {
         self.client_errors
             .get(&client)
-            .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+            .map(|w| sum_seq(w.iter().copied()) / w.len() as f64)
             .unwrap_or(0.0)
     }
 }
@@ -191,7 +191,7 @@ impl UpdateFilter for FlDetector {
 
         // 2. Normalized windowed scores for the clients in this buffer.
         let raw: Vec<f64> = finite.iter().map(|u| self.mean_error(u.client)).collect();
-        let total: f64 = raw.iter().sum();
+        let total = sum_seq(raw.iter().copied());
         let scores: Vec<f64> = if total > 0.0 {
             raw.iter().map(|e| e / total).collect()
         } else {

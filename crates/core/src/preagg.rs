@@ -74,11 +74,13 @@ impl Aggregator for BucketingAggregator {
             let mut base_round = u64::MAX;
             let mut malicious = false;
             for &i in chunk {
-                delta.axpy(1.0 / chunk.len() as f64, &updates[i].delta);
-                samples += updates[i].num_samples;
-                staleness += updates[i].staleness;
-                base_round = base_round.min(updates[i].base_round);
-                malicious |= updates[i].truth_malicious;
+                // lint:allow(P2) -- bucket chunks hold indices below updates.len()
+                let src = &updates[i];
+                delta.axpy(1.0 / chunk.len() as f64, &src.delta);
+                samples += src.num_samples;
+                staleness += src.staleness;
+                base_round = base_round.min(src.base_round);
+                malicious |= src.truth_malicious;
             }
             let mut u = ClientUpdate::from_delta(
                 bucketed.len(),
@@ -173,6 +175,7 @@ impl Aggregator for NnmAggregator {
                 dists.sort_by(|a, b| a.0.total_cmp(&b.0));
                 let mut delta = Vector::zeros(global.len());
                 for &(_, j) in dists.iter().take(k) {
+                    // lint:allow(P2) -- dists pairs carry indices below updates.len()
                     delta.axpy(1.0 / k as f64, &updates[j].delta);
                 }
                 let mut mixed = u.clone();

@@ -8,6 +8,7 @@
 
 use crate::sampling::dirichlet;
 use asyncfl_rng::Rng;
+use asyncfl_tensor::kernels::sum_seq;
 
 /// Strategy for assigning label distributions to clients.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,12 +86,10 @@ impl Partitioner {
             return 0.0;
         }
         let uniform = 1.0 / num_classes as f64;
-        let mut acc = 0.0;
-        for _ in 0..trials {
+        sum_seq((0..trials).map(|_| {
             let p = self.label_distribution(num_classes, rng);
-            acc += 0.5 * p.iter().map(|x| (x - uniform).abs()).sum::<f64>();
-        }
-        acc / trials as f64
+            0.5 * sum_seq(p.iter().map(|x| (x - uniform).abs()))
+        })) / trials as f64
     }
 }
 

@@ -1,20 +1,47 @@
-//! Per-file lint engine: file classification, `#[cfg(test)]` region
-//! detection, `lint:allow` directive handling and rule dispatch.
+//! Per-file lint engine v2: parse → scope tables → AST rules, with the v1
+//! token-pattern scan kept as a fallback for files the parser cannot
+//! handle, plus file classification, `lint:allow` directive handling
+//! (multi-line reasons, staleness detection) and diagnostic rendering.
 
+use crate::ast::LineIndex;
+use crate::ast_rules::{self, EventKindUse};
+use crate::parser;
 use crate::rules::{self, RuleHit};
-use crate::tokenizer::{self, Lexed, TokenKind};
+use crate::scope::FileScope;
+use crate::tokenizer::{self, Comment, Lexed, TokenKind};
 
 /// A confirmed lint violation (or directive problem) in one file.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Rule identifier (`D1`…`P1`, or `A0`/`A1` for directive problems).
+    /// Rule identifier (`D1`…`P2`, `X1`, or `A0`/`A2` for directive
+    /// problems; `PF` marks a parser-fallback note).
     pub rule: String,
     /// Workspace-relative path.
     pub path: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based byte column of the offending span start (0 = unknown).
+    pub col: u32,
+    /// Byte span `[start, end)` in the file, when known.
+    pub span: Option<(u32, u32)>,
+    /// The source line the diagnostic points at, when available.
+    pub snippet: Option<String>,
     /// Explanation.
     pub message: String,
+}
+
+impl Diagnostic {
+    fn bare(rule: &str, path: &str, line: u32, message: String) -> Self {
+        Self {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            col: 0,
+            span: None,
+            snippet: None,
+            message,
+        }
+    }
 }
 
 /// Lint results for one file.
@@ -22,12 +49,18 @@ pub struct Diagnostic {
 pub struct FileReport {
     /// Hard violations — any of these fails the run.
     pub violations: Vec<Diagnostic>,
-    /// Non-fatal notes (currently: unused `lint:allow` directives).
+    /// Non-fatal notes (currently: parser-fallback files).
     pub warnings: Vec<Diagnostic>,
     /// Well-formed `lint:allow` directives that suppressed at least one hit.
     pub allows_used: usize,
     /// All well-formed `lint:allow` directives in the file.
     pub allows_total: usize,
+    /// `Event::<Kind>` constructions collected for the workspace-level X1
+    /// contract-drift check.
+    pub event_kinds: Vec<EventKindUse>,
+    /// Whether the AST parser failed and the token fallback ran (F3/P2 do
+    /// not fire in fallback mode).
+    pub parse_fallback: bool,
 }
 
 /// What kind of code a file contains, derived from its workspace-relative
@@ -73,10 +106,14 @@ impl FileClass {
     }
 }
 
-/// A parsed `lint:allow` directive.
+/// A parsed `lint:allow` directive with its multi-line coverage window.
 #[derive(Debug)]
 struct Allow {
+    /// Line the directive starts on (for diagnostics).
     line: u32,
+    /// Lines `[cover_start, cover_end]` the directive suppresses.
+    cover_start: u32,
+    cover_end: u32,
     rules: Vec<String>,
     used: bool,
 }
@@ -86,65 +123,164 @@ struct Allow {
 pub fn check_source(rel_path: &str, source: &str) -> FileReport {
     let class = FileClass::classify(rel_path);
     let lexed = tokenizer::lex(source);
-    let in_test = if class.is_test_file {
-        vec![true; lexed.tokens.len()]
-    } else {
-        test_regions(&lexed)
-    };
+    let index = LineIndex::new(source);
 
     let mut report = FileReport::default();
-    let mut allows = Vec::new();
-    for comment in &lexed.comments {
-        match parse_allow(&comment.text) {
-            ParsedAllow::None => {}
-            ParsedAllow::Malformed(why) => report.violations.push(Diagnostic {
-                rule: "A0".to_string(),
-                path: rel_path.to_string(),
-                line: comment.line,
-                message: why,
-            }),
-            ParsedAllow::Allow(rules) => allows.push(Allow {
-                line: comment.line,
-                rules,
-                used: false,
-            }),
+    let hits: Vec<RuleHit> = match parser::parse_file(&lexed) {
+        Ok(file) => {
+            let scope = FileScope::build(&file);
+            let scan = ast_rules::scan(&file, &scope, &class, rel_path, &lexed, &index);
+            report.event_kinds = scan.event_kinds;
+            scan.hits
         }
+        Err(e) => {
+            report.parse_fallback = true;
+            let (line, col) = index.line_col(e.span.start);
+            report.warnings.push(Diagnostic {
+                rule: "PF".to_string(),
+                path: rel_path.to_string(),
+                line,
+                col,
+                span: Some((e.span.start, e.span.end)),
+                snippet: line_snippet(&index, source, line),
+                message: format!(
+                    "file did not parse ({}); token-scan fallback ran — F3/P2 and \
+                     scope-aware resolution are inactive here",
+                    e.message
+                ),
+            });
+            let in_test = if class.is_test_file {
+                vec![true; lexed.tokens.len()]
+            } else {
+                test_regions(&lexed)
+            };
+            rules::scan(&lexed, &class, &in_test)
+        }
+    };
+
+    // Directive collection with multi-line reason folding: a directive
+    // comment absorbs immediately-following comment lines (rustfmt-wrapped
+    // reasons) into its justification, and its coverage window extends one
+    // line past the last absorbed comment.
+    let mut allows: Vec<Allow> = Vec::new();
+    let comments = &lexed.comments;
+    let mut i = 0usize;
+    while i < comments.len() {
+        let c = &comments[i];
+        match parse_allow(&c.text) {
+            ParsedAllow::None => {}
+            ParsedAllow::Malformed(why) => {
+                report
+                    .violations
+                    .push(Diagnostic::bare("A0", rel_path, c.line, why));
+            }
+            ParsedAllow::Allow { rules, mut reason } => {
+                let mut last_end = c.end_line;
+                while let Some(nc) = comments.get(i + 1) {
+                    if nc.line != last_end + 1 {
+                        break;
+                    }
+                    if !matches!(parse_allow(&nc.text), ParsedAllow::None) {
+                        break;
+                    }
+                    let cont = comment_body(&nc.text);
+                    if !cont.is_empty() {
+                        if !reason.is_empty() {
+                            reason.push(' ');
+                        }
+                        reason.push_str(cont);
+                    }
+                    last_end = nc.end_line;
+                    i += 1;
+                }
+                if reason.trim().is_empty() {
+                    report.violations.push(Diagnostic::bare(
+                        "A0",
+                        rel_path,
+                        c.line,
+                        "lint:allow requires a justification: `lint:allow(RULE) -- <reason>`"
+                            .to_string(),
+                    ));
+                } else {
+                    allows.push(Allow {
+                        line: c.line,
+                        cover_start: c.line,
+                        cover_end: last_end + 1,
+                        rules,
+                        used: false,
+                    });
+                }
+            }
+        }
+        i += 1;
     }
     report.allows_total = allows.len();
 
-    for hit in rules::scan(&lexed, &class, &in_test) {
-        if let Some(allow) = allows.iter_mut().find(|a| {
-            (a.line == hit.line || a.line + 1 == hit.line) && a.rules.iter().any(|r| r == hit.rule)
-        }) {
-            allow.used = true;
-            continue;
+    // Usage is decoupled from suppression: when two directives' windows
+    // overlap one hit (e.g. trailing allows on adjacent lines), both are
+    // justified by it — an allow is stale only if NO hit lands in its
+    // window at all.
+    for hit in &hits {
+        let mut suppressed = false;
+        for allow in allows.iter_mut() {
+            if allow.cover_start <= hit.line
+                && hit.line <= allow.cover_end
+                && allow.rules.iter().any(|r| r == hit.rule)
+            {
+                allow.used = true;
+                suppressed = true;
+            }
         }
-        report.violations.push(to_diagnostic(rel_path, hit));
+        if !suppressed {
+            report
+                .violations
+                .push(to_diagnostic(rel_path, hit.clone(), source, &index));
+        }
     }
 
+    // A2 — stale suppressions are hard errors: an allow whose rule no
+    // longer fires in its window is a leftover claim about code that has
+    // moved on. Delete it (or fix the window) rather than letting dead
+    // justifications accumulate.
     for allow in &allows {
         report.allows_used += usize::from(allow.used);
         if !allow.used {
-            report.warnings.push(Diagnostic {
-                rule: "A1".to_string(),
-                path: rel_path.to_string(),
-                line: allow.line,
-                message: format!(
-                    "unused lint:allow({}) — nothing on this or the next line violates it",
-                    allow.rules.join(", ")
+            report.violations.push(Diagnostic::bare(
+                "A2",
+                rel_path,
+                allow.line,
+                format!(
+                    "stale lint:allow({}) — nothing in lines {}–{} violates it; \
+                     delete the directive",
+                    allow.rules.join(", "),
+                    allow.cover_start,
+                    allow.cover_end
                 ),
-            });
+            ));
         }
     }
-    report.violations.sort_by_key(|d| d.line);
+    report.violations.sort_by_key(|d| (d.line, d.col));
     report
 }
 
-fn to_diagnostic(path: &str, hit: RuleHit) -> Diagnostic {
+fn line_snippet(index: &LineIndex, source: &str, line: u32) -> Option<String> {
+    let text = index.line_text(source, line);
+    if text.is_empty() {
+        None
+    } else {
+        Some(text.to_string())
+    }
+}
+
+fn to_diagnostic(path: &str, hit: RuleHit, source: &str, index: &LineIndex) -> Diagnostic {
+    let (line, col) = index.line_col(hit.span.0);
     Diagnostic {
         rule: hit.rule.to_string(),
         path: path.to_string(),
-        line: hit.line,
+        line,
+        col,
+        span: Some(hit.span),
+        snippet: line_snippet(index, source, line),
         message: hit.message,
     }
 }
@@ -152,15 +288,29 @@ fn to_diagnostic(path: &str, hit: RuleHit) -> Diagnostic {
 enum ParsedAllow {
     None,
     Malformed(String),
-    Allow(Vec<String>),
+    Allow {
+        rules: Vec<String>,
+        /// May be empty on the directive line itself; continuation comment
+        /// lines are folded in by the caller before the emptiness check.
+        reason: String,
+    },
+}
+
+/// Strips comment sigils from a comment body.
+fn comment_body(comment: &str) -> &str {
+    comment
+        .trim_start_matches(['/', '!', '*'])
+        .trim_start()
+        .trim_end_matches("*/")
+        .trim_end()
 }
 
 /// Parses `lint:allow(R1, R2) -- reason` out of a comment body. The reason
-/// is mandatory: an allow without a recorded justification is itself a
-/// violation (rule `A0`). Only comments that *begin* with the directive are
+/// is mandatory but may continue on following comment lines (the engine
+/// folds those in). Only comments that *begin* with the directive are
 /// parsed, so prose that merely mentions `lint:allow` is ignored.
 fn parse_allow(comment: &str) -> ParsedAllow {
-    let body = comment.trim_start_matches(['/', '!', '*']).trim_start();
+    let body = comment_body(comment);
     let Some(rest) = body.strip_prefix("lint:allow") else {
         return ParsedAllow::None;
     };
@@ -198,10 +348,12 @@ fn parse_allow(comment: &str) -> ParsedAllow {
         ));
     }
     let after = &rest[close + 1..];
-    let reason = after.trim_start().strip_prefix("--").map(str::trim);
-    match reason {
-        Some(r) if !r.is_empty() => ParsedAllow::Allow(rule_list),
-        _ => ParsedAllow::Malformed(
+    match after.trim_start().strip_prefix("--").map(str::trim) {
+        Some(r) => ParsedAllow::Allow {
+            rules: rule_list,
+            reason: r.to_string(),
+        },
+        None => ParsedAllow::Malformed(
             "lint:allow requires a justification: `lint:allow(RULE) -- <reason>`".to_string(),
         ),
     }
@@ -209,10 +361,11 @@ fn parse_allow(comment: &str) -> ParsedAllow {
 
 /// Marks tokens covered by `#[test]`- or `#[cfg(test)]`-gated items.
 ///
-/// Heuristic, not a parse: an attribute whose token list contains the
-/// identifier `test` (and not `not`, so `#[cfg(not(test))]` stays live code)
-/// marks the following item — through any further attributes, up to the
-/// matching close brace or a top-level `;` — as test code.
+/// Fallback-path heuristic (the AST path computes this from parsed
+/// attributes): an attribute whose token list contains the identifier
+/// `test` (and not `not`, so `#[cfg(not(test))]` stays live code) marks the
+/// following item — through any further attributes, up to the matching
+/// close brace or a top-level `;` — as test code.
 fn test_regions(lexed: &Lexed) -> Vec<bool> {
     let toks = &lexed.tokens;
     let mut in_test = vec![false; toks.len()];
@@ -290,6 +443,12 @@ fn scan_attr(lexed: &Lexed, i: usize) -> (usize, bool) {
     (j, has_test && !has_not)
 }
 
+// Suppress an unused-field warning until a caller needs raw comments.
+#[allow(dead_code)]
+fn _comment_fields(c: &Comment) -> (u32, u32) {
+    (c.start, c.end)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,11 +518,56 @@ mod tests {
     }
 
     #[test]
-    fn unused_allow_is_a_warning() {
-        let src = "// lint:allow(D1) -- stale justification\nfn f() {}\n";
+    fn stale_allow_is_an_error() {
+        let src = "fn f() {\n    // lint:allow(D1) -- stale justification\n    let x = 1;\n}\n";
         let report = check_source("crates/core/src/x.rs", src);
-        assert!(report.violations.is_empty());
-        assert_eq!(report.warnings.len(), 1);
-        assert_eq!(report.warnings[0].rule, "A1");
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "A2");
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn wrapped_reason_folds_into_directive() {
+        // rustfmt wrapping splits the reason across comment lines; the
+        // directive must keep its justification AND still cover the code
+        // line that follows the wrapped block.
+        let src = "fn f() {\n    // lint:allow(P1) --\n    // invariant: the buffer is\n    // non-empty after insert\n    x.unwrap();\n}\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.allows_used, 1);
+    }
+
+    #[test]
+    fn wrapped_reason_with_partial_first_line() {
+        let src = "fn f() {\n    // lint:allow(P1) -- invariant: the\n    // buffer is non-empty\n    x.unwrap();\n}\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.allows_used, 1);
+    }
+
+    #[test]
+    fn diagnostics_carry_position_and_snippet() {
+        let src = "fn f() {\n    x.unwrap();\n}\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        let d = &report.violations[0];
+        assert_eq!(d.line, 2);
+        assert_eq!(d.col, 7, "col points at `unwrap`");
+        assert_eq!(d.snippet.as_deref(), Some("    x.unwrap();"));
+        let (s, e) = d.span.expect("span");
+        assert_eq!(&src[s as usize..e as usize], "unwrap");
+    }
+
+    #[test]
+    fn malformed_file_falls_back_to_token_scan() {
+        let src = "fn f( {\n    let q = x.unwrap();\n";
+        let report = check_source("crates/core/src/x.rs", src);
+        assert!(report.parse_fallback);
+        assert!(report.warnings.iter().any(|w| w.rule == "PF"));
+        assert!(
+            report.violations.iter().any(|d| d.rule == "P1"),
+            "fallback still catches P1: {:?}",
+            report.violations
+        );
     }
 }

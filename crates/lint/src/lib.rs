@@ -24,30 +24,111 @@
 //! machine-readable report CI archives). The crate has zero external
 //! dependencies, like `asyncfl-telemetry`.
 
+pub mod ast;
+pub mod ast_rules;
 pub mod engine;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod scope;
 pub mod tokenizer;
 
 pub use engine::{check_source, Diagnostic, FileClass, FileReport};
 pub use report::RunSummary;
 
+/// Workspace documentation the X1 contract-drift checks validate against.
+/// A `None` field skips the corresponding check (partial trees).
+#[derive(Debug, Default)]
+pub struct WorkspaceDocs {
+    /// Contents of `docs/OBSERVABILITY.md` — must mention every `Event`
+    /// kind constructed in non-test workspace code.
+    pub observability: Option<String>,
+    /// Contents of `docs/LINTS.md` — must have an entry for every rule id
+    /// in [`rules::RULES`].
+    pub lints: Option<String>,
+}
+
 /// Lints a set of `(path, source)` pairs and aggregates the results.
+/// Per-file rules only; use [`check_workspace`] to add the cross-file X1
+/// contract-drift checks.
 pub fn check_files<'a, I>(files: I) -> RunSummary
 where
     I: IntoIterator<Item = (&'a str, &'a str)>,
 {
+    check_workspace(files, &WorkspaceDocs::default())
+}
+
+/// Lints a set of `(path, source)` pairs, then runs the workspace-level X1
+/// contract-drift checks against the provided documentation.
+pub fn check_workspace<'a, I>(files: I, docs: &WorkspaceDocs) -> RunSummary
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
     let mut summary = RunSummary::default();
+    // kind → first construction site (path, line), in scan order.
+    let mut event_kinds: Vec<(String, String, u32)> = Vec::new();
     for (path, source) in files {
         let report = check_source(path, source);
         summary.files_scanned += 1;
+        summary.parse_fallbacks += usize::from(report.parse_fallback);
         summary.violations.extend(report.violations);
         summary.warnings.extend(report.warnings);
         summary.allows_used += report.allows_used;
         summary.allows_total += report.allows_total;
+        for ev in report.event_kinds {
+            if !event_kinds.iter().any(|(k, _, _)| *k == ev.kind) {
+                event_kinds.push((ev.kind, path.to_string(), ev.line));
+            }
+        }
     }
+
+    // X1a — every constructed Event kind must appear (backticked) in the
+    // observability catalogue. Anchored at the first construction site so
+    // the fix (document the kind) has a pointer to what emits it.
+    if let Some(doc) = &docs.observability {
+        for (kind, path, line) in &event_kinds {
+            if !doc.contains(&format!("`{kind}`")) {
+                summary.violations.push(Diagnostic {
+                    rule: "X1".to_string(),
+                    path: path.clone(),
+                    line: *line,
+                    col: 0,
+                    span: None,
+                    snippet: None,
+                    message: format!(
+                        "Event kind `{kind}` is constructed here but has no entry in \
+                         docs/OBSERVABILITY.md — document it in the event catalogue"
+                    ),
+                });
+            }
+        }
+    }
+
+    // X1b — every rule id must have a catalogue entry in docs/LINTS.md.
+    if let Some(doc) = &docs.lints {
+        for rule in rules::RULES {
+            if !doc.contains(&format!("`{}`", rule.id))
+                && !doc.contains(&format!("### {}", rule.id))
+            {
+                summary.violations.push(Diagnostic {
+                    rule: "X1".to_string(),
+                    path: "docs/LINTS.md".to_string(),
+                    line: 1,
+                    col: 0,
+                    span: None,
+                    snippet: None,
+                    message: format!(
+                        "rule {} ({}) has no entry in docs/LINTS.md — the catalogue \
+                         must cover every id in RULES",
+                        rule.id, rule.summary
+                    ),
+                });
+            }
+        }
+    }
+
     summary
         .violations
-        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
     summary
 }

@@ -60,6 +60,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         return Err("expected the `check` subcommand (try --help)".to_string());
     }
 
+    let explicit_paths_given = !explicit_paths.is_empty();
     let files = if explicit_paths.is_empty() {
         workspace_files(&root)?
     } else {
@@ -83,7 +84,20 @@ fn run(args: &[String]) -> Result<bool, String> {
             fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         sources.push((relative_label(&root, path), source));
     }
-    let summary = asyncfl_lint::check_files(sources.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+    // X1 contract-drift checks need the workspace docs. Explicit PATH
+    // invocations lint arbitrary subsets, so the drift checks (which assume
+    // whole-workspace visibility of Event constructions) only arm on full
+    // walks; a missing doc file under a full walk is itself drift.
+    let docs = if explicit_paths_given {
+        asyncfl_lint::WorkspaceDocs::default()
+    } else {
+        asyncfl_lint::WorkspaceDocs {
+            observability: fs::read_to_string(root.join("docs/OBSERVABILITY.md")).ok(),
+            lints: fs::read_to_string(root.join("docs/LINTS.md")).ok(),
+        }
+    };
+    let summary =
+        asyncfl_lint::check_workspace(sources.iter().map(|(p, s)| (p.as_str(), s.as_str())), &docs);
 
     if json {
         print!("{}", summary.render_json());
@@ -119,7 +133,12 @@ fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
 }
 
 /// Recursively gathers `.rs` files under `path` (or `path` itself).
+/// Directories named `fixtures` are skipped: they hold lint-test corpora
+/// whose files violate the rules on purpose.
 fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
+    if path.is_dir() && path.file_name().is_some_and(|n| n == "fixtures") {
+        return Ok(());
+    }
     if path.is_file() {
         if path.extension().is_some_and(|e| e == "rs") {
             out.push(path.to_path_buf());

@@ -48,8 +48,20 @@ pub const RULES: &[Rule] = &[
         summary: "no float ==/!= against nonzero literals or NaN/INFINITY in non-test code",
     },
     Rule {
+        id: "F3",
+        summary: "no ad-hoc float reductions (sum/fold/+= loops) outside asyncfl-tensor::kernels",
+    },
+    Rule {
         id: "P1",
         summary: "no unwrap()/expect()/panic! in library non-test code",
+    },
+    Rule {
+        id: "P2",
+        summary: "no unchecked slice/array indexing in non-test code of hot-path crates",
+    },
+    Rule {
+        id: "X1",
+        summary: "cross-file contract drift: Event kinds and rule ids must be documented",
     },
 ];
 
@@ -65,6 +77,8 @@ pub struct RuleHit {
     pub rule: &'static str,
     /// 1-based source line.
     pub line: u32,
+    /// Byte span `[start, end)` of the offending tokens in the source.
+    pub span: (u32, u32),
     /// Human-readable explanation with the suggested fix.
     pub message: String,
 }
@@ -103,6 +117,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
             hits.push(RuleHit {
                 rule: "D1",
                 line: t.line,
+                span: (t.start, t.end),
                 message: format!(
                     "{} iteration order is nondeterministic; filter verdicts and \
                      aggregation must be reproducible — use {replacement} or a sorted Vec",
@@ -117,6 +132,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
                 hits.push(RuleHit {
                     rule: "D2",
                     line: t.line,
+                    span: (t.start, t.end),
                     message: format!(
                         "{} draws ambient entropy; derive a seeded StdRng from the run \
                          seed so filter decisions replay bit-identically",
@@ -131,6 +147,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
                 hits.push(RuleHit {
                     rule: "D2",
                     line: t.line,
+                    span: (t.start, t.end),
                     message: "SystemTime::now makes behaviour depend on wall-clock time; \
                               thread virtual time through instead"
                         .to_string(),
@@ -154,6 +171,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
             hits.push(RuleHit {
                 rule: "D4",
                 line: t.line,
+                span: (t.start, t.end),
                 message: "Instant::now() bypasses the sanctioned wall clock; use \
                           asyncfl_telemetry::Stopwatch so all timing reads one \
                           auditable source"
@@ -180,6 +198,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
             hits.push(RuleHit {
                 rule: "D3",
                 line: t.line,
+                span: (t.start, t.end),
                 message: format!(
                     "{}:: pulls an external crate back into the runtime graph and breaks \
                      the offline build; use {replacement} instead",
@@ -194,6 +213,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
             hits.push(RuleHit {
                 rule: "F1",
                 line: t.line,
+                span: (t.start, t.end),
                 message: "partial_cmp(..).unwrap()/expect() panics on NaN and poisons sort \
                           order; use f64::total_cmp for a NaN-safe total order"
                     .to_string(),
@@ -235,6 +255,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
                 hits.push(RuleHit {
                     rule: "F2",
                     line: t.line,
+                    span: (t.start, t.end),
                     message: format!(
                         "float {} against a nonzero literal is rounding-fragile (and always \
                          false for NaN); compare with an epsilon or use is_nan()/is_infinite()",
@@ -250,6 +271,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
                 hits.push(RuleHit {
                     rule: "P1",
                     line: t.line,
+                    span: (t.start, t.end),
                     message: format!(
                         ".{}() can abort a long training run mid-flight; return an error, \
                          use unwrap_or/match, or justify with a lint:allow",
@@ -261,6 +283,7 @@ pub fn scan(lexed: &Lexed, class: &FileClass, in_test: &[bool]) -> Vec<RuleHit> 
                 hits.push(RuleHit {
                     rule: "P1",
                     line: t.line,
+                    span: (t.start, t.end),
                     message: "panic! in library code aborts the whole server; return a \
                               Result or justify with a lint:allow"
                         .to_string(),

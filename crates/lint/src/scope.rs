@@ -1,0 +1,217 @@
+//! Per-file symbol/scope tables built from the AST.
+//!
+//! The scope table answers the question the token engine never could:
+//! *what does this name mean here?* It folds a file's `use` tree (including
+//! `as` renames and glob imports) together with locally defined type names,
+//! so rules can distinguish `std::collections::HashMap` from a local
+//! `struct HashMap` or a `type HashMap = BTreeMap<…>` alias.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{File, Item, ItemKind, Path};
+
+/// Resolution result for a name or path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolved {
+    /// The canonical absolute path the name resolves to via `use`.
+    Import(Vec<String>),
+    /// The name is defined in this file (type, alias, trait, fn).
+    Local,
+    /// No import or local definition matches; the path is taken at face
+    /// value (prelude name, or an absolute path written inline).
+    Unresolved,
+}
+
+/// Symbol table for one file: imports and locally defined names.
+#[derive(Debug, Default)]
+pub struct FileScope {
+    /// `alias → full path` for every non-glob `use` entry.
+    imports: BTreeMap<String, Vec<String>>,
+    /// Prefixes imported via `use path::*`.
+    globs: Vec<Vec<String>>,
+    /// Type-like names defined in this file (structs, enums, unions,
+    /// aliases, traits), which shadow imports and prelude names.
+    local_types: BTreeSet<String>,
+    /// Function names defined in this file.
+    local_fns: BTreeSet<String>,
+}
+
+impl FileScope {
+    /// Builds the scope table by walking the file's item tree, including
+    /// inline `mod` bodies. Inline modules technically open nested scopes;
+    /// folding them flat errs toward *more* names being "local", which for
+    /// lint purposes is the safe direction (fewer false positives).
+    pub fn build(file: &File) -> Self {
+        let mut scope = Self::default();
+        for item in &file.items {
+            scope.collect(item);
+        }
+        scope
+    }
+
+    fn collect(&mut self, item: &Item) {
+        match &item.kind {
+            ItemKind::Use(entries) => {
+                for e in entries {
+                    match &e.alias {
+                        Some(alias) => {
+                            self.imports.insert(alias.clone(), e.path.clone());
+                        }
+                        None => self.globs.push(e.path.clone()),
+                    }
+                }
+            }
+            ItemKind::TypeDef { name, .. } | ItemKind::TypeAlias { name, .. } => {
+                self.local_types.insert(name.clone());
+            }
+            ItemKind::Trait { name, items } => {
+                self.local_types.insert(name.clone());
+                for it in items {
+                    self.collect(it);
+                }
+            }
+            ItemKind::Fn(f) => {
+                self.local_fns.insert(f.name.clone());
+            }
+            ItemKind::Impl { items, .. } => {
+                for it in items {
+                    self.collect(it);
+                }
+            }
+            ItemKind::Mod {
+                items: Some(items), ..
+            } => {
+                for it in items {
+                    self.collect(it);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether `name` is defined as a type in this file.
+    pub fn is_local_type(&self, name: &str) -> bool {
+        self.local_types.contains(name)
+    }
+
+    /// Resolves a bare name through the import map.
+    pub fn resolve_name(&self, name: &str) -> Resolved {
+        if self.local_types.contains(name) || self.local_fns.contains(name) {
+            return Resolved::Local;
+        }
+        match self.imports.get(name) {
+            Some(full) => Resolved::Import(full.clone()),
+            None => Resolved::Unresolved,
+        }
+    }
+
+    /// Canonicalizes a (possibly multi-segment) path: if its first segment
+    /// is an import alias, splice in the imported path. `crate`, `self`,
+    /// and `super` prefixes are preserved as written.
+    pub fn canonicalize(&self, path: &Path) -> Vec<String> {
+        let mut segs = path.segments.clone();
+        let Some(first) = segs.first() else {
+            return segs;
+        };
+        if matches!(first.as_str(), "crate" | "self" | "super") {
+            return segs;
+        }
+        if segs.len() == 1 {
+            // Bare names resolve via `resolve_name`; canonicalization
+            // applies to qualified paths.
+            if let Some(full) = self.imports.get(first) {
+                return full.clone();
+            }
+            return segs;
+        }
+        if self.local_types.contains(first) {
+            return segs;
+        }
+        if let Some(full) = self.imports.get(first) {
+            let mut out = full.clone();
+            out.extend(segs.drain(1..));
+            return out;
+        }
+        segs
+    }
+
+    /// The glob-import prefixes in effect for this file.
+    pub fn globs(&self) -> &[Vec<String>] {
+        &self.globs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::tokenizer::lex;
+
+    fn scope_of(src: &str) -> FileScope {
+        let lexed = lex(src);
+        let file = parse_file(&lexed).unwrap_or_else(|e| panic!("parse failed: {}", e.message));
+        FileScope::build(&file)
+    }
+
+    #[test]
+    fn use_rename_resolves_to_full_path() {
+        let s = scope_of("use std::collections::HashMap as Map;\n");
+        assert_eq!(
+            s.resolve_name("Map"),
+            Resolved::Import(vec!["std".into(), "collections".into(), "HashMap".into()])
+        );
+        assert_eq!(s.resolve_name("HashMap"), Resolved::Unresolved);
+    }
+
+    #[test]
+    fn nested_use_tree_flattens() {
+        let s = scope_of("use std::collections::{BTreeMap, btree_map::Entry};\n");
+        assert_eq!(
+            s.resolve_name("BTreeMap"),
+            Resolved::Import(vec!["std".into(), "collections".into(), "BTreeMap".into()])
+        );
+        assert_eq!(
+            s.resolve_name("Entry"),
+            Resolved::Import(vec![
+                "std".into(),
+                "collections".into(),
+                "btree_map".into(),
+                "Entry".into()
+            ])
+        );
+    }
+
+    #[test]
+    fn local_type_shadows() {
+        let s = scope_of("struct HashMap;\nfn go() {}\n");
+        assert_eq!(s.resolve_name("HashMap"), Resolved::Local);
+        assert!(s.is_local_type("HashMap"));
+        assert_eq!(s.resolve_name("go"), Resolved::Local);
+    }
+
+    #[test]
+    fn qualified_path_canonicalizes_through_alias() {
+        let s = scope_of("use std::collections as coll;\n");
+        let p = Path {
+            segments: vec!["coll".into(), "HashMap".into()],
+            span: Default::default(),
+        };
+        assert_eq!(
+            s.canonicalize(&p),
+            vec![
+                "std".to_string(),
+                "collections".to_string(),
+                "HashMap".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn glob_imports_recorded() {
+        let s = scope_of("use std::collections::*;\n");
+        assert_eq!(
+            s.globs(),
+            &[vec!["std".to_string(), "collections".to_string()]]
+        );
+    }
+}

@@ -29,7 +29,7 @@ pub enum TokenKind {
     Op,
 }
 
-/// One lexed token with its source line (1-based).
+/// One lexed token with its source line (1-based) and byte span.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// What kind of token this is.
@@ -38,6 +38,10 @@ pub struct Token {
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
+    /// Byte offset of the first byte of the token.
+    pub start: u32,
+    /// Byte offset one past the last byte of the token.
+    pub end: u32,
 }
 
 /// A comment (line or block), captured for `lint:allow` directive parsing.
@@ -47,6 +51,12 @@ pub struct Comment {
     pub text: String,
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for line comments).
+    pub end_line: u32,
+    /// Byte offset of the first byte of the comment marker.
+    pub start: u32,
+    /// Byte offset one past the comment's last byte.
+    pub end: u32,
 }
 
 /// Result of lexing one source file.
@@ -71,6 +81,15 @@ const MULTI_OPS: &[&str] = &[
 pub fn lex(source: &str) -> Lexed {
     let chars: Vec<char> = source.chars().collect();
     let n = chars.len();
+    // Byte offset of each char index (plus one-past-the-end), so tokens can
+    // carry byte spans while the scanner works in char indices.
+    let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut byte = 0u32;
+    for c in &chars {
+        offsets.push(byte);
+        byte += c.len_utf8() as u32;
+    }
+    offsets.push(byte);
     let mut out = Lexed::default();
     let mut i = 0usize;
     let mut line: u32 = 1;
@@ -99,6 +118,9 @@ pub fn lex(source: &str) -> Lexed {
                 out.comments.push(Comment {
                     text: chars[start..j].iter().collect(),
                     line,
+                    end_line: line,
+                    start: offsets[i],
+                    end: offsets[j],
                 });
                 i = j;
                 continue;
@@ -124,6 +146,9 @@ pub fn lex(source: &str) -> Lexed {
                 out.comments.push(Comment {
                     text: chars[start..end].iter().collect(),
                     line: start_line,
+                    end_line: line,
+                    start: offsets[i],
+                    end: offsets[j],
                 });
                 i = j;
                 continue;
@@ -136,6 +161,8 @@ pub fn lex(source: &str) -> Lexed {
                     kind,
                     text: String::new(),
                     line,
+                    start: offsets[i],
+                    end: offsets[j],
                 });
                 line += lines;
                 i = j;
@@ -149,6 +176,8 @@ pub fn lex(source: &str) -> Lexed {
                 kind: TokenKind::Str,
                 text: String::new(),
                 line,
+                start: offsets[i],
+                end: offsets[j],
             });
             line += lines;
             i = j;
@@ -156,14 +185,18 @@ pub fn lex(source: &str) -> Lexed {
         }
         // Lifetime or char literal.
         if c == '\'' {
-            let (token, j) = lex_quote(&chars, i, line);
+            let (mut token, j) = lex_quote(&chars, i, line);
+            token.start = offsets[i];
+            token.end = offsets[j];
             out.tokens.push(token);
             i = j;
             continue;
         }
         // Numbers.
         if c.is_ascii_digit() {
-            let (token, j) = lex_number(&chars, i, line);
+            let (mut token, j) = lex_number(&chars, i, line);
+            token.start = offsets[i];
+            token.end = offsets[j];
             out.tokens.push(token);
             i = j;
             continue;
@@ -178,6 +211,8 @@ pub fn lex(source: &str) -> Lexed {
                 kind: TokenKind::Ident,
                 text: chars[i..j].iter().collect(),
                 line,
+                start: offsets[i],
+                end: offsets[j],
             });
             i = j;
             continue;
@@ -191,6 +226,8 @@ pub fn lex(source: &str) -> Lexed {
                     kind: TokenKind::Op,
                     text: (*op).to_string(),
                     line,
+                    start: offsets[i],
+                    end: offsets[i + len],
                 });
                 i += len;
                 matched = true;
@@ -204,6 +241,8 @@ pub fn lex(source: &str) -> Lexed {
             kind: TokenKind::Op,
             text: c.to_string(),
             line,
+            start: offsets[i],
+            end: offsets[i + 1],
         });
         i += 1;
     }
@@ -303,6 +342,8 @@ fn lex_quote(chars: &[char], i: usize, line: u32) -> (Token, usize) {
                     kind: TokenKind::Lifetime,
                     text: chars[i..j].iter().collect(),
                     line,
+                    start: 0,
+                    end: 0,
                 },
                 j,
             );
@@ -329,6 +370,8 @@ fn lex_quote(chars: &[char], i: usize, line: u32) -> (Token, usize) {
             kind: TokenKind::Char,
             text: String::new(),
             line,
+            start: 0,
+            end: 0,
         },
         j,
     )
@@ -353,6 +396,8 @@ fn lex_number(chars: &[char], i: usize, line: u32) -> (Token, usize) {
                 kind: TokenKind::Int,
                 text: chars[i..j].iter().collect(),
                 line,
+                start: 0,
+                end: 0,
             },
             j,
         );
@@ -398,6 +443,8 @@ fn lex_number(chars: &[char], i: usize, line: u32) -> (Token, usize) {
             },
             text: chars[i..j].iter().collect(),
             line,
+            start: 0,
+            end: 0,
         },
         j,
     )
@@ -520,6 +567,23 @@ mod tests {
             .map(|t| t.line)
             .collect();
         assert_eq!(lines, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn byte_spans_slice_back_to_source() {
+        let src = "let \u{3b1} = 1.5; // note\nfoo == bar";
+        let lexed = lex(src);
+        for t in &lexed.tokens {
+            let slice = &src[t.start as usize..t.end as usize];
+            if !t.text.is_empty() {
+                assert_eq!(slice, t.text, "token {t:?}");
+            }
+            assert!(t.end >= t.start);
+        }
+        let c = &lexed.comments[0];
+        assert_eq!(&src[c.start as usize..c.end as usize], "// note");
+        assert_eq!(c.line, 1);
+        assert_eq!(c.end_line, 1);
     }
 
     #[test]

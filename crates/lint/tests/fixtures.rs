@@ -236,15 +236,18 @@ fn p1_exempts_test_code_binaries_and_bench_crate() {
 }
 
 #[test]
-fn unused_allow_warns_but_does_not_fail() {
+fn stale_allow_is_a_hard_error() {
+    // v2 semantics: a lint:allow whose rule no longer fires in its window
+    // is rule A2 — a violation, not a warning — so dead justifications
+    // cannot accumulate.
     let report = check_source(
         LIB_PATH,
         "// lint:allow(P1) -- stale justification\nfn f() {}\n",
     );
-    assert!(report.violations.is_empty());
-    assert_eq!(report.warnings.len(), 1);
-    assert_eq!(report.warnings[0].rule, "A1");
-    assert_eq!(report.warnings[0].line, 1);
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, "A2");
+    assert_eq!(report.violations[0].line, 1);
+    assert!(report.warnings.is_empty());
 }
 
 #[test]

@@ -1,0 +1,14 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! A0/A2 — the escape hatch policed: a reason-less allow, an allow naming
+//! an unknown rule, and a stale allow suppressing nothing.
+
+// lint:allow(P1)
+fn no_reason(buffer: &[u64]) -> u64 {
+    *buffer.last().unwrap()
+}
+
+// lint:allow(Q9) -- no such rule
+fn unknown_rule() {}
+
+// lint:allow(D1) -- nothing below violates D1, so this is stale
+fn stale() {}

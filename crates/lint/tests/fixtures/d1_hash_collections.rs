@@ -1,0 +1,22 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! D1 — hash collections in non-test library code.
+
+use std::collections::HashMap;
+
+struct RoundState {
+    per_client: HashMap<usize, f64>,
+}
+
+struct Scratch {
+    // lint:allow(D1) -- scratch set, never iterated; contents drained sorted
+    seen: HashSet<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let _ = m;
+    }
+}

@@ -1,0 +1,16 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! D2 — ambient entropy and wall-clock sources; fires even in tests.
+
+fn seed() -> u64 {
+    let rng = thread_rng();
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_must_be_seeded() {
+        let t = SystemTime::now();
+        let _ = t;
+    }
+}

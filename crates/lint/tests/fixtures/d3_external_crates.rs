@@ -1,0 +1,10 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! D3 — runtime paths into replaced external crates break the hermetic
+//! offline build.
+
+use rand::Rng;
+
+fn lock_free() {
+    let q = crossbeam::queue::SegQueue::new();
+    q.push(1u32);
+}

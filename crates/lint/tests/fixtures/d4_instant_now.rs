@@ -1,0 +1,7 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! D4 — bare wall-clock reads outside the telemetry crate.
+
+fn elapsed_ns() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

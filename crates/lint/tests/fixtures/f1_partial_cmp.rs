@@ -1,0 +1,10 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! F1 — NaN-unsafe float comparisons.
+
+fn rank(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn rank_safely(scores: &mut [f64]) {
+    scores.sort_by(f64::total_cmp);
+}

@@ -1,0 +1,14 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! F2 — rounding-fragile float equality.
+
+fn converged(loss: f64) -> bool {
+    loss == 0.25
+}
+
+fn is_sentinel(x: f64) -> bool {
+    x == f64::INFINITY
+}
+
+fn exact_zero_is_fine(x: f64) -> bool {
+    x == 0.0
+}

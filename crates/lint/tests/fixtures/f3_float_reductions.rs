@@ -1,0 +1,28 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! F3 — ad-hoc float reductions outside the kernels module, and the two
+//! deliberate exemptions: order-independent max/min folds, and sums inside
+//! `debug_assert!` arguments.
+
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+fn running(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+
+fn seeded_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, b| a + b)
+}
+
+fn max_fold_is_exempt(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+fn debug_assert_args_are_exempt(xs: &[f64]) {
+    debug_assert!((xs.iter().map(|x| x * x).sum::<f64>() - 1.0).abs() < 1e-9);
+}

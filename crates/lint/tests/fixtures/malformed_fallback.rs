@@ -1,0 +1,7 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! Malformed file: the parser cannot produce an AST (unbalanced brace),
+//! so the engine falls back to the token scan — which must still catch
+//! token-visible violations like this D2.
+
+fn broken( {
+    let rng = thread_rng();

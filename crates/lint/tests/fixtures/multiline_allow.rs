@@ -1,0 +1,8 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! Multi-line justification: continuation comment lines extend both the
+//! reason and the coverage window down to the code they explain.
+
+// lint:allow(P1) -- the constructor asserted `k >= 1`, so the partition
+// produced here is non-empty and `last()` cannot return `None`; the
+// coverage window follows the wrapped reason down to the next code line.
+fn covered(parts: &[u64]) -> u64 { *parts.last().unwrap() }

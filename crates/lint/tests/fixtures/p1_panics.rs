@@ -1,0 +1,10 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! P1 — aborts in library code.
+
+fn latest(buffer: &[u64]) -> u64 {
+    *buffer.last().unwrap()
+}
+
+fn named(buffer: &[u64]) -> u64 {
+    *buffer.first().expect("buffer must not be empty")
+}

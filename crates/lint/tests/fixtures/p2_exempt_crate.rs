@@ -1,0 +1,6 @@
+//@ lint-as: crates/analysis/src/fixture.rs
+//! P2 applies only to the hot-path crates; `crates/analysis` is exempt.
+
+fn pick(scores: &[f64], winner: usize) -> f64 {
+    scores[winner]
+}

@@ -1,0 +1,14 @@
+//@ lint-as: crates/core/src/fixture.rs
+//! P2 — unchecked indexing in a hot-path crate (`crates/core`).
+
+fn pick(scores: &[f64], winner: usize) -> f64 {
+    scores[winner]
+}
+
+fn pick_checked(scores: &[f64], winner: usize) -> f64 {
+    scores.get(winner).copied().unwrap_or(0.0)
+}
+
+fn justified(centroids: &[f64], cluster: usize) -> f64 {
+    centroids[cluster] // lint:allow(P2) -- cluster ids index centroids by construction
+}

@@ -19,6 +19,7 @@ pub fn cross_entropy(logits: &[f64], label: usize) -> f64 {
         "cross_entropy: label {label} out of range for {} logits",
         logits.len()
     );
+    // lint:allow(P2) -- label bound asserted at entry; the panic is this function's contract
     -log_softmax(logits)[label]
 }
 
@@ -35,7 +36,7 @@ pub fn cross_entropy_grad(logits: &[f64], label: usize) -> Vec<f64> {
         logits.len()
     );
     let mut g = softmax(logits);
-    g[label] -= 1.0;
+    g[label] -= 1.0; // lint:allow(P2) -- label bound asserted at entry; the panic is this function's contract
     g
 }
 
@@ -58,11 +59,12 @@ pub fn cross_entropy_grad_in_place(logits: &mut [f64], label: usize) -> f64 {
         logits.len()
     );
     let lse = log_sum_exp(logits);
+    // lint:allow(P2) -- label bound asserted at entry; the panic is this function's contract
     let loss = -(logits[label] - lse);
     for x in logits.iter_mut() {
         *x = (*x - lse).exp();
     }
-    logits[label] -= 1.0;
+    logits[label] -= 1.0; // lint:allow(P2) -- label bound asserted at entry; the panic is this function's contract
     loss
 }
 

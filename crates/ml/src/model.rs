@@ -12,6 +12,7 @@ use crate::loss::cross_entropy;
 use crate::scratch::{self, LayerSpec, TrainScratch};
 use asyncfl_data::Sample;
 use asyncfl_rng::Rng;
+use asyncfl_tensor::kernels;
 use asyncfl_tensor::ops::argmax;
 use asyncfl_tensor::{init, Matrix, Vector};
 
@@ -135,8 +136,10 @@ pub trait Model: Send + Sync {
             grad.len(),
             self.num_params()
         );
-        let samples: Vec<Sample> = (0..x.rows())
-            .map(|i| Sample::new(Vector::from(x.row(i).to_vec()), labels[i]))
+        let samples: Vec<Sample> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &label)| Sample::new(Vector::from(x.row(i).to_vec()), label))
             .collect();
         let refs: Vec<&Sample> = samples.iter().collect();
         let (loss, g) = self.loss_and_grad(&refs);
@@ -168,11 +171,11 @@ pub trait Model: Send + Sync {
         if batch.is_empty() {
             return 0.0;
         }
-        batch
-            .iter()
-            .map(|s| cross_entropy(&self.logits(&s.features), s.label))
-            .sum::<f64>()
-            / batch.len() as f64
+        kernels::sum_seq(
+            batch
+                .iter()
+                .map(|s| cross_entropy(&self.logits(&s.features), s.label)),
+        ) / batch.len() as f64
     }
 
     /// Clones the model behind a box (object-safe `Clone`).
@@ -225,11 +228,11 @@ impl Model for SoftmaxRegression {
     }
 
     fn input_dim(&self) -> usize {
-        self.layers[0].in_dim
+        self.layers.first().map_or(0, |l| l.in_dim)
     }
 
     fn num_classes(&self) -> usize {
-        self.layers[0].out_dim
+        self.layers.first().map_or(0, |l| l.out_dim)
     }
 
     fn params_ref(&self) -> &Vector {
@@ -285,8 +288,11 @@ impl Mlp {
         let w2 = init::xavier_uniform(rng, num_classes, hidden);
         let layers = scratch::layer_specs(input_dim, &[hidden, num_classes]);
         let mut flat = vec![0.0; scratch::total_params(&layers)];
-        flat[layers[0].w_off..layers[0].w_off + w1.len()].copy_from_slice(w1.as_slice());
-        flat[layers[1].w_off..layers[1].w_off + w2.len()].copy_from_slice(w2.as_slice());
+        for (spec, w) in layers.iter().zip([&w1, &w2]) {
+            if let Some(dst) = flat.get_mut(spec.w_off..spec.w_off + w.len()) {
+                dst.copy_from_slice(w.as_slice());
+            }
+        }
         Self {
             flat: Vector::from(flat),
             layers,
@@ -295,7 +301,7 @@ impl Mlp {
 
     /// Hidden-layer width.
     pub fn hidden_dim(&self) -> usize {
-        self.layers[0].out_dim
+        self.layers.first().map_or(0, |l| l.out_dim)
     }
 }
 
@@ -305,11 +311,11 @@ impl Model for Mlp {
     }
 
     fn input_dim(&self) -> usize {
-        self.layers[0].in_dim
+        self.layers.first().map_or(0, |l| l.in_dim)
     }
 
     fn num_classes(&self) -> usize {
-        self.layers[1].out_dim
+        self.layers.get(1).map_or(0, |l| l.out_dim)
     }
 
     fn params_ref(&self) -> &Vector {

@@ -211,10 +211,10 @@ impl Optimizer for Adam {
         let bias1 = 1.0 - b1.powi(self.t as i32);
         let bias2 = 1.0 - b2.powi(self.t as i32);
         let ps = params.as_mut_slice();
-        for i in 0..dim {
-            let m_hat = m[i] / bias1;
-            let v_hat = v[i] / bias2;
-            ps[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        for ((p, &mi), &vi) in ps.iter_mut().zip(m.iter()).zip(v.iter()) {
+            let m_hat = mi / bias1;
+            let v_hat = vi / bias2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
     }
 

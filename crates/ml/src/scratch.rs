@@ -19,7 +19,7 @@
 //! simulations reproduce byte-identically across the two code paths.
 
 use crate::loss::cross_entropy_grad_in_place;
-use asyncfl_tensor::kernels::{add_row_broadcast, axpy, gemm_nn, gemm_nt, gemm_tn_acc};
+use asyncfl_tensor::kernels::{add_row_broadcast, axpy, gemm_nn, gemm_nt, gemm_tn_acc, sum_seq};
 use asyncfl_tensor::{Matrix, Vector};
 
 /// Reusable buffers for batched training and inference.
@@ -132,12 +132,12 @@ pub(crate) fn forward_batch(
     x: &Matrix,
     scratch: &mut TrainScratch,
 ) {
+    let model_in = layers.first().map_or(0, |l| l.in_dim);
     assert_eq!(
         x.cols(),
-        layers[0].in_dim,
-        "forward_batch: input dim {} does not match model input {}",
-        x.cols(),
-        layers[0].in_dim
+        model_in,
+        "forward_batch: input dim {} does not match model input {model_in}",
+        x.cols()
     );
     let n = x.rows();
     let n_hidden = layers.len() - 1;
@@ -145,18 +145,22 @@ pub(crate) fn forward_batch(
     let TrainScratch { logits, acts, .. } = scratch;
     for (l, spec) in layers.iter().enumerate() {
         let (done, rest) = acts.split_at_mut(l.min(n_hidden));
+        // lint:allow(P2) -- split_at_mut gives `done` exactly l entries here
         let input: &Matrix = if l == 0 { x } else { &done[l - 1] };
         let last = l == n_hidden;
+        // lint:allow(P2) -- every non-last layer leaves `rest` nonempty
         let out: &mut Matrix = if last { logits } else { &mut rest[0] };
         out.resize(n, spec.out_dim);
         gemm_nt(
             out.as_mut_slice(),
             input.as_slice(),
+            // lint:allow(P2) -- spec ranges lie inside flat by the total_params layout
             &flat[spec.w_range()],
             n,
             spec.in_dim,
             spec.out_dim,
         );
+        // lint:allow(P2) -- spec ranges lie inside flat by the total_params layout
         add_row_broadcast(out.as_mut_slice(), &flat[spec.b_range()]);
         if !last {
             for v in out.as_mut_slice() {
@@ -201,27 +205,33 @@ pub(crate) fn loss_and_grad_batch(
     );
     forward_batch(flat, layers, x, scratch);
 
-    // Fused loss + logit gradient, row by row: logits become dZ.
-    let mut loss = 0.0;
-    for (i, &label) in labels.iter().enumerate() {
-        loss += cross_entropy_grad_in_place(scratch.logits.row_mut(i), label);
-    }
+    // Fused loss + logit gradient, row by row: logits become dZ. The
+    // per-row losses reduce through sum_seq in ascending sample order —
+    // bit-identical to the accumulator loop this replaces.
+    let logits = &mut scratch.logits;
+    let loss = sum_seq(
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, &label)| cross_entropy_grad_in_place(logits.row_mut(i), label)),
+    );
 
     grad.as_mut_slice().fill(0.0);
     // Ping-pong the delta through owned locals so the borrow of
     // `scratch.acts` stays disjoint; buffers are restored at the end.
     let mut delta = std::mem::take(&mut scratch.logits);
     let mut spare = std::mem::take(&mut scratch.spare);
-    for l in (0..layers.len()).rev() {
-        let spec = &layers[l];
+    for (l, spec) in layers.iter().enumerate().rev() {
         let input: &[f64] = if l == 0 {
             x.as_slice()
         } else {
+            // lint:allow(P2) -- acts holds one matrix per hidden layer; l > 0 here
             scratch.acts[l - 1].as_slice()
         };
         let g = grad.as_mut_slice();
         // ∂L/∂W += δᵀ · input, accumulated in ascending sample order.
         gemm_tn_acc(
+            // lint:allow(P2) -- spec ranges lie inside grad by the total_params layout
             &mut g[spec.w_range()],
             delta.as_slice(),
             input,
@@ -230,6 +240,7 @@ pub(crate) fn loss_and_grad_batch(
             spec.in_dim,
         );
         // ∂L/∂b += column sums of δ, in the same sample order.
+        // lint:allow(P2) -- spec ranges lie inside grad by the total_params layout
         let gb = &mut g[spec.b_range()];
         for i in 0..n {
             axpy(gb, 1.0, delta.row(i));
@@ -240,11 +251,13 @@ pub(crate) fn loss_and_grad_batch(
             gemm_nn(
                 spare.as_mut_slice(),
                 delta.as_slice(),
+                // lint:allow(P2) -- spec ranges lie inside flat by the total_params layout
                 &flat[spec.w_range()],
                 n,
                 spec.out_dim,
                 spec.in_dim,
             );
+            // lint:allow(P2) -- acts holds one matrix per hidden layer; l > 0 here
             let act = scratch.acts[l - 1].as_slice();
             for (d, &a) in spare.as_mut_slice().iter_mut().zip(act) {
                 if a <= 0.0 {
@@ -269,12 +282,12 @@ pub(crate) fn loss_and_grad_batch(
 ///
 /// Panics if `features.len()` does not match the first layer's input width.
 pub(crate) fn logits_one(flat: &[f64], layers: &[LayerSpec], features: &[f64]) -> Vec<f64> {
+    let model_in = layers.first().map_or(0, |l| l.in_dim);
     assert_eq!(
         features.len(),
-        layers[0].in_dim,
-        "logits: feature dim {} does not match model input {}",
-        features.len(),
-        layers[0].in_dim
+        model_in,
+        "logits: feature dim {} does not match model input {model_in}",
+        features.len()
     );
     let mut cur: Vec<f64> = Vec::new();
     let mut next: Vec<f64> = Vec::new();
@@ -285,11 +298,13 @@ pub(crate) fn logits_one(flat: &[f64], layers: &[LayerSpec], features: &[f64]) -
         gemm_nt(
             &mut next,
             input,
+            // lint:allow(P2) -- spec ranges lie inside flat by the total_params layout
             &flat[spec.w_range()],
             1,
             spec.in_dim,
             spec.out_dim,
         );
+        // lint:allow(P2) -- spec ranges lie inside flat by the total_params layout
         axpy(&mut next, 1.0, &flat[spec.b_range()]);
         if l + 1 < layers.len() {
             for v in &mut next {

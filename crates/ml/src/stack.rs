@@ -53,7 +53,9 @@ impl MlpStack {
             } else {
                 init::he_uniform(rng, width, fan_in)
             };
-            flat[spec.w_off..spec.w_off + w.len()].copy_from_slice(w.as_slice());
+            if let Some(dst) = flat.get_mut(spec.w_off..spec.w_off + w.len()) {
+                dst.copy_from_slice(w.as_slice());
+            }
             fan_in = width;
         }
         Self {
@@ -74,7 +76,7 @@ impl Model for MlpStack {
     }
 
     fn input_dim(&self) -> usize {
-        self.layers[0].in_dim
+        self.layers.first().map_or(0, |l| l.in_dim)
     }
 
     fn num_classes(&self) -> usize {

@@ -23,6 +23,7 @@ fn gather_batch(data: &Dataset, idx: &[usize], x: &mut Matrix, labels: &mut Vec<
     x.resize(idx.len(), data.feature_dim());
     labels.clear();
     for (r, &i) in idx.iter().enumerate() {
+        // lint:allow(P2) -- the batch sampler draws indices below samples().len()
         let s = &data.samples()[i];
         x.row_mut(r).copy_from_slice(s.features.as_slice());
         labels.push(s.label);
@@ -155,6 +156,8 @@ impl LocalTrainer {
                     }
                 }
                 optimizer.step(model.params_mut(), &grad);
+                // lint:allow(F3) -- sequential batch-order accumulation; the loop
+                // mutates model state per step, so it cannot be an iterator sum
                 epoch_loss += loss;
                 steps += 1;
             }

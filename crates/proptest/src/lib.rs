@@ -181,7 +181,6 @@ macro_rules! proptest {
                         ::std::result::Result::Ok(()) => {}
                         ::std::result::Result::Err(e) if e.0 == "__prop_assume_failed" => {}
                         ::std::result::Result::Err(e) => {
-                            // lint:allow(P1) -- expands inside #[test] fns only; a failed property must abort the test
                             panic!("property {} failed on case {}: {}", stringify!($name), __case, e);
                         }
                     }

@@ -89,7 +89,7 @@ pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64>
         "dirichlet: alpha must be positive and finite, got {alpha}"
     );
     let mut draws: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
-    let total: f64 = draws.iter().sum();
+    let total: f64 = draws.iter().sum(); // lint:allow(F3) -- asyncfl-rng sits below asyncfl-tensor in the crate DAG, so kernels is unavailable
     if total <= 0.0 || !total.is_finite() {
         // Numerically degenerate draw (possible for tiny alpha where every
         // gamma underflows): fall back to a one-hot on a uniform category,
@@ -128,11 +128,11 @@ impl Zipf {
             "Zipf: s must be positive, got {s}"
         );
         let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
-        let total: f64 = weights.iter().sum();
+        let total: f64 = weights.iter().sum(); // lint:allow(F3) -- asyncfl-rng sits below asyncfl-tensor in the crate DAG, so kernels is unavailable
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0;
         for w in &weights {
-            acc += w / total;
+            acc += w / total; // lint:allow(F3) -- prefix-sum construction (every partial is kept), not a reduction
             cumulative.push(acc);
         }
         // Guard against floating-point drift at the tail.
@@ -190,7 +190,7 @@ pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     let mut total = 0.0;
     for &w in weights {
         assert!(w >= 0.0 && w.is_finite(), "categorical: invalid weight {w}");
-        total += w;
+        total += w; // lint:allow(F3) -- fused with per-weight validation; kernels is a layer above asyncfl-rng
     }
     assert!(total > 0.0, "categorical: weights sum to zero");
     let mut u = rng.random::<f64>() * total;

@@ -119,7 +119,7 @@ fn dispatch(
     client_rng: &mut [StdRng],
 ) {
     if let Some(handle) = pool {
-        let rng = std::mem::replace(&mut client_rng[client], StdRng::seed_from_u64(0));
+        let rng = std::mem::replace(&mut client_rng[client], StdRng::seed_from_u64(0)); // lint:allow(P2) -- dispatch is called with client < num_clients
         let _ = handle.submit(TrainTask {
             seq,
             client,
@@ -215,7 +215,7 @@ impl Simulation {
         let order = asyncfl_data::sampling::permutation(&mut master, config.num_clients);
         let mut malicious = vec![false; config.num_clients];
         for &c in order.iter().take(config.num_malicious) {
-            malicious[c] = true;
+            malicious[c] = true; // lint:allow(P2) -- the permutation only yields ids below num_clients
         }
 
         let partition_size = config.effective_partition_size();
@@ -280,8 +280,8 @@ impl Simulation {
     /// a different threat vector that exercises the same defense path.
     /// Combine with [`AttackKind::None`] to study data poisoning alone.
     pub fn poison_malicious_labels(&mut self) {
-        for (c, data) in self.client_data.iter_mut().enumerate() {
-            if self.malicious[c] {
+        for (data, &mal) in self.client_data.iter_mut().zip(&self.malicious) {
+            if mal {
                 *data = data.with_flipped_labels();
             }
         }
@@ -355,7 +355,7 @@ impl Simulation {
                 let _span = Span::start(sink.as_ref().map(|s| s.as_dyn()), "local_training");
                 trainer.train(
                     model.as_mut(),
-                    &client_data[client],
+                    &client_data[client], // lint:allow(P2) -- client ids stay below num_clients by construction
                     optimizer.as_mut(),
                     rng,
                 );
@@ -395,7 +395,7 @@ impl Simulation {
             let mut seq = 0u64;
             let init_base = Arc::new(server.global().clone());
             for client in 0..cfg.num_clients {
-                let dur = latency.cycle_duration(client_factor[client], &mut client_rng[client]);
+                let dur = latency.cycle_duration(client_factor[client], &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
                 dispatch(&mut pool, seq, client, &init_base, client_rng);
                 heap.push(InFlight {
                     completes_at: dur,
@@ -432,8 +432,8 @@ impl Simulation {
                 if job.idle {
                     // Not sampled last cycle: wake up and (maybe) participate.
                     let dur =
-                        latency.cycle_duration(client_factor[client], &mut client_rng[client]);
-                    let idle = !participates(cfg, &mut client_rng[client]);
+                        latency.cycle_duration(client_factor[client], &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
+                    let idle = !participates(cfg, &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
                     let base = Arc::new(server.global().clone());
                     if !idle {
                         dispatch(&mut pool, seq, client, &base, client_rng);
@@ -455,10 +455,10 @@ impl Simulation {
                 // result by sequence number (pool mode). Either way the
                 // client's RNG ends up in the same state.
                 let honest_delta = match &mut pool {
-                    None => train_one(&job.base_params, client, &mut client_rng[client]),
+                    None => train_one(&job.base_params, client, &mut client_rng[client]), // lint:allow(P2) -- client ids stay below num_clients by construction
                     Some(handle) => match handle.collect(job.seq) {
                         Ok(out) => {
-                            client_rng[out.client] = out.rng;
+                            client_rng[out.client] = out.rng; // lint:allow(P2) -- pool outputs echo the client id they were submitted with
                             out.delta
                         }
                         Err(e) => {
@@ -468,6 +468,7 @@ impl Simulation {
                     },
                 };
 
+                // lint:allow(P2) -- client ids stay below num_clients by construction
                 let delta = if malicious[client] {
                     collusion.push_back(honest_delta.clone());
                     while collusion.len() > cfg.num_malicious.max(1) {
@@ -486,14 +487,14 @@ impl Simulation {
                     0,
                     &job.base_params,
                     delta,
-                    client_sizes[client],
+                    client_sizes[client], // lint:allow(P2) -- client ids stay below num_clients by construction
                 )
-                .with_truth_malicious(malicious[client]);
+                .with_truth_malicious(malicious[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
 
                 // Failure injection: the update may be lost in transit.
                 let dropped = cfg.dropout > 0.0 && {
                     use asyncfl_rng::RngExt;
-                    client_rng[client].random::<f64>() < cfg.dropout
+                    client_rng[client].random::<f64>() < cfg.dropout // lint:allow(P2) -- client ids stay below num_clients by construction
                 };
                 let received = if dropped {
                     None
@@ -548,8 +549,8 @@ impl Simulation {
                 // The client immediately starts its next cycle from the
                 // current global model (or idles this cycle if the sampler
                 // skips it).
-                let dur = latency.cycle_duration(client_factor[client], &mut client_rng[client]);
-                let idle = !participates(cfg, &mut client_rng[client]);
+                let dur = latency.cycle_duration(client_factor[client], &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
+                let idle = !participates(cfg, &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
                 let base = Arc::new(server.global().clone());
                 if !idle {
                     dispatch(&mut pool, seq, client, &base, client_rng);
@@ -570,7 +571,7 @@ impl Simulation {
                 // consumed, so post-run client state matches what the jobs
                 // actually drew.
                 for out in handle.drain() {
-                    client_rng[out.client] = out.rng;
+                    client_rng[out.client] = out.rng; // lint:allow(P2) -- pool outputs echo the client id they were submitted with
                 }
             }
 

@@ -96,7 +96,7 @@ pub fn run_threaded_with_sink(
     let order = asyncfl_data::sampling::permutation(&mut master, config.num_clients);
     let mut malicious = vec![false; config.num_clients];
     for &c in order.iter().take(config.num_malicious) {
-        malicious[c] = true;
+        malicious[c] = true; // lint:allow(P2) -- the permutation only yields ids below num_clients
     }
 
     let partition = config.effective_partition_size();
@@ -149,14 +149,14 @@ pub fn run_threaded_with_sink(
             let done = Arc::clone(&done);
             let collusion = Arc::clone(&collusion);
             let attack = Arc::clone(&attack);
-            let data = Arc::clone(&client_data[c]);
+            let data = Arc::clone(&client_data[c]); // lint:allow(P2) -- one spawned worker per client id below num_clients
             let test_data = Arc::clone(&test_data);
             let accuracy_history = Arc::clone(&accuracy_history);
             let mut model = template.clone();
             let mut eval_model = template.clone();
-            let is_malicious = malicious[c];
-            let factor = client_factor[c];
-            let seed = client_seeds[c];
+            let is_malicious = malicious[c]; // lint:allow(P2) -- one spawned worker per client id below num_clients
+            let factor = client_factor[c]; // lint:allow(P2) -- one spawned worker per client id below num_clients
+            let seed = client_seeds[c]; // lint:allow(P2) -- one spawned worker per client id below num_clients
             let cfg = &config;
             let report_tx = report_tx.clone();
             let sink = sink.clone();

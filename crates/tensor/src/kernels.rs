@@ -230,6 +230,40 @@ pub fn add_row_broadcast(out: &mut [f64], bias: &[f64]) {
     }
 }
 
+/// Sequential left-to-right sum — the sanctioned home for every scalar
+/// float reduction outside this module (lint rule `F3`).
+///
+/// Deliberately NOT the chunked tree: this is bit-identical to the
+/// `Iterator::sum` left fold that the workspace's goldens were recorded
+/// under, so migrating an ad-hoc `xs.iter().sum::<f64>()` call here changes
+/// where the reduction lives without changing a single bit of its result.
+/// New throughput-critical code should prefer [`dot`] / the tree kernels;
+/// this entry point exists to make reduction *order* auditable in one
+/// place, not to make summation fast.
+#[inline]
+pub fn sum_seq(values: impl IntoIterator<Item = f64>) -> f64 {
+    // std's `Sum<f64>` identity is -0.0 (so an empty sum is -0.0, and a
+    // sum of negative zeros stays -0.0); seed identically or the
+    // bit-for-bit claim above is false in exactly those edge cases.
+    let mut acc = -0.0_f64;
+    for v in values {
+        acc += v;
+    }
+    acc
+}
+
+/// Arithmetic mean via [`sum_seq`] (empty input → `0.0`).
+///
+/// Same order contract as [`sum_seq`]: bit-identical to the
+/// `xs.iter().sum::<f64>() / xs.len() as f64` idiom it replaces.
+#[inline]
+pub fn mean_seq(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    sum_seq(values.iter().copied()) / values.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +419,29 @@ mod tests {
     fn add_row_broadcast_ragged_panics() {
         let mut out = [0.0; 5];
         add_row_broadcast(&mut out, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_seq_matches_iterator_sum_bitwise() {
+        for n in [0usize, 1, 7, 8, 9, 65, 330] {
+            let (a, _) = data(n);
+            let theirs: f64 = a.iter().sum();
+            assert_eq!(
+                sum_seq(a.iter().copied()).to_bits(),
+                theirs.to_bits(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_seq_matches_naive_idiom_bitwise() {
+        assert_eq!(mean_seq(&[]), 0.0);
+        for n in [1usize, 7, 8, 9, 65, 330] {
+            let (a, _) = data(n);
+            let naive = a.iter().sum::<f64>() / a.len() as f64;
+            assert_eq!(mean_seq(&a).to_bits(), naive.to_bits(), "n={n}");
+        }
     }
 
     #[test]

@@ -136,6 +136,7 @@ impl Matrix {
             self.rows,
             self.cols
         );
+        // lint:allow(P2) -- bounds asserted above; the panic is this accessor's contract
         self.data[row * self.cols + col]
     }
 
@@ -151,6 +152,7 @@ impl Matrix {
             self.rows,
             self.cols
         );
+        // lint:allow(P2) -- bounds asserted above; the panic is this accessor's contract
         self.data[row * self.cols + col] = value;
     }
 
@@ -161,6 +163,7 @@ impl Matrix {
     /// Panics if `row` is out of bounds.
     pub fn row(&self, row: usize) -> &[f64] {
         assert!(row < self.rows, "row: {row} out of bounds ({})", self.rows);
+        // lint:allow(P2) -- row < rows asserted above; the panic is this accessor's contract
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -175,6 +178,7 @@ impl Matrix {
             "row_mut: {row} out of bounds ({})",
             self.rows
         );
+        // lint:allow(P2) -- row < rows asserted above; the panic is this accessor's contract
         &mut self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -353,9 +357,7 @@ impl Matrix {
             x.len(),
             self.cols
         );
-        let cols = self.cols;
-        for (r, &yr) in y.iter().enumerate() {
-            let row = &mut self.data[r * cols..(r + 1) * cols];
+        for (row, &yr) in self.data.chunks_exact_mut(self.cols).zip(y.iter()) {
             crate::kernels::axpy(row, alpha * yr, x.as_slice());
         }
     }
@@ -390,7 +392,7 @@ impl Matrix {
 
     /// Frobenius norm (ℓ2 norm of the flattened entries).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        crate::kernels::sum_seq(self.data.iter().map(|x| x * x)).sqrt()
     }
 
     /// Flattens the matrix into a [`Vector`] in row-major order.

@@ -20,7 +20,7 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
     if !max.is_finite() {
         return max;
     }
-    let sum: f64 = xs.iter().map(|x| (x - max).exp()).sum();
+    let sum = crate::kernels::sum_seq(xs.iter().map(|x| (x - max).exp()));
     max + sum.ln()
 }
 

@@ -5,14 +5,14 @@
 //! implementations (LIE, Min-Max, Min-Sum) use the per-coordinate mean and
 //! standard deviation of benign updates.
 
-use crate::Vector;
+use crate::{kernels, Vector};
 
 /// Arithmetic mean of a scalar slice; `0.0` for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
     } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
+        kernels::sum_seq(xs.iter().copied()) / xs.len() as f64
     }
 }
 
@@ -22,7 +22,7 @@ pub fn variance(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+    kernels::sum_seq(xs.iter().map(|x| (x - m) * (x - m))) / xs.len() as f64
 }
 
 /// Population standard deviation of a scalar slice.
@@ -41,8 +41,9 @@ pub fn median(xs: &[f64]) -> f64 {
     v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
-        v[n / 2]
+        v[n / 2] // lint:allow(P2) -- n >= 1 after the empty guard, so n/2 < n
     } else {
+        // lint:allow(P2) -- even n here is >= 2, so n/2 - 1 and n/2 are in bounds
         0.5 * (v[n / 2 - 1] + v[n / 2])
     }
 }
@@ -98,11 +99,11 @@ pub fn median_vector(vectors: &[Vector]) -> Option<Vector> {
     let dim = first.len();
     let mut column = vec![0.0; vectors.len()];
     let mut out = Vector::zeros(dim);
-    for d in 0..dim {
-        for (i, v) in vectors.iter().enumerate() {
-            column[i] = v[d];
+    for (d, o) in out.iter_mut().enumerate() {
+        for (c, v) in column.iter_mut().zip(vectors) {
+            *c = v[d]; // lint:allow(P2) -- equal dims are this function's documented contract
         }
-        out[d] = median(&column);
+        *o = median(&column);
     }
     Some(out)
 }
@@ -140,12 +141,12 @@ where
     let mut column = vec![0.0; vectors.len()];
     let mut out = Vector::zeros(dim);
     let kept = vectors.len() - 2 * trim;
-    for d in 0..dim {
-        for (i, v) in vectors.iter().enumerate() {
-            column[i] = v[d];
+    for (d, o) in out.iter_mut().enumerate() {
+        for (c, v) in column.iter_mut().zip(vectors.iter()) {
+            *c = v[d]; // lint:allow(P2) -- equal dims are this function's documented contract
         }
         column.sort_by(f64::total_cmp);
-        out[d] = column[trim..vectors.len() - trim].iter().sum::<f64>() / kept as f64;
+        *o = kernels::sum_seq(column.iter().skip(trim).take(kept).copied()) / kept as f64;
     }
     Some(out)
 }
@@ -167,7 +168,7 @@ pub fn weighted_mean_vector(vectors: &[Vector], weights: &[f64]) -> Option<Vecto
         vectors.len(),
         weights.len()
     );
-    let total: f64 = weights.iter().sum();
+    let total = kernels::sum_seq(weights.iter().copied());
     let mut acc = Vector::zeros(first.len());
     if total <= 0.0 {
         return Some(acc);

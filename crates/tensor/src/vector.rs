@@ -345,7 +345,7 @@ impl fmt::Debug for Vector {
                 f,
                 "Vector(dim={}, head={:?}, norm={:.4})",
                 self.data.len(),
-                &self.data[..4],
+                self.data.get(..4).unwrap_or(&[]),
                 self.norm()
             )
         }
@@ -396,12 +396,14 @@ impl Index<usize> for Vector {
     type Output = f64;
 
     fn index(&self, index: usize) -> &f64 {
+        // lint:allow(P2) -- Index's contract is to panic out of bounds; delegate to the slice check
         &self.data[index]
     }
 }
 
 impl IndexMut<usize> for Vector {
     fn index_mut(&mut self, index: usize) -> &mut f64 {
+        // lint:allow(P2) -- Index's contract is to panic out of bounds; delegate to the slice check
         &mut self.data[index]
     }
 }

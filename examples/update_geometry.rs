@@ -13,6 +13,7 @@
 use asyncfilter::analysis::experiment::RecordingFilter;
 use asyncfilter::analysis::{pca, tsne};
 use asyncfilter::prelude::*;
+use asyncfilter::tensor::kernels::sum_seq;
 
 fn structure(partitioner: Partitioner, label: &str) {
     let mut config = SimConfig::paper_default(DatasetProfile::Mnist);
@@ -58,13 +59,13 @@ fn structure(partitioner: Partitioner, label: &str) {
             .map(|(i, _)| i)
             .collect();
         let n = members.len() as f64;
-        let cx = members.iter().map(|&i| emb[i].0).sum::<f64>() / n;
-        let cy = members.iter().map(|&i| emb[i].1).sum::<f64>() / n;
-        let spread = members
-            .iter()
-            .map(|&i| ((emb[i].0 - cx).powi(2) + (emb[i].1 - cy).powi(2)).sqrt())
-            .sum::<f64>()
-            / n;
+        let cx = sum_seq(members.iter().map(|&i| emb[i].0)) / n;
+        let cy = sum_seq(members.iter().map(|&i| emb[i].1)) / n;
+        let spread = sum_seq(
+            members
+                .iter()
+                .map(|&i| ((emb[i].0 - cx).powi(2) + (emb[i].1 - cy).powi(2)).sqrt()),
+        ) / n;
         println!(
             "  τ = {tau}: {:>3} updates, embedding centroid ({cx:7.2}, {cy:7.2}), spread {spread:6.2}",
             members.len()
