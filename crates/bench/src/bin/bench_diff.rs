@@ -21,11 +21,15 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: asyncfl-bench-diff <old.json> <new.json> \
 [--json] [--gate] [--max-mean-regress PCT] [--max-p99-regress PCT] \
-[--max-alloc-regress PCT] [--phases a,b,c] [--out FILE]";
+[--max-alloc-regress PCT] [--max-filter-alloc-regress PCT] \
+[--phases a,b,c] [--out FILE]";
 
 /// Default phases the gate watches: the three hot paths whose cost the
-/// paper's overhead claim (§6) is about.
-const DEFAULT_GATED: &[&str] = &["filter", "aggregate", "local_training"];
+/// paper's overhead claim (§6) is about, plus the wide-model filter
+/// profile (distance kernels at ≥1e5 dims). The differ skips phases
+/// absent on either side, so gating `filter_wide` is safe against
+/// baselines that predate the probe.
+const DEFAULT_GATED: &[&str] = &["filter", "aggregate", "local_training", "filter_wide"];
 
 struct Cli {
     old_path: String,
@@ -82,6 +86,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.config.max_alloc_regress_pct = take_value(&mut i, "--max-alloc-regress")?
                     .parse()
                     .map_err(|e| format!("bad --max-alloc-regress: {e}"))?;
+            }
+            "--max-filter-alloc-regress" => {
+                cli.config.max_filter_alloc_regress_pct =
+                    take_value(&mut i, "--max-filter-alloc-regress")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-filter-alloc-regress: {e}"))?;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => positional.push(path.to_string()),
@@ -142,11 +152,13 @@ fn main() -> ExitCode {
     }
     if cli.gate && !report.breaches.is_empty() {
         eprintln!(
-            "gate: {} breach(es) beyond thresholds (mean {}%, p99 {}%, alloc {}%)",
+            "gate: {} breach(es) beyond thresholds (mean {}%, p99 {}%, alloc {}%, \
+             filter alloc {}%)",
             report.breaches.len(),
             cli.config.max_mean_regress_pct,
             cli.config.max_p99_regress_pct,
-            cli.config.max_alloc_regress_pct
+            cli.config.max_alloc_regress_pct,
+            cli.config.max_filter_alloc_regress_pct
         );
         return ExitCode::from(1);
     }

@@ -216,6 +216,7 @@ fn main() {
             gauges: registry.map(gauge_rows).unwrap_or_default(),
             scaling: None,
             training: None,
+            filter_wide: None,
             rss: Some(run_rss_probe()),
         };
         if let Err(e) = artifact.write(&path) {

@@ -18,8 +18,8 @@
 //! ```
 
 use asyncfl_bench::perf::{
-    counter_rows, gauge_rows, phase_rows, run_rss_probe, run_scaling_probe, run_training_probe,
-    BenchJson,
+    counter_rows, gauge_rows, phase_rows, run_filter_wide_probe, run_rss_probe, run_scaling_probe,
+    run_training_probe, BenchJson,
 };
 use asyncfl_bench::{ExperimentId, RunOptions, TraceHandle};
 use asyncfl_telemetry::metrics::MetricsRegistry;
@@ -182,7 +182,10 @@ fn main() {
         );
         let probe = run_scaling_probe(opts.threads, opts.quick);
         match probe.skipped {
-            Some(reason) => println!("probe: skipped ({reason})"),
+            Some(reason) => println!(
+                "probe: timing skipped ({reason}); byte-identical: {}",
+                probe.identical
+            ),
             None => println!(
                 "probe: baseline {:.2}s, parallel {:.2}s, speedup {:.2}x, identical: {}",
                 probe.baseline_secs, probe.parallel_secs, probe.speedup, probe.identical
@@ -198,21 +201,41 @@ fn main() {
             training.steps,
             training.step_mean_ns
         );
+        println!("Running wide-model filter probe...");
+        let wide = run_filter_wide_probe(opts.quick);
+        match &wide.phase {
+            Some(row) => println!(
+                "probe: dim {}, {} passes, {} distances, filter_wide mean {:.2} ms \
+                 (p99 {:.2} ms, {:.0} alloc bytes/pass)",
+                wide.dim,
+                wide.passes,
+                wide.distances_computed,
+                row.mean_ns / 1e6,
+                row.p99_ns as f64 / 1e6,
+                row.alloc_bytes_mean
+            ),
+            None => println!("probe: dim {}, no filter spans observed", wide.dim),
+        }
         let registry: Option<&MetricsRegistry> = trace
             .as_ref()
             .map(|h| h.registry())
             .or(standalone_registry.as_deref());
+        // The wide probe's span summary joins the phases table (named
+        // `filter_wide`), so asyncfl-bench-diff gates it like any phase.
+        let mut phases = registry.map(phase_rows).unwrap_or_default();
+        phases.extend(wide.phase.clone());
         let artifact = BenchJson {
             binary: "repro",
             quick: opts.quick,
             threads: opts.threads,
             total_secs: experiment_secs.iter().map(|(_, s)| s).sum(),
             experiments: experiment_secs,
-            phases: registry.map(phase_rows).unwrap_or_default(),
+            phases,
             counters: registry.map(counter_rows).unwrap_or_default(),
             gauges: registry.map(gauge_rows).unwrap_or_default(),
             scaling: Some(probe),
             training: Some(training),
+            filter_wide: Some(wide),
             rss: Some(run_rss_probe()),
         };
         if let Err(e) = artifact.write(&path) {

@@ -320,6 +320,12 @@ pub struct GateConfig {
     pub max_p99_regress_pct: f64,
     /// Max tolerated mean-allocated-bytes regression, percent.
     pub max_alloc_regress_pct: f64,
+    /// Max tolerated mean-allocated-bytes regression for `filter*`
+    /// phases, percent. Tighter than the general threshold: the filter
+    /// hot path is allocation-free in steady state (scratch is reused
+    /// across passes), so any byte growth there is a real leak in the
+    /// incremental engine, not workload noise.
+    pub max_filter_alloc_regress_pct: f64,
 }
 
 impl Default for GateConfig {
@@ -330,6 +336,7 @@ impl Default for GateConfig {
             max_mean_regress_pct: 25.0,
             max_p99_regress_pct: 50.0,
             max_alloc_regress_pct: 10.0,
+            max_filter_alloc_regress_pct: 5.0,
         }
     }
 }
@@ -403,7 +410,12 @@ pub fn diff(
         check("p99_ns", o.p99_ns, n.p99_ns, gate.max_p99_regress_pct);
         if let (Some(oa), Some(na)) = (o.alloc_bytes_mean, n.alloc_bytes_mean) {
             if oa > 0.0 && na > 0.0 {
-                check("alloc_bytes_mean", oa, na, gate.max_alloc_regress_pct);
+                let alloc_threshold = if phase.starts_with("filter") {
+                    gate.max_filter_alloc_regress_pct
+                } else {
+                    gate.max_alloc_regress_pct
+                };
+                check("alloc_bytes_mean", oa, na, alloc_threshold);
             }
         }
     }
@@ -729,6 +741,32 @@ mod tests {
         let report = diff(old, new, &gated(), GateConfig::default());
         assert_eq!(report.breaches.len(), 1);
         assert_eq!(report.breaches[0].metric, "alloc_bytes_mean");
+    }
+
+    #[test]
+    fn filter_phases_use_the_tighter_alloc_threshold() {
+        // +8% allocation: inside the general 10% budget, outside the 5%
+        // filter budget — a filter-named phase must trip, others must not.
+        let old = summarize(&parse_json(&v2_doc(1000.0, 3000.0, 1000.0)).unwrap()).unwrap();
+        let new = summarize(&parse_json(&v2_doc(1000.0, 3000.0, 1080.0)).unwrap()).unwrap();
+        let report = diff(old.clone(), new.clone(), &gated(), GateConfig::default());
+        assert_eq!(report.breaches.len(), 1, "{:?}", report.breaches);
+        assert_eq!(report.breaches[0].metric, "alloc_bytes_mean");
+        assert!((report.breaches[0].threshold_pct - 5.0).abs() < 1e-9);
+
+        // The same +8% on a non-filter phase stays within thresholds.
+        let rename = |mut s: BenchSummary| {
+            let m = s.phases.remove("filter").unwrap();
+            s.phases.insert("aggregate".to_string(), m);
+            s
+        };
+        let report = diff(
+            rename(old),
+            rename(new),
+            &["aggregate".to_string()],
+            GateConfig::default(),
+        );
+        assert!(report.breaches.is_empty(), "{:?}", report.breaches);
     }
 
     #[test]

@@ -15,15 +15,19 @@
 
 use asyncfl_attacks::AttackKind;
 use asyncfl_core::aggregation::MeanAggregator;
+use asyncfl_core::update::ClientUpdate;
 use asyncfl_core::AsyncFilter;
 use asyncfl_data::DatasetProfile;
 use asyncfl_ml::train::{build_model, build_optimizer, LocalTrainer};
 use asyncfl_rng::rngs::StdRng;
-use asyncfl_rng::SeedableRng;
+use asyncfl_rng::{SeedableRng, StandardSample};
 use asyncfl_sim::config::SimConfig;
 use asyncfl_sim::runner::{build_attack, Simulation};
+use asyncfl_sim::server::BufferedServer;
 use asyncfl_telemetry::metrics::MetricsRegistry;
-use asyncfl_telemetry::Stopwatch;
+use asyncfl_telemetry::{Event, MemorySink, SharedSink, Sink, Stopwatch};
+use asyncfl_tensor::Vector;
+use std::sync::Arc;
 
 /// One span's latency + allocation summary (latency in nanoseconds,
 /// allocation in bytes; both bucketed — see
@@ -161,18 +165,35 @@ pub fn run_rss_probe() -> RssProbe {
     }
 }
 
+/// One timed point of the threads-scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Worker threads for this leg.
+    pub threads: usize,
+    /// Wall clock, seconds.
+    pub secs: f64,
+    /// `baseline_secs / secs`.
+    pub speedup: f64,
+    /// Whether this leg reproduced the sequential `RunResult` exactly.
+    pub identical: bool,
+}
+
 /// Result of the threads-scaling probe: the same seeded AsyncFilter-vs-GD
-/// run timed at `threads = 1` and `threads = N`.
+/// run timed at `threads = 1` and at each point of a doubling thread
+/// ladder up to `threads = N`.
 ///
 /// `host_cpus` keeps the speedup interpretable when artifacts from
 /// different machines are diffed: on a single-core host the parallel leg
 /// can only measure the pool's overhead (speedup < 1 is expected there),
-/// while the byte-identical check is meaningful everywhere.
+/// so timing is skipped — but the byte-identical re-check still runs on
+/// every host (on a smaller workload, since it measures determinism, not
+/// throughput).
 #[derive(Debug, Clone)]
 pub struct ScalingProbe {
-    /// Worker threads used for the parallel leg.
+    /// Worker threads used for the widest parallel leg.
     pub threads: usize,
-    /// CPUs available to this process when the probe ran.
+    /// CPUs available to this process when the probe ran (see
+    /// [`detect_host_cpus`]).
     pub host_cpus: usize,
     /// Probe size (clients / rounds), for context in the artifact.
     pub clients: usize,
@@ -180,19 +201,90 @@ pub struct ScalingProbe {
     pub rounds: u64,
     /// Wall clock of the sequential leg, seconds.
     pub baseline_secs: f64,
-    /// Wall clock of the parallel leg, seconds.
+    /// Wall clock of the widest parallel leg, seconds.
     pub parallel_secs: f64,
     /// `baseline_secs / parallel_secs`.
     pub speedup: f64,
-    /// Whether the two legs produced structurally identical `RunResult`s
-    /// (the determinism guarantee, re-checked in the artifact itself).
+    /// Whether every parallel leg produced a `RunResult` structurally
+    /// identical to the sequential one (the determinism guarantee,
+    /// re-checked in the artifact itself — on all hosts, skipped or not).
     pub identical: bool,
+    /// Speedup curve over the thread ladder (empty when timing was
+    /// skipped).
+    pub curve: Vec<ScalingPoint>,
     /// Why timing was skipped, if it was. On a single-CPU host the
     /// parallel leg can only measure pool overhead, so a "speedup" number
     /// would read as a regression while measuring nothing — the probe
-    /// records the skip reason instead (determinism itself is pinned
-    /// separately by `tests/determinism.rs`).
+    /// records the skip reason instead and only reports the byte-identity
+    /// verdict.
     pub skipped: Option<&'static str>,
+}
+
+/// Parses the kernel's cpu-list format (`"0-3,5,7-8"`, as found in
+/// `/sys/devices/system/cpu/online`) into a CPU count.
+pub fn parse_cpu_list(list: &str) -> Option<usize> {
+    let mut count = 0usize;
+    for part in list.trim().split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo: usize = lo.trim().parse().ok()?;
+            let hi: usize = hi.trim().parse().ok()?;
+            if hi < lo {
+                return None;
+            }
+            count += hi - lo + 1;
+        } else {
+            let _: usize = part.parse().ok()?;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(count)
+    }
+}
+
+/// Pure core of [`detect_host_cpus`], split out so the fallback ladder is
+/// unit-testable without touching process-global state.
+fn resolve_host_cpus(
+    env_override: Option<&str>,
+    available: usize,
+    online_list: Option<&str>,
+) -> usize {
+    if let Some(v) = env_override {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    if available > 1 {
+        return available;
+    }
+    // `available_parallelism` reports 1 under affinity masks and some
+    // cgroup configurations even on multi-core hardware — the earlier
+    // probe trusted it blindly and never timed anything. Fall back to the
+    // kernel's online-CPU list before concluding the host is single-core.
+    online_list
+        .and_then(parse_cpu_list)
+        .map_or(available.max(1), |n| n.max(available))
+}
+
+/// How many CPUs this process can actually use: the `ASYNCFL_HOST_CPUS`
+/// override if set (escape hatch for machines where both probes lie),
+/// else `available_parallelism`, else the kernel's online-CPU list.
+pub fn detect_host_cpus() -> usize {
+    resolve_host_cpus(
+        std::env::var("ASYNCFL_HOST_CPUS").ok().as_deref(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        std::fs::read_to_string("/sys/devices/system/cpu/online")
+            .ok()
+            .as_deref(),
+    )
 }
 
 fn probe_config(quick: bool, threads: usize) -> SimConfig {
@@ -223,14 +315,33 @@ fn probe_run(cfg: SimConfig) -> (f64, asyncfl_sim::metrics::RunResult) {
     (started.elapsed_secs(), result)
 }
 
-/// Times the deterministic engine at `threads = 1` vs `threads`, on the
-/// same seed, and verifies the results match. On a single-CPU host the
-/// timing legs are skipped entirely (see [`ScalingProbe::skipped`]).
+/// Shrunk config for the byte-identity re-check on hosts where timing is
+/// skipped: determinism does not need the training-heavy workload the
+/// timed legs use, so the check stays cheap even on one core.
+fn identity_config(quick: bool, threads: usize) -> SimConfig {
+    let mut cfg = probe_config(quick, threads);
+    cfg.num_clients = 16;
+    cfg.num_malicious = 3;
+    cfg.aggregation_bound = 8;
+    cfg.rounds = if quick { 4 } else { 8 };
+    cfg.partition_size = Some(128);
+    cfg.test_samples = 50;
+    cfg.eval_every = cfg.rounds;
+    cfg
+}
+
+/// Times the deterministic engine at `threads = 1` and at each point of a
+/// doubling ladder up to `threads`, on the same seed, and verifies every
+/// parallel leg matches the sequential result. On a single-CPU host the
+/// timing legs are skipped (see [`ScalingProbe::skipped`]) but the
+/// byte-identity re-check still runs, on a smaller workload.
 pub fn run_scaling_probe(threads: usize, quick: bool) -> ScalingProbe {
     let threads = threads.max(2);
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let cfg = probe_config(quick, 1);
+    let host_cpus = detect_host_cpus();
     if host_cpus == 1 {
+        let (_, sequential) = probe_run(identity_config(quick, 1));
+        let (_, parallel) = probe_run(identity_config(quick, threads));
+        let cfg = identity_config(quick, 1);
         return ScalingProbe {
             threads,
             host_cpus,
@@ -239,12 +350,37 @@ pub fn run_scaling_probe(threads: usize, quick: bool) -> ScalingProbe {
             baseline_secs: 0.0,
             parallel_secs: 0.0,
             speedup: 0.0,
-            identical: true,
+            identical: sequential == parallel,
+            curve: Vec::new(),
             skipped: Some("single-cpu host"),
         };
     }
+    let cfg = probe_config(quick, 1);
     let (baseline_secs, baseline) = probe_run(probe_config(quick, 1));
-    let (parallel_secs, parallel) = probe_run(probe_config(quick, threads));
+    // Doubling ladder 2, 4, 8, … capped at the requested width, which is
+    // always the final point (so `speedup` keeps its old meaning).
+    let mut ladder: Vec<usize> = Vec::new();
+    let mut t = 2;
+    while t < threads {
+        ladder.push(t);
+        t *= 2;
+    }
+    ladder.push(threads);
+    let mut curve = Vec::with_capacity(ladder.len());
+    for t in ladder {
+        let (secs, result) = probe_run(probe_config(quick, t));
+        curve.push(ScalingPoint {
+            threads: t,
+            secs,
+            speedup: if secs > 0.0 {
+                baseline_secs / secs
+            } else {
+                0.0
+            },
+            identical: result == baseline,
+        });
+    }
+    let (parallel_secs, speedup) = curve.last().map_or((0.0, 0.0), |p| (p.secs, p.speedup));
     ScalingProbe {
         threads,
         host_cpus,
@@ -252,12 +388,9 @@ pub fn run_scaling_probe(threads: usize, quick: bool) -> ScalingProbe {
         rounds: cfg.rounds,
         baseline_secs,
         parallel_secs,
-        speedup: if parallel_secs > 0.0 {
-            baseline_secs / parallel_secs
-        } else {
-            0.0
-        },
-        identical: baseline == parallel,
+        speedup,
+        identical: curve.iter().all(|p| p.identical),
+        curve,
         skipped: None,
     }
 }
@@ -326,6 +459,129 @@ pub fn run_training_probe(quick: bool) -> TrainingProbe {
     }
 }
 
+/// One filter pass of the wide-model probe, as observed through the
+/// telemetry `filter` span.
+#[derive(Debug, Clone)]
+pub struct FilterPassStat {
+    /// Pass index (0-based, in aggregation order).
+    pub pass: usize,
+    /// Wall-clock nanoseconds inside the span.
+    pub nanos: u64,
+    /// Bytes allocated while the span was open.
+    pub alloc_bytes: u64,
+}
+
+/// Result of the wide-model filter probe (see [`run_filter_wide_probe`]):
+/// a buffered server driven with ≥10⁵-dimensional synthetic updates so the
+/// filter's distance kernels — not the tiny repro models — dominate, with
+/// per-pass span stats pulled from a dedicated memory sink.
+#[derive(Debug, Clone)]
+pub struct FilterWideProbe {
+    /// Model dimensionality of the synthetic updates.
+    pub dim: usize,
+    /// Aggregation bound Ω (buffer size per pass).
+    pub bound: usize,
+    /// Filter passes executed.
+    pub passes: usize,
+    /// Updates fed to the server (at most `passes * bound`; deferred
+    /// re-buffers fill part of the next pass's buffer, so fewer fresh
+    /// arrivals are needed to trigger it).
+    pub updates_fed: usize,
+    /// Total eq. 6 distance computations, from the
+    /// `filter_distances_computed` counter.
+    pub distances_computed: u64,
+    /// The `filter` span summary, renamed `filter_wide` so it lands in
+    /// the artifact's `phases` table (and under the bench-diff gate)
+    /// without colliding with the repro experiments' own `filter` row.
+    pub phase: Option<PhaseRow>,
+    /// Per-pass latency/allocation, in aggregation order.
+    pub per_pass: Vec<FilterPassStat>,
+}
+
+/// Drives a [`BufferedServer`] + [`AsyncFilter`] with wide synthetic
+/// updates (131 072 parameters) across staleness lags {0, 1, 2} and
+/// reports per-pass filter cost plus the distance-computation total.
+/// Deterministic: the fill comes from a fixed-seed [`StdRng`].
+pub fn run_filter_wide_probe(quick: bool) -> FilterWideProbe {
+    let dim = 131_072;
+    let bound = 32;
+    let passes = if quick { 6 } else { 24 };
+    let mem = Arc::new(MemorySink::new(1 << 16));
+    let mut server = BufferedServer::new(
+        Vector::zeros(dim),
+        bound,
+        64,
+        Box::new(AsyncFilter::default()),
+        Box::new(MeanAggregator::new()),
+    )
+    .with_sink(SharedSink::from_arc(mem.clone()));
+    let mut rng = StdRng::seed_from_u64(0xA5F1);
+    let base = Vector::zeros(dim);
+    let mut delta = vec![0.0f64; dim];
+    let mut updates_fed = 0usize;
+    let mut completed = 0usize;
+    while completed < passes {
+        // Three staleness lags keep several eq. 4 groups live, so the
+        // probe exercises the grouped (not single-group) scoring path.
+        let lag = (updates_fed % 3) as u64;
+        let base_round = server.round().saturating_sub(lag);
+        for v in &mut delta {
+            *v = f64::sample(&mut rng) - 0.5;
+        }
+        let update = ClientUpdate::from_delta(
+            updates_fed % 64,
+            base_round,
+            server.round().saturating_sub(base_round),
+            &base,
+            Vector::from(delta.clone()),
+            10,
+        );
+        updates_fed += 1;
+        if server.receive(update).is_some() {
+            completed += 1;
+        }
+    }
+    let events = mem.events();
+    let registry = MetricsRegistry::new();
+    for event in &events {
+        registry.emit(event);
+    }
+    let phase = phase_rows(&registry)
+        .into_iter()
+        .find(|row| row.span == "filter")
+        .map(|mut row| {
+            row.span = "filter_wide".to_string();
+            row
+        });
+    let per_pass: Vec<FilterPassStat> = events
+        .iter()
+        .filter_map(|event| match event {
+            Event::SpanClosed {
+                name: "filter",
+                nanos,
+                alloc_bytes,
+                ..
+            } => Some((*nanos, *alloc_bytes)),
+            _ => None,
+        })
+        .enumerate()
+        .map(|(pass, (nanos, alloc_bytes))| FilterPassStat {
+            pass,
+            nanos,
+            alloc_bytes,
+        })
+        .collect();
+    FilterWideProbe {
+        dim,
+        bound,
+        passes,
+        updates_fed,
+        distances_computed: registry.counter("filter_distances_computed"),
+        phase,
+        per_pass,
+    }
+}
+
 /// The full artifact a bench binary writes for `--bench-json`.
 #[derive(Debug, Clone, Default)]
 pub struct BenchJson {
@@ -349,6 +605,8 @@ pub struct BenchJson {
     pub scaling: Option<ScalingProbe>,
     /// Local-training throughput probe (repro only).
     pub training: Option<TrainingProbe>,
+    /// Wide-model filter probe (repro only).
+    pub filter_wide: Option<FilterWideProbe>,
     /// Process peak-memory estimate, sampled at the end of the run.
     pub rss: Option<RssProbe>,
 }
@@ -481,8 +739,11 @@ impl BenchJson {
                 match probe.skipped {
                     Some(reason) => {
                         // No timing numbers on a skipped probe: a speedup
-                        // measured on a single CPU is noise, not data.
-                        s.push_str(&format!("    \"skipped\": \"{}\"\n", escape(reason)));
+                        // measured on a single CPU is noise, not data. The
+                        // byte-identity re-check ran anyway, so its verdict
+                        // is always reported.
+                        s.push_str(&format!("    \"skipped\": \"{}\",\n", escape(reason)));
+                        s.push_str(&format!("    \"byte_identical\": {}\n", probe.identical));
                     }
                     None => {
                         s.push_str(&format!(
@@ -494,6 +755,19 @@ impl BenchJson {
                             num(probe.parallel_secs)
                         ));
                         s.push_str(&format!("    \"speedup\": {},\n", num(probe.speedup)));
+                        s.push_str("    \"curve\": [\n");
+                        for (i, p) in probe.curve.iter().enumerate() {
+                            let comma = if i + 1 < probe.curve.len() { "," } else { "" };
+                            s.push_str(&format!(
+                                "      {{\"threads\": {}, \"secs\": {}, \"speedup\": {}, \
+                                 \"identical\": {}}}{comma}\n",
+                                p.threads,
+                                num(p.secs),
+                                num(p.speedup),
+                                p.identical
+                            ));
+                        }
+                        s.push_str("    ],\n");
                         s.push_str(&format!("    \"byte_identical\": {}\n", probe.identical));
                     }
                 }
@@ -501,7 +775,7 @@ impl BenchJson {
             }
         }
         match &self.training {
-            None => s.push_str("  \"training_throughput\": null\n"),
+            None => s.push_str("  \"training_throughput\": null,\n"),
             Some(t) => {
                 s.push_str("  \"training_throughput\": {\n");
                 s.push_str(&format!("    \"profile\": \"{}\",\n", escape(t.profile)));
@@ -516,6 +790,30 @@ impl BenchJson {
                     num(t.samples_per_sec)
                 ));
                 s.push_str(&format!("    \"step_mean_ns\": {}\n", num(t.step_mean_ns)));
+                s.push_str("  },\n");
+            }
+        }
+        match &self.filter_wide {
+            None => s.push_str("  \"filter_wide_probe\": null\n"),
+            Some(w) => {
+                s.push_str("  \"filter_wide_probe\": {\n");
+                s.push_str(&format!("    \"dim\": {},\n", w.dim));
+                s.push_str(&format!("    \"bound\": {},\n", w.bound));
+                s.push_str(&format!("    \"passes\": {},\n", w.passes));
+                s.push_str(&format!("    \"updates_fed\": {},\n", w.updates_fed));
+                s.push_str(&format!(
+                    "    \"distances_computed\": {},\n",
+                    w.distances_computed
+                ));
+                s.push_str("    \"per_pass\": [\n");
+                for (i, p) in w.per_pass.iter().enumerate() {
+                    let comma = if i + 1 < w.per_pass.len() { "," } else { "" };
+                    s.push_str(&format!(
+                        "      {{\"pass\": {}, \"nanos\": {}, \"alloc_bytes\": {}}}{comma}\n",
+                        p.pass, p.nanos, p.alloc_bytes
+                    ));
+                }
+                s.push_str("    ]\n");
                 s.push_str("  }\n");
             }
         }
@@ -576,6 +874,20 @@ mod tests {
                 parallel_secs: 0.8,
                 speedup: 2.5,
                 identical: true,
+                curve: vec![
+                    ScalingPoint {
+                        threads: 2,
+                        secs: 1.25,
+                        speedup: 1.6,
+                        identical: true,
+                    },
+                    ScalingPoint {
+                        threads: 4,
+                        secs: 0.8,
+                        speedup: 2.5,
+                        identical: true,
+                    },
+                ],
                 skipped: None,
             }),
             rss: Some(RssProbe {
@@ -594,6 +906,26 @@ mod tests {
                 wall_secs: 0.25,
                 samples_per_sec: 49152.0,
                 step_mean_ns: 651041.7,
+            }),
+            filter_wide: Some(FilterWideProbe {
+                dim: 131_072,
+                bound: 32,
+                passes: 2,
+                updates_fed: 70,
+                distances_computed: 140,
+                phase: None,
+                per_pass: vec![
+                    FilterPassStat {
+                        pass: 0,
+                        nanos: 5_000_000,
+                        alloc_bytes: 4096,
+                    },
+                    FilterPassStat {
+                        pass: 1,
+                        nanos: 4_000_000,
+                        alloc_bytes: 0,
+                    },
+                ],
             }),
         }
         .render();
@@ -620,6 +952,11 @@ mod tests {
             "\"training_throughput\": {",
             "\"samples_per_sec\": 49152.000000",
             "\"steps\": 384",
+            "\"curve\": [",
+            "{\"threads\": 2, \"secs\": 1.250000, \"speedup\": 1.600000, \"identical\": true}",
+            "\"filter_wide_probe\": {",
+            "\"distances_computed\": 140",
+            "{\"pass\": 1, \"nanos\": 4000000, \"alloc_bytes\": 0}",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -632,12 +969,13 @@ mod tests {
             scaling: Some(ScalingProbe {
                 threads: 2,
                 host_cpus: 1,
-                clients: 32,
-                rounds: 10,
+                clients: 16,
+                rounds: 4,
                 baseline_secs: 0.0,
                 parallel_secs: 0.0,
                 speedup: 0.0,
                 identical: true,
+                curve: Vec::new(),
                 skipped: Some("single-cpu host"),
             }),
             ..Default::default()
@@ -648,23 +986,55 @@ mod tests {
             !json.contains("\"speedup\""),
             "skipped probe must not report a speedup: {json}"
         );
+        // The identity re-check runs even when timing is skipped, so its
+        // verdict is always present.
+        assert!(json.contains("\"byte_identical\": true"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
-    fn scaling_probe_skips_on_single_cpu_host() {
-        // This container is single-CPU, so the probe must refuse to time.
-        // (On a multi-CPU host it runs the legs instead; both paths keep
-        // the probe's metadata intact.)
+    fn scaling_probe_checks_identity_even_without_timing() {
+        // On a single-CPU host the probe must refuse to time but still
+        // re-check determinism; on a multi-CPU host it times a ladder and
+        // every point must reproduce the sequential result.
         let probe = run_scaling_probe(2, true);
+        assert!(probe.identical, "threads=1 vs N diverged");
         if probe.host_cpus == 1 {
             assert_eq!(probe.skipped, Some("single-cpu host"));
             assert_eq!(probe.baseline_secs, 0.0);
+            assert!(probe.curve.is_empty());
         } else {
             assert!(probe.skipped.is_none());
             assert!(probe.baseline_secs > 0.0);
-            assert!(probe.identical, "threads=1 vs N diverged");
+            assert!(!probe.curve.is_empty());
+            assert_eq!(probe.curve.last().map(|p| p.threads), Some(2));
         }
+    }
+
+    #[test]
+    fn cpu_list_parser_handles_kernel_format() {
+        assert_eq!(parse_cpu_list("0-3\n"), Some(4));
+        assert_eq!(parse_cpu_list("0"), Some(1));
+        assert_eq!(parse_cpu_list("0-3,5,7-8"), Some(7));
+        assert_eq!(parse_cpu_list(""), None);
+        assert_eq!(parse_cpu_list("3-1"), None);
+        assert_eq!(parse_cpu_list("garbage"), None);
+    }
+
+    #[test]
+    fn host_cpu_resolution_prefers_override_then_sysfs_fallback() {
+        // Explicit override wins.
+        assert_eq!(resolve_host_cpus(Some("6"), 1, Some("0-7")), 6);
+        // Garbage override falls through.
+        assert_eq!(resolve_host_cpus(Some("zero"), 4, None), 4);
+        // available_parallelism > 1 is trusted.
+        assert_eq!(resolve_host_cpus(None, 8, Some("0-1")), 8);
+        // available_parallelism == 1 consults the kernel's online list —
+        // the bug the old probe had: it reported "single-cpu host" on
+        // multi-core machines whenever affinity masked the process.
+        assert_eq!(resolve_host_cpus(None, 1, Some("0-3")), 4);
+        // No list at all: fall back to what we have.
+        assert_eq!(resolve_host_cpus(None, 1, None), 1);
     }
 
     #[test]
@@ -695,8 +1065,23 @@ mod tests {
         .render();
         assert!(json.contains("\"threads_scaling\": null"), "{json}");
         assert!(json.contains("\"training_throughput\": null"), "{json}");
+        assert!(json.contains("\"filter_wide_probe\": null"), "{json}");
         assert!(json.contains("\"peak_rss_estimate\": null"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn filter_wide_probe_reports_per_pass_stats() {
+        let probe = run_filter_wide_probe(true);
+        assert!(probe.dim >= 100_000, "wide profile must be ≥1e5-dim");
+        assert_eq!(probe.per_pass.len(), probe.passes);
+        assert!(probe.updates_fed >= probe.bound);
+        assert!(probe.updates_fed <= probe.passes * probe.bound);
+        assert!(probe.distances_computed > 0);
+        let row = probe.phase.expect("filter span observed");
+        assert_eq!(row.span, "filter_wide");
+        assert_eq!(row.count, probe.passes as u64);
+        assert!(probe.per_pass.iter().all(|p| p.nanos > 0));
     }
 
     #[test]

@@ -103,18 +103,16 @@ pub fn gap_statistic<R: Rng + ?Sized>(
     }
 
     let mut refs = Vec::with_capacity(b);
+    // One reference-dataset buffer, refilled in place for each of the `b`
+    // draws (the coordinate draw order matches the old per-draw `from_fn`
+    // construction exactly, so the rng stream is unchanged).
+    let mut fake = vec![Vector::zeros(dim); points.len()];
     for _ in 0..b {
-        let fake: Vec<Vector> = (0..points.len())
-            .map(|_| {
-                Vector::from_fn(dim, |d| {
-                    if hi[d] > lo[d] {
-                        rng.random_range(lo[d]..hi[d])
-                    } else {
-                        lo[d]
-                    }
-                })
-            })
-            .collect();
+        for f in fake.iter_mut() {
+            for ((x, &l), &h) in f.iter_mut().zip(&lo).zip(&hi) {
+                *x = if h > l { rng.random_range(l..h) } else { l };
+            }
+        }
         refs.push(log_inertia(&fake, rng));
     }
     let mean_ref = sum_seq(refs.iter().copied()) / b as f64;

@@ -95,6 +95,11 @@ impl KMeans {
         let mut assignments = vec![0usize; points.len()];
         let mut iterations = 0;
 
+        // Update-step buffers, reused across Lloyd iterations (allocating
+        // them per iteration dominated the fit's allocator traffic — this
+        // routine runs 18 times per FLDetector pass via the gap statistic).
+        let mut new_centroids = vec![Vector::zeros(dim); centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
         for _ in 0..self.max_iter {
             iterations += 1;
             // Assignment step.
@@ -102,8 +107,10 @@ impl KMeans {
                 assignments[i] = nearest(p, &centroids).0;
             }
             // Update step.
-            let mut new_centroids = vec![Vector::zeros(dim); centroids.len()];
-            let mut counts = vec![0usize; centroids.len()];
+            for centroid in new_centroids.iter_mut() {
+                centroid.map_in_place(|_| 0.0);
+            }
+            counts.iter_mut().for_each(|c| *c = 0);
             for (p, &a) in points.iter().zip(&assignments) {
                 new_centroids[a].axpy(1.0, p);
                 counts[a] += 1;
@@ -114,11 +121,11 @@ impl KMeans {
                     centroid.scale(1.0 / counts[c] as f64);
                 } else {
                     // Keep an empty cluster's previous centroid.
-                    *centroid = centroids[c].clone();
+                    centroid.copy_from(&centroids[c]);
                 }
                 motion += centroid.distance(&centroids[c]); // lint:allow(F3) -- fused with the centroid rebuild it measures
             }
-            centroids = new_centroids;
+            std::mem::swap(&mut centroids, &mut new_centroids);
             if motion <= self.tol {
                 break;
             }

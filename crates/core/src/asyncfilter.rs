@@ -210,17 +210,80 @@ where
 struct GroupState {
     ma: Vector,
     absorbed: u64,
+    /// Cached `‖ma‖²`, refreshed after every absorb. Always bit-identical
+    /// to `ma.norm_squared()` recomputed fresh (same data, same kernel), so
+    /// eq. 6 distances built from it match the uncached path exactly.
+    norm_sq: f64,
+}
+
+/// Arrival-time scoring work for one buffered update, recorded by
+/// [`AsyncFilter::on_buffered`] and consumed by the next `filter` pass.
+///
+/// Validity rests on one invariant (see `DESIGN.md` §10): group estimates
+/// mutate only inside `filter` passes, every pass consumes the whole buffer,
+/// and the server round does not advance between an update's buffering and
+/// the pass that consumes it. A distance measured against a live estimate at
+/// arrival is therefore bit-identical to the one the pass would compute.
+#[derive(Debug, Clone, PartialEq)]
+struct PendingArrival {
+    client: usize,
+    base_round: u64,
+    defers: u32,
+    staleness: u64,
+    /// Bit-exact `‖ω‖²` at arrival; matched against the update's cached
+    /// norm as an identity checksum before a cached distance is trusted.
+    params_norm_sq: f64,
+    /// Squared eq. 6 distance to the live own-group estimate, or `None`
+    /// when the group had no history at arrival (bootstrap estimates
+    /// depend on full-buffer state and are always computed at pass time).
+    own_dist_sq: Option<f64>,
+    /// `CrossGroup` normalization only: squared distance to every live
+    /// group estimate, keyed by group, ascending. Empty in other modes.
+    cross_dist_sq: Vec<(u64, f64)>,
+}
+
+/// Buffers reused across `filter` passes so the steady-state hot path
+/// allocates nothing: sized once for the largest buffer seen, then recycled.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Scratch {
+    /// Per-update staleness-group key (eq. 4).
+    keys: Vec<u64>,
+    /// Sorted, deduplicated group keys — replaces the per-pass
+    /// `BTreeMap<u64, Vec<usize>>` the batch engine used to allocate.
+    uniq: Vec<u64>,
+    /// Per-update index into the pass's pending-arrival list, if matched.
+    cached: Vec<Option<usize>>,
+    dist_sq: Vec<f64>,
+    dist: Vec<f64>,
+    scores: Vec<f64>,
+    /// Flat (group × update) squared-distance matrix for `CrossGroup`.
+    cross: Vec<f64>,
+    /// Non-top-cluster scores feeding the separation gate's median.
+    rest: Vec<f64>,
 }
 
 /// The AsyncFilter server module.
 ///
 /// Stateful across rounds: it owns one moving-average estimate per staleness
 /// group (eq. 5). Create one per training run.
+///
+/// Scoring is incremental when the server cooperates: the
+/// [`UpdateFilter::on_buffered`] hook measures each update's eq. 6 distance
+/// at arrival time, so a full-buffer `filter` pass only computes distances
+/// for updates that arrived without a hook call (the batch fallback every
+/// existing caller gets) or whose group had no live estimate yet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AsyncFilter {
     config: AsyncFilterConfig,
     groups: BTreeMap<u64, GroupState>,
     last_scores: Vec<ScoreRecord>,
+    pending: Vec<PendingArrival>,
+    scratch: Scratch,
+    /// Lifetime count of eq. 6 distance evaluations (arrival + pass time);
+    /// the span between two sink emissions becomes the
+    /// `filter_distances_computed` telemetry counter.
+    distances_computed: u64,
+    distances_emitted: u64,
 }
 
 impl AsyncFilter {
@@ -239,6 +302,10 @@ impl AsyncFilter {
             config,
             groups: BTreeMap::new(),
             last_scores: Vec::new(),
+            pending: Vec::new(),
+            scratch: Scratch::default(),
+            distances_computed: 0,
+            distances_emitted: 0,
         }
     }
 
@@ -258,6 +325,14 @@ impl AsyncFilter {
         self.groups.len()
     }
 
+    /// Lifetime count of eq. 6 distance evaluations, across arrival-time
+    /// hooks and `filter` passes. With arrival hooks active, a pass over a
+    /// warm buffer adds **zero** to this counter — the regression tests pin
+    /// the incremental engine's O(marginal work) property through it.
+    pub fn distances_computed(&self) -> u64 {
+        self.distances_computed
+    }
+
     fn group_key(&self, staleness: u64) -> u64 {
         staleness / self.config.staleness_bucket
     }
@@ -268,6 +343,7 @@ impl AsyncFilter {
         let state = self.groups.entry(key).or_insert_with(|| GroupState {
             ma: Vector::zeros(dim),
             absorbed: 0,
+            norm_sq: 0.0,
         });
         match self.config.ma_mode {
             MovingAverageMode::RobbinsMonro => {
@@ -283,41 +359,74 @@ impl AsyncFilter {
             }
         }
         state.absorbed += 1;
+        state.norm_sq = state.ma.norm_squared();
     }
 
-    /// Effective estimate for a group this round: the running MA if the
-    /// group has history, otherwise the coordinate-wise **25%-trimmed
-    /// mean** of the group's current updates (a robust bootstrap — a plain
-    /// mean would be dragged toward any attacker present in the very first
-    /// batch, while a median can be captured by identical colluding
-    /// updates once they reach half the group). A brand-new *singleton*
-    /// group has no meaningful self-estimate (it would score itself zero
-    /// and let a lone attacker at an unseen staleness level sail through);
-    /// such groups are scored against the trimmed mean over the whole
-    /// buffer instead.
-    fn effective_estimates(
+    /// Bootstrap estimates for groups without history, keyed ascending.
+    ///
+    /// A group with history is scored against its running MA (borrowed from
+    /// `self.groups` at the use site — the old batch engine cloned every
+    /// live MA here, which at real model dims was the bulk of the filter's
+    /// per-pass allocation traffic). A brand-new group gets the
+    /// coordinate-wise **25%-trimmed mean** of its current updates (a
+    /// robust bootstrap — a plain mean would be dragged toward any attacker
+    /// present in the very first batch, while a median can be captured by
+    /// identical colluding updates once they reach half the group). A
+    /// brand-new *singleton* group has no meaningful self-estimate (it
+    /// would score itself zero and let a lone attacker at an unseen
+    /// staleness level sail through); such groups are scored against the
+    /// trimmed mean over the whole buffer instead.
+    fn bootstrap_estimates(
         &self,
-        grouped: &BTreeMap<u64, Vec<usize>>,
+        uniq: &[u64],
+        keys: &[u64],
         updates: &[ClientUpdate],
-    ) -> BTreeMap<u64, Vector> {
-        let mut est = BTreeMap::new();
+    ) -> Vec<(u64, Vector, f64)> {
+        let mut boot = Vec::new();
         let mut buffer_median: Option<Vector> = None;
-        for (&key, members) in grouped {
-            if let Some(state) = self.groups.get(&key) {
-                est.insert(key, state.ma.clone());
-            } else if members.len() >= 2 {
-                est.insert(
-                    key,
-                    // lint:allow(P2) -- group members hold indices below updates.len()
-                    robust_bootstrap(members.iter().map(|&i| &updates[i].params)),
-                );
+        for &key in uniq {
+            if self.groups.contains_key(&key) {
+                continue;
+            }
+            let members = keys.iter().filter(|&&k| k == key).count();
+            let est = if members >= 2 {
+                robust_bootstrap(
+                    keys.iter()
+                        .zip(updates)
+                        .filter(|(&k, _)| k == key)
+                        .map(|(_, u)| &u.params),
+                )
             } else {
-                let fallback = buffer_median
-                    .get_or_insert_with(|| robust_bootstrap(updates.iter().map(|u| &u.params)));
-                est.insert(key, fallback.clone());
+                buffer_median
+                    .get_or_insert_with(|| robust_bootstrap(updates.iter().map(|u| &u.params)))
+                    .clone()
+            };
+            let norm_sq = est.norm_squared();
+            boot.push((key, est, norm_sq));
+        }
+        boot
+    }
+
+    /// Emits the distance-evaluation counter delta accumulated since the
+    /// previous emission (arrival hooks included).
+    fn emit_distance_counter(&mut self, ctx: &FilterContext<'_>) {
+        if let Some(sink) = ctx.sink {
+            let delta = self.distances_computed - self.distances_emitted;
+            if delta > 0 {
+                sink.emit(&asyncfl_telemetry::Event::CounterAdd {
+                    name: "filter_distances_computed",
+                    delta,
+                });
+                self.distances_emitted = self.distances_computed;
             }
         }
-        est
+    }
+
+    /// Returns the pending-arrival list to `self`, cleared but with its
+    /// capacity intact, so steady-state arrival hooks allocate nothing.
+    fn recycle_pending(&mut self, mut pending: Vec<PendingArrival>) {
+        pending.clear();
+        self.pending = pending;
     }
 }
 
@@ -331,15 +440,28 @@ impl UpdateFilter for AsyncFilter {
     }
 
     fn filter(&mut self, updates: Vec<ClientUpdate>, ctx: &FilterContext<'_>) -> FilterOutcome {
+        // Pending arrival records never outlive the pass that consumes the
+        // buffer they were recorded for: absorbing below mutates the very
+        // estimates they were measured against.
+        let pending = std::mem::take(&mut self.pending);
+
         self.last_scores.clear();
         let mut outcome = FilterOutcome::default();
         if updates.is_empty() {
+            self.emit_distance_counter(ctx);
+            self.recycle_pending(pending);
             return outcome;
         }
 
-        // Sanitize: non-finite parameters are trivially poisoned.
+        // Sanitize: non-finite parameters are trivially poisoned. All-finite
+        // buffers (the steady state) keep their Vec as-is; the partition
+        // allocation only happens when something is actually broken.
         let (mut finite, broken): (Vec<ClientUpdate>, Vec<ClientUpdate>) =
-            updates.into_iter().partition(|u| u.params.is_finite());
+            if updates.iter().all(|u| u.params.is_finite()) {
+                (updates, Vec::new())
+            } else {
+                updates.into_iter().partition(|u| u.params.is_finite())
+            };
         outcome.rejected.extend(broken);
 
         if finite.len() < self.config.min_updates {
@@ -349,74 +471,164 @@ impl UpdateFilter for AsyncFilter {
                 self.absorb(key, &u.params);
             }
             outcome.accepted.append(&mut finite);
+            self.emit_distance_counter(ctx);
+            self.recycle_pending(pending);
             return outcome;
         }
 
-        // Eq. 4: group indices by staleness bucket.
-        let mut grouped: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-        for (i, u) in finite.iter().enumerate() {
-            grouped
-                .entry(self.group_key(u.staleness))
-                .or_default()
-                .push(i);
+        let n = finite.len();
+        let mut scr = std::mem::take(&mut self.scratch);
+
+        // Eq. 4: per-update staleness-bucket keys plus the sorted unique
+        // key list. (The batch engine built a `BTreeMap<u64, Vec<usize>>`
+        // here — fresh node and member-vector allocations every pass.)
+        scr.keys.clear();
+        for u in &finite {
+            let key = self.group_key(u.staleness);
+            scr.keys.push(key);
         }
+        scr.uniq.clear();
+        scr.uniq.extend_from_slice(&scr.keys);
+        scr.uniq.sort_unstable();
+        scr.uniq.dedup();
 
-        // Estimates to score against (pre-update; see module docs).
-        let estimates = self.effective_estimates(&grouped, &finite);
-
-        // Cache each estimate's squared norm once; with the per-update
-        // cached ‖ω‖² every distance below is a single dot product:
-        // d(MA, ω)² = ‖MA‖² + ‖ω‖² − 2·MA·ω.
-        let est_norm_sq: BTreeMap<u64, f64> = estimates
-            .iter()
-            .map(|(&k, ma)| (k, ma.norm_squared()))
-            .collect();
-
-        // Eq. 6: per-update squared distance to its own group estimate —
-        // computed once per pass and reused by every eq. 7 denominator.
-        let mut dist_sq = vec![0.0f64; finite.len()];
-        for (&key, members) in &grouped {
-            // lint:allow(P2) -- every grouped key was inserted into both maps above
-            let own = &estimates[&key];
-            let own_norm_sq = est_norm_sq[&key]; // lint:allow(P2) -- same key set as estimates
-            for &i in members {
-                // lint:allow(P2) -- members hold indices below finite.len()
-                let u = &finite[i];
-                let d =
-                    u.params
-                        .distance_squared_from_norms(u.params_norm_squared(), own, own_norm_sq);
-                dist_sq[i] = d; // lint:allow(P2) -- dist_sq was sized to finite.len()
+        // Match arrival-time records to this batch. The server buffers
+        // updates in the order it calls `on_buffered`, and a pass consumes
+        // the whole buffer in that order, so a single in-order walk pairs
+        // them up; the identity fields plus the bit-exact norm checksum
+        // guard the pairing. Any unmatched update (every caller that never
+        // invokes the hook — all pre-existing tests and ablation drivers)
+        // simply falls back to pass-time computation.
+        scr.cached.clear();
+        scr.cached.resize(n, None);
+        {
+            let mut pi = 0;
+            for (i, u) in finite.iter().enumerate() {
+                while pi < pending.len() {
+                    // lint:allow(P2) -- pi < pending.len() checked above
+                    let e = &pending[pi];
+                    pi += 1;
+                    if e.client == u.client
+                        && e.base_round == u.base_round
+                        && e.defers == u.defers
+                        && e.staleness == u.staleness
+                        && e.params_norm_sq.to_bits() == u.params_norm_squared().to_bits()
+                    {
+                        // lint:allow(P2) -- cached was resized to n above
+                        scr.cached[i] = Some(pi - 1);
+                        break;
+                    }
+                }
             }
         }
-        let dist: Vec<f64> = dist_sq.iter().map(|d| d.sqrt()).collect();
-        // Eq. 7: normalization into suspicious scores.
-        let mut scores = vec![0.0f64; finite.len()];
+
+        // Estimates to score against (pre-update; see module docs): live
+        // groups are borrowed in place, history-less groups bootstrapped
+        // from the current buffer. `ests` is aligned with `scr.uniq`.
+        let boot = self.bootstrap_estimates(&scr.uniq, &scr.keys, &finite);
+        let groups = &self.groups;
+        let mut ests: Vec<(&Vector, f64, bool)> = Vec::with_capacity(scr.uniq.len());
+        {
+            let mut bi = 0;
+            for &key in &scr.uniq {
+                if let Some(state) = groups.get(&key) {
+                    ests.push((&state.ma, state.norm_sq, true));
+                } else {
+                    // lint:allow(P2) -- bootstrap_estimates emits one entry per
+                    // non-live key, in the same ascending order walked here
+                    let (bk, ma, norm_sq) = &boot[bi];
+                    debug_assert_eq!(*bk, key);
+                    bi += 1;
+                    ests.push((ma, *norm_sq, false));
+                }
+            }
+        }
+
+        // Eq. 6: per-update squared distance to its own group estimate —
+        // taken from the arrival-time record when the group estimate was
+        // already live then (bit-identical: the estimate has not mutated
+        // since), computed here otherwise. Each distance is a single dot
+        // product via the cached norms:
+        // d(MA, ω)² = ‖MA‖² + ‖ω‖² − 2·MA·ω.
+        scr.dist_sq.clear();
+        scr.dist_sq.resize(n, 0.0);
+        let mut computed: u64 = 0;
+        for (gi, &key) in scr.uniq.iter().enumerate() {
+            let (own, own_norm_sq, live) = ests[gi]; // lint:allow(P2) -- ests is aligned with uniq
+            for (i, u) in finite.iter().enumerate() {
+                // lint:allow(P2) -- keys/cached/dist_sq are all sized to n
+                if scr.keys[i] != key {
+                    continue;
+                }
+                let cached = if live {
+                    // lint:allow(P2) -- cached holds indices into pending
+                    scr.cached[i].and_then(|pi| pending[pi].own_dist_sq)
+                } else {
+                    None
+                };
+                let d = match cached {
+                    Some(d) => d,
+                    None => {
+                        computed += 1;
+                        u.params.distance_squared_from_norms(
+                            u.params_norm_squared(),
+                            own,
+                            own_norm_sq,
+                        )
+                    }
+                };
+                scr.dist_sq[i] = d; // lint:allow(P2) -- dist_sq was sized to n
+            }
+        }
+        scr.dist.clear();
+        scr.dist.extend(scr.dist_sq.iter().map(|d| d.sqrt()));
+        // Eq. 7: normalization into suspicious scores. The denominators are
+        // root-sum-of-squares over the cached `dist_sq`, re-reduced in
+        // buffer order every pass — O(Ω) flops on already-computed scalars,
+        // so caching partial sums would save nothing and cost bit-drift.
+        scr.scores.clear();
+        scr.scores.resize(n, 0.0);
         match self.config.score_normalization {
             ScoreNormalization::Global => {
-                let denom = sum_seq(dist_sq.iter().copied()).sqrt();
+                let denom = sum_seq(scr.dist_sq.iter().copied()).sqrt();
                 if denom > 0.0 {
-                    for (s, &d) in scores.iter_mut().zip(&dist) {
+                    for (s, &d) in scr.scores.iter_mut().zip(&scr.dist) {
                         *s = d / denom;
                     }
                     // Eq. 7 invariant: the score vector is unit-norm.
                     debug_assert!(
-                        (scores.iter().map(|s| s * s).sum::<f64>() - 1.0).abs() < 1e-6,
+                        (scr.scores.iter().map(|s| s * s).sum::<f64>() - 1.0).abs() < 1e-6,
                         "eq. 7 global normalization lost unit norm"
                     );
                 }
             }
             ScoreNormalization::WithinGroup => {
-                for members in grouped.values() {
-                    // lint:allow(P2) -- members hold indices below dist_sq.len()
-                    let denom = sum_seq(members.iter().map(|&i| dist_sq[i])).sqrt();
+                for &key in &scr.uniq {
+                    let denom = sum_seq(
+                        scr.keys
+                            .iter()
+                            .zip(&scr.dist_sq)
+                            .filter(|&(&k, _)| k == key)
+                            .map(|(_, &d)| d),
+                    )
+                    .sqrt();
                     if denom > 0.0 {
-                        for &i in members {
-                            // lint:allow(P2) -- members hold indices below scores.len()
-                            scores[i] = dist[i] / denom;
+                        for i in 0..n {
+                            // lint:allow(P2) -- keys/scores/dist sized to n
+                            if scr.keys[i] == key {
+                                // lint:allow(P2) -- scores/dist sized to n
+                                scr.scores[i] = scr.dist[i] / denom;
+                            }
                         }
                         // Eq. 7 invariant, per group: unit-norm score slice.
                         debug_assert!(
-                            (members.iter().map(|&i| scores[i] * scores[i]).sum::<f64>() - 1.0)
+                            (scr.keys
+                                .iter()
+                                .zip(&scr.scores)
+                                .filter(|&(&k, _)| k == key)
+                                .map(|(_, &s)| s * s)
+                                .sum::<f64>()
+                                - 1.0)
                                 .abs()
                                 < 1e-6,
                             "eq. 7 within-group normalization lost unit norm"
@@ -425,64 +637,82 @@ impl UpdateFilter for AsyncFilter {
                 }
             }
             ScoreNormalization::CrossGroup => {
-                if grouped.len() == 1 {
+                if scr.uniq.len() == 1 {
                     // Degenerates to score = 1 for everyone; fall back to the
                     // within-group reading so ordering survives.
-                    let denom = sum_seq(dist_sq.iter().copied()).sqrt();
+                    let denom = sum_seq(scr.dist_sq.iter().copied()).sqrt();
                     if denom > 0.0 {
-                        for (s, &d) in scores.iter_mut().zip(&dist) {
+                        for (s, &d) in scr.scores.iter_mut().zip(&scr.dist) {
                             *s = d / denom;
                         }
                         debug_assert!(
-                            (scores.iter().map(|s| s * s).sum::<f64>() - 1.0).abs() < 1e-6,
+                            (scr.scores.iter().map(|s| s * s).sum::<f64>() - 1.0).abs() < 1e-6,
                             "eq. 7 single-group fallback normalization lost unit norm"
                         );
                     }
                 } else {
-                    // Per-(group, update) squared-distance matrix, built
-                    // once per pass: own-group entries are exactly
-                    // `dist_sq`, every other entry is one dot product via
-                    // the cached norms. Column sums are the denominators.
-                    let own_key: Vec<u64> =
-                        finite.iter().map(|u| self.group_key(u.staleness)).collect();
-                    let cross: Vec<Vec<f64>> = estimates
-                        .iter()
-                        .map(|(&key, ma)| {
-                            // lint:allow(P2) -- est_norm_sq mirrors estimates' key set
-                            let ma_norm_sq = est_norm_sq[&key];
-                            finite
-                                .iter()
-                                .zip(own_key.iter().zip(&dist_sq))
-                                .map(|(u, (&ok, &dsq))| {
-                                    if ok == key {
-                                        dsq
-                                    } else {
+                    // Per-(group, update) squared-distance matrix in a flat
+                    // reused buffer: own-group entries are exactly
+                    // `dist_sq`, cross entries come from the arrival-time
+                    // records where the row's estimate was live then, and
+                    // are one dot product otherwise. Column sums (rows
+                    // ascending, exactly the old `BTreeMap` iteration
+                    // order) are the denominators.
+                    let g = scr.uniq.len();
+                    scr.cross.clear();
+                    scr.cross.resize(g * n, 0.0);
+                    for (gi, &key) in scr.uniq.iter().enumerate() {
+                        let (ma, ma_norm_sq, live) = ests[gi]; // lint:allow(P2) -- aligned with uniq
+                        for (i, u) in finite.iter().enumerate() {
+                            // lint:allow(P2) -- keys/cached/dist_sq/cross sized to n and g·n
+                            let v = if scr.keys[i] == key {
+                                scr.dist_sq[i] // lint:allow(P2) -- dist_sq sized to n
+                            } else {
+                                let cached = if live {
+                                    // lint:allow(P2) -- cached sized to n
+                                    scr.cached[i].and_then(|pi| {
+                                        // lint:allow(P2) -- cached holds live indices into pending
+                                        pending[pi]
+                                            .cross_dist_sq
+                                            .iter()
+                                            .find(|&&(k, _)| k == key)
+                                            .map(|&(_, d)| d)
+                                    })
+                                } else {
+                                    None
+                                };
+                                match cached {
+                                    Some(d) => d,
+                                    None => {
+                                        computed += 1;
                                         u.params.distance_squared_from_norms(
                                             u.params_norm_squared(),
                                             ma,
                                             ma_norm_sq,
                                         )
                                     }
-                                })
-                                .collect()
-                        })
-                        .collect();
-                    for (i, (s, &d)) in scores.iter_mut().zip(&dist).enumerate() {
-                        // lint:allow(P2) -- every cross row has one entry per finite update
-                        let denom = sum_seq(cross.iter().map(|row| row[i])).sqrt();
+                                }
+                            };
+                            scr.cross[gi * n + i] = v; // lint:allow(P2) -- cross sized to g·n
+                        }
+                    }
+                    for i in 0..n {
+                        // lint:allow(P2) -- cross/scores/dist sized to g·n and n
+                        let denom = sum_seq((0..g).map(|r| scr.cross[r * n + i])).sqrt();
                         if denom > 0.0 {
-                            *s = d / denom;
+                            // lint:allow(P2) -- scores/dist sized to n
+                            scr.scores[i] = scr.dist[i] / denom;
                         }
                     }
                 }
             }
         }
 
-        for (u, &score) in finite.iter().zip(&scores) {
+        for ((u, &key), &score) in finite.iter().zip(&scr.keys).zip(&scr.scores) {
             self.last_scores.push(ScoreRecord {
                 client: u.client,
                 staleness: u.staleness,
-                group: self.group_key(u.staleness),
+                group: key,
                 score,
                 truth_malicious: u.truth_malicious,
             });
@@ -491,7 +721,7 @@ impl UpdateFilter for AsyncFilter {
         // 3-means attacker identification over the scalar scores.
         let clustering = {
             let _span = Span::start(ctx.sink, "kmeans_1d");
-            kmeans_1d(&scores, self.config.clusters)
+            kmeans_1d(&scr.scores, self.config.clusters)
         };
         let reject_cluster = clustering.highest_cluster();
         let accept_cluster = clustering.lowest_cluster();
@@ -509,16 +739,18 @@ impl UpdateFilter for AsyncFilter {
                                                           // doubled-attacker study, 40 %) drag the reference up and mask
                                                           // itself; excluding the top cluster keeps the reference benign for
                                                           // any attacker share below the remaining majority.
-        let rest: Vec<f64> = scores
-            .iter()
-            .zip(&clustering.assignments)
-            .filter(|(_, &a)| a != reject_cluster)
-            .map(|(&s, _)| s)
-            .collect();
-        let reference = if rest.is_empty() {
-            asyncfl_tensor::stats::median(&scores)
+        scr.rest.clear();
+        scr.rest.extend(
+            scr.scores
+                .iter()
+                .zip(&clustering.assignments)
+                .filter(|(_, &a)| a != reject_cluster)
+                .map(|(&s, _)| s),
+        );
+        let reference = if scr.rest.is_empty() {
+            asyncfl_tensor::stats::median(&scr.scores)
         } else {
-            asyncfl_tensor::stats::median(&rest)
+            asyncfl_tensor::stats::median(&scr.rest)
         };
         let gated = self.config.min_separation > 0.0
             && ctx.round >= self.config.gate_warmup_rounds
@@ -536,6 +768,11 @@ impl UpdateFilter for AsyncFilter {
                 self.absorb(key, &u.params);
             }
         }
+
+        self.distances_computed += computed;
+        self.scratch = scr;
+        self.recycle_pending(pending);
+        self.emit_distance_counter(ctx);
 
         if degenerate || gated {
             outcome.accepted.extend(finite);
@@ -561,6 +798,61 @@ impl UpdateFilter for AsyncFilter {
             }
         }
         outcome
+    }
+
+    /// Arrival-time scoring: measures the update's eq. 6 distance against
+    /// every group estimate that is already live, off the aggregation
+    /// critical section. The group estimates cannot change between this
+    /// call and the pass that consumes the update (absorbing happens only
+    /// inside passes, and a pass consumes the whole buffer), so the cached
+    /// distances are bit-identical to what the pass would compute. The
+    /// `filter_distances_computed` counter is bumped here, at arrival, so
+    /// per-emission deltas show where the work actually runs.
+    fn on_buffered(&mut self, update: &ClientUpdate, ctx: &FilterContext<'_>) {
+        // Non-finite updates are partitioned out before scoring; recording
+        // no entry keeps the pending list aligned with the finite batch.
+        if !update.params.is_finite() {
+            return;
+        }
+        let key = self.group_key(update.staleness);
+        let mut computed: u64 = 0;
+        let own_dist_sq = self.groups.get(&key).map(|state| {
+            computed += 1;
+            update.params.distance_squared_from_norms(
+                update.params_norm_squared(),
+                &state.ma,
+                state.norm_sq,
+            )
+        });
+        let mut cross_dist_sq = Vec::new();
+        if self.config.score_normalization == ScoreNormalization::CrossGroup {
+            cross_dist_sq.reserve(self.groups.len());
+            for (&k, state) in &self.groups {
+                let d = match own_dist_sq {
+                    Some(d) if k == key => d,
+                    _ => {
+                        computed += 1;
+                        update.params.distance_squared_from_norms(
+                            update.params_norm_squared(),
+                            &state.ma,
+                            state.norm_sq,
+                        )
+                    }
+                };
+                cross_dist_sq.push((k, d));
+            }
+        }
+        self.distances_computed += computed;
+        self.pending.push(PendingArrival {
+            client: update.client,
+            base_round: update.base_round,
+            defers: update.defers,
+            staleness: update.staleness,
+            params_norm_sq: update.params_norm_squared(),
+            own_dist_sq,
+            cross_dist_sq,
+        });
+        self.emit_distance_counter(ctx);
     }
 }
 
@@ -995,6 +1287,61 @@ mod tests {
         assert_eq!(AsyncFilter::default().name(), "AsyncFilter");
     }
 
+    /// The incremental engine's core property: once the arrival hook has
+    /// seen every buffered update, a pass over a warm buffer performs
+    /// **zero** additional eq. 6 distance computations — all the work
+    /// moved to arrival time. (The cold pass bootstraps estimates from the
+    /// buffer, so its distances are inherently pass-time.)
+    #[test]
+    fn incremental_pass_computes_only_marginal_distances() {
+        let mut f = AsyncFilter::default();
+        let g = Vector::zeros(2);
+        // Cold pass: no live estimates, all 10 distances are pass-time.
+        let _ = f.filter(outlier_scenario(), &ctx_with(&g));
+        let cold = f.distances_computed();
+        assert_eq!(cold, 10);
+        assert_eq!(f.tracked_groups(), 1);
+        // Warm buffer announced through the arrival hook: one distance per
+        // arrival, none at the pass.
+        let second = outlier_scenario();
+        for u in &second {
+            f.on_buffered(u, &ctx_with(&g));
+        }
+        let after_arrivals = f.distances_computed();
+        assert_eq!(after_arrivals - cold, 10);
+        let out = f.filter(second, &ctx_with(&g));
+        assert_eq!(
+            f.distances_computed(),
+            after_arrivals,
+            "warm pass recomputed arrival-time distances"
+        );
+        // And the verdicts still match the batch engine's.
+        assert!(out.rejected.iter().any(|u| u.client == 9));
+    }
+
+    #[test]
+    fn unannounced_updates_fall_back_to_batch_scoring() {
+        // Hook calls for only half the buffer: the pass must compute the
+        // missing distances itself and produce the same verdicts as a
+        // batch-only filter fed the identical sequence.
+        let g = Vector::zeros(2);
+        let mut partial = AsyncFilter::default();
+        let mut batch_only = AsyncFilter::default();
+        let warm = outlier_scenario();
+        let _ = partial.filter(warm.clone(), &ctx_with(&g));
+        let _ = batch_only.filter(warm, &ctx_with(&g));
+        let second = outlier_scenario();
+        for u in second.iter().step_by(2) {
+            partial.on_buffered(u, &ctx_with(&g));
+        }
+        let op = partial.filter(second.clone(), &ctx_with(&g));
+        let ob = batch_only.filter(second, &ctx_with(&g));
+        assert_eq!(op, ob);
+        for (a, b) in partial.last_scores().iter().zip(batch_only.last_scores()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_outcome_partitions_input(
@@ -1017,6 +1364,73 @@ mod tests {
             clients.sort_unstable();
             clients.dedup();
             prop_assert_eq!(clients.len(), n);
+        }
+
+        /// Satellite property for the incremental engine: a filter fed
+        /// through the arrival hook produces bit-identical `ScoreRecord`s
+        /// and outcomes to a batch-only filter, across random buffer
+        /// contents and sizes, arrival orders (rotation), staleness mixes,
+        /// every eq. 7 normalization mode, and multi-round sequences with
+        /// deferred re-buffering (deferred updates re-announced at their
+        /// aged staleness, ahead of fresh arrivals — the server's order).
+        #[test]
+        fn prop_incremental_and_batch_scoring_are_bit_identical(
+            vals in proptest::collection::vec(-50.0..50.0f64, 4..32),
+            lags in proptest::collection::vec(0u64..4, 4..32),
+            rot in 0usize..8,
+            mode in 0usize..3,
+            rounds in 1usize..4,
+        ) {
+            let config = AsyncFilterConfig {
+                score_normalization: match mode {
+                    0 => ScoreNormalization::Global,
+                    1 => ScoreNormalization::CrossGroup,
+                    _ => ScoreNormalization::WithinGroup,
+                },
+                ..AsyncFilterConfig::default()
+            };
+            let mut inc = AsyncFilter::new(config.clone());
+            let mut bat = AsyncFilter::new(config);
+            let g = Vector::zeros(2);
+            let n = vals.len().min(lags.len());
+            let mut carried: Vec<ClientUpdate> = Vec::new();
+            for round in 0..rounds as u64 {
+                // Fresh arrivals in a rotated order; deferred re-buffers
+                // lead the buffer, as in `BufferedServer::aggregate_now`.
+                let mut fresh: Vec<ClientUpdate> = (0..n)
+                    .map(|i| {
+                        let v = vals[i] + round as f64;
+                        upd(i, lags[i], &[v, -0.5 * v], false)
+                    })
+                    .collect();
+                fresh.rotate_left(rot % n.max(1));
+                let mut batch = carried;
+                batch.extend(fresh);
+                let ctx = FilterContext::new(round, &g, 20);
+                for u in &batch {
+                    inc.on_buffered(u, &ctx);
+                }
+                let oi = inc.filter(batch.clone(), &ctx);
+                let ob = bat.filter(batch, &ctx);
+                prop_assert_eq!(inc.last_scores().len(), bat.last_scores().len());
+                for (a, b) in inc.last_scores().iter().zip(bat.last_scores()) {
+                    prop_assert_eq!(a.client, b.client);
+                    prop_assert_eq!(a.staleness, b.staleness);
+                    prop_assert_eq!(a.group, b.group);
+                    prop_assert_eq!(a.score.to_bits(), b.score.to_bits(), "score drift");
+                }
+                prop_assert_eq!(&oi, &ob);
+                carried = oi
+                    .deferred
+                    .into_iter()
+                    .map(|mut u| {
+                        // The server refreshes staleness after the round
+                        // advances; emulate one round of aging.
+                        u.staleness += 1;
+                        u
+                    })
+                    .collect();
+            }
         }
 
         #[test]

@@ -57,13 +57,26 @@ pub struct FlDetector {
     prev_agg_delta: Option<Vector>,
     /// L-BFGS curvature pairs `(s = Δw, y = Δg)`, newest last.
     pairs: VecDeque<(Vector, Vector)>,
-    /// Per-client: last submitted delta and the global snapshot it followed.
+    /// Per-client last submitted delta, refreshed in place each report.
     /// `BTreeMap` so any iteration over filter state is reproducible (D1).
-    client_last: BTreeMap<usize, (Vector, Vector)>,
+    client_last: BTreeMap<usize, Vector>,
     /// Per-client sliding window of prediction errors.
     client_errors: BTreeMap<usize, VecDeque<f64>>,
     /// Normalized windowed scores from the most recent `filter` call.
     last_scores: Vec<ScoreRecord>,
+    /// Reused per-pass buffer for the predicted update `ĝᵢᵗ`, so the
+    /// per-update prediction loop allocates nothing in steady state.
+    predicted: Vector,
+    /// Reused buffer for the pass-wide model step `wᵗ − w^{t−1}`.
+    step_scratch: Vector,
+    /// Reused buffer for the pass-wide Hessian-vector product `Ĥ·Δw`.
+    hvp_scratch: Vector,
+    /// Reused buffer for the mean accepted delta of the current pass.
+    agg_scratch: Vector,
+    /// Curvature-pair buffers recycled from the sliding window: once
+    /// `pairs` is full, every push evicts one pair whose two vectors are
+    /// reused for the next `(Δw, Δg)` instead of allocating.
+    spare_pair: Option<(Vector, Vector)>,
     rng: StdRng,
 }
 
@@ -79,6 +92,11 @@ impl FlDetector {
             client_last: BTreeMap::new(),
             client_errors: BTreeMap::new(),
             last_scores: Vec::new(),
+            predicted: Vector::zeros(0),
+            step_scratch: Vector::zeros(0),
+            hvp_scratch: Vector::zeros(0),
+            agg_scratch: Vector::zeros(0),
+            spare_pair: None,
             rng,
         }
     }
@@ -86,8 +104,10 @@ impl FlDetector {
     /// Approximates the Hessian-vector product `Ĥ·v` with the L-BFGS
     /// two-loop recursion over the stored `(Δw, Δg)` pairs, with the roles
     /// of `s` and `y` swapped so the recursion approximates `H` rather than
-    /// `H⁻¹`. Returns the zero vector when no usable curvature pairs exist.
-    fn hessian_vector_product(&self, v: &Vector) -> Vector {
+    /// `H⁻¹`. Writes into `out` (the zero vector when no usable curvature
+    /// pairs exist) so the per-pass caller can reuse one buffer.
+    fn hessian_vector_product_into(&self, v: &Vector, out: &mut Vector) {
+        out.copy_from(v);
         // Keep only pairs with meaningful positive curvature.
         let usable: Vec<&(Vector, Vector)> = self
             .pairs
@@ -95,21 +115,23 @@ impl FlDetector {
             .filter(|(s, y)| s.dot(y) > 1e-12)
             .collect();
         if usable.is_empty() {
-            return Vector::zeros(v.len());
+            out.map_in_place(|_| 0.0);
+            return;
         }
         // Two-loop recursion approximating H·v using (s' = Δg, y' = Δw).
-        let mut q = v.clone();
+        let q = out;
         let mut alphas = Vec::with_capacity(usable.len());
         for (s, y) in usable.iter().rev() {
             // swapped roles: s' = y (Δg), y' = s (Δw)
             let rho = 1.0 / s.dot(y);
-            let alpha = rho * y.dot(&q);
+            let alpha = rho * y.dot(q);
             q.axpy(-alpha, s);
             alphas.push((alpha, rho));
         }
         // Initial scaling γ = (y'·s')/(y'·y') with swapped roles.
         let Some((s_last, y_last)) = usable.last() else {
-            return Vector::zeros(v.len());
+            q.map_in_place(|_| 0.0);
+            return;
         };
         let denom = s_last.dot(s_last);
         let gamma = if denom > 1e-12 {
@@ -119,10 +141,17 @@ impl FlDetector {
         };
         q.scale(1.0 / gamma.max(1e-12));
         for ((s, y), &(alpha, rho)) in usable.iter().zip(alphas.iter().rev()) {
-            let beta = rho * s.dot(&q);
+            let beta = rho * s.dot(q);
             q.axpy(alpha - beta, y);
         }
-        q
+    }
+
+    /// Allocating wrapper over [`Self::hessian_vector_product_into`].
+    #[cfg(test)]
+    fn hessian_vector_product(&self, v: &Vector) -> Vector {
+        let mut out = Vector::zeros(0);
+        self.hessian_vector_product_into(v, &mut out);
+        out
     }
 
     /// Windowed mean prediction error for a client.
@@ -155,9 +184,15 @@ impl UpdateFilter for FlDetector {
         if updates.is_empty() {
             return outcome;
         }
-        // Sanitize non-finite updates like every other defense.
+        // Sanitize non-finite updates like every other defense. All-finite
+        // buffers (the steady state) keep their Vec as-is; the partition
+        // allocation only happens when something is actually broken.
         let (finite, broken): (Vec<ClientUpdate>, Vec<ClientUpdate>) =
-            updates.into_iter().partition(|u| u.params.is_finite());
+            if updates.iter().all(|u| u.params.is_finite()) {
+                (updates, Vec::new())
+            } else {
+                updates.into_iter().partition(|u| u.params.is_finite())
+            };
         outcome.rejected.extend(broken);
         if finite.is_empty() {
             return outcome;
@@ -169,12 +204,31 @@ impl UpdateFilter for FlDetector {
         // client had participated in round t−1. This is deliberate — the
         // detector's blindness to per-client staleness is the failure mode
         // the paper demonstrates (§5.2).
-        let last_step: Option<Vector> = self.prev_global.as_ref().map(|pw| ctx.global_params - pw);
+        //
+        // The Hessian-vector product depends only on the pass-wide model
+        // step and the stored curvature pairs, never on the update being
+        // scored — it is loop-invariant, computed once per pass (it used to
+        // be recomputed per update and dominated the pass's flops).
+        let mut step = std::mem::take(&mut self.step_scratch);
+        let have_step = match self.prev_global.as_ref() {
+            Some(pw) => {
+                // wᵗ − w^{t−1}, as x + (−1)·y (bitwise equal to x − y).
+                step.copy_from(ctx.global_params);
+                step.axpy(-1.0, pw);
+                true
+            }
+            None => false,
+        };
+        let mut hvp = std::mem::take(&mut self.hvp_scratch);
+        if have_step {
+            self.hessian_vector_product_into(&step, &mut hvp);
+        }
+        let mut predicted = std::mem::take(&mut self.predicted);
         for u in &finite {
-            let err = match (self.client_last.get(&u.client), &last_step) {
-                (Some((last_delta, _)), Some(dw)) => {
-                    let mut predicted = last_delta.clone();
-                    predicted.axpy(1.0, &self.hessian_vector_product(dw));
+            let err = match self.client_last.get(&u.client) {
+                Some(last_delta) if have_step => {
+                    predicted.copy_from(last_delta);
+                    predicted.axpy(1.0, &hvp);
                     predicted.distance(&u.delta)
                 }
                 // First report (or first round): no history, assumed benign.
@@ -185,9 +239,20 @@ impl UpdateFilter for FlDetector {
             while window.len() > self.config.window {
                 window.pop_front();
             }
-            self.client_last
-                .insert(u.client, (u.delta.clone(), ctx.global_params.clone()));
+            // Refresh the stored delta in place; a brand-new client is the
+            // only case that allocates.
+            match self.client_last.entry(u.client) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().copy_from(&u.delta);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(u.delta.clone());
+                }
+            }
         }
+        self.predicted = predicted;
+        self.hvp_scratch = hvp;
+        self.step_scratch = step;
 
         // 2. Normalized windowed scores for the clients in this buffer.
         let raw: Vec<f64> = finite.iter().map(|u| self.mean_error(u.client)).collect();
@@ -237,20 +302,39 @@ impl UpdateFilter for FlDetector {
             .map(|(u, _)| &u.delta)
             .collect();
         if !accepted_deltas.is_empty() {
-            let mut agg = Vector::zeros(ctx.global_params.len());
+            let mut agg = std::mem::take(&mut self.agg_scratch);
+            if agg.len() == ctx.global_params.len() {
+                agg.map_in_place(|_| 0.0);
+            } else {
+                agg = Vector::zeros(ctx.global_params.len());
+            }
             for d in &accepted_deltas {
                 agg.axpy(1.0 / accepted_deltas.len() as f64, d);
             }
+            let spare = self.spare_pair.take();
             if let (Some(pw), Some(pg)) = (&self.prev_global, &self.prev_agg_delta) {
-                let dw = ctx.global_params - pw;
-                let dg = &agg - pg;
+                // Differences written as x + (−1)·y into recycled buffers
+                // (bitwise equal to the `x − y` they replace).
+                let (mut dw, mut dg) =
+                    spare.unwrap_or_else(|| (Vector::zeros(0), Vector::zeros(0)));
+                dw.copy_from(ctx.global_params);
+                dw.axpy(-1.0, pw);
+                dg.copy_from(&agg);
+                dg.axpy(-1.0, pg);
                 self.pairs.push_back((dw, dg));
                 while self.pairs.len() > self.config.window {
-                    self.pairs.pop_front();
+                    self.spare_pair = self.pairs.pop_front();
                 }
             }
-            self.prev_global = Some(ctx.global_params.clone());
-            self.prev_agg_delta = Some(agg);
+            match &mut self.prev_global {
+                Some(pw) => pw.copy_from(ctx.global_params),
+                None => self.prev_global = Some(ctx.global_params.clone()),
+            }
+            match &mut self.prev_agg_delta {
+                Some(pg) => pg.copy_from(&agg),
+                None => self.prev_agg_delta = Some(agg.clone()),
+            }
+            self.agg_scratch = agg;
         }
 
         for (u, bad) in finite.into_iter().zip(verdicts) {

@@ -851,10 +851,39 @@ impl<'t> Parser<'t> {
             return Ok(Stmt::Item(Box::new(item)));
         }
         // Expression statement. Block-like expressions terminate without a
-        // `;` (Rust statement grammar); others continue as full expressions.
+        // `;` (Rust statement grammar) and take no postfix or infix
+        // continuation: `for … {}` followed by `[a, b]` starts a new
+        // array-literal statement, not an index into the loop. Others
+        // continue as full expressions.
+        if self.at_block_like_expr() {
+            let expr = self.parse_prefix(true)?;
+            let semi = self.eat_op(";");
+            return Ok(Stmt::Expr { expr, semi });
+        }
         let expr = self.parse_expr()?;
         let semi = self.eat_op(";");
         Ok(Stmt::Expr { expr, semi })
+    }
+
+    /// Whether the cursor sits at a block-like expression: `if`, `match`,
+    /// `while`, `loop`, `for`, a bare block, `unsafe { … }`, `const { … }`,
+    /// optionally behind a loop label. Item-position keywords (`unsafe fn`,
+    /// `const NAME`) are already diverted by `is_item_start` before this is
+    /// consulted in `parse_stmt`.
+    fn at_block_like_expr(&self) -> bool {
+        let mut n = 0;
+        if self.peek().is_some_and(|t| t.kind == TokenKind::Lifetime) && self.at_op_n(1, ":") {
+            n = 2;
+        }
+        let Some(t) = self.peek_n(n) else {
+            return false;
+        };
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Op, "{") => true,
+            (TokenKind::Ident, "if" | "match" | "while" | "loop" | "for") => true,
+            (TokenKind::Ident, "unsafe" | "const") => self.at_op_n(n + 1, "{"),
+            _ => false,
+        }
     }
 
     /// Whether the cursor sits at an item declaration (inside a block).

@@ -162,6 +162,19 @@ impl BufferedServer {
             return None;
         }
         *self.staleness_histogram.entry(staleness).or_insert(0) += 1;
+        // Arrival hook: incremental filters score the update now, off the
+        // aggregation critical section. Staleness is final for this update
+        // (the round only advances inside `aggregate_now`, and deferred
+        // updates are re-announced there after it does).
+        let sink_ref = self.sink.as_ref().map(|s| s.as_dyn());
+        let mut ctx = FilterContext::new(self.round, &self.global, self.staleness_limit);
+        if let Some(t) = &self.trusted_delta {
+            ctx = ctx.with_trusted_delta(t);
+        }
+        if let Some(s) = sink_ref {
+            ctx = ctx.with_sink(s);
+        }
+        self.filter.on_buffered(&update, &ctx);
         self.buffer.push(update);
         if self.buffer.len() >= self.aggregation_bound {
             Some(self.aggregate_now())
@@ -239,7 +252,29 @@ impl BufferedServer {
                 delta: outcome.deferred.len() as u64,
             });
         }
-        self.buffer.extend(outcome.deferred);
+        let mut deferred = outcome.deferred;
+        if !deferred.is_empty() {
+            // Re-announce each re-buffered update at its post-advance
+            // staleness — the value the next pass will see. Updates that
+            // already aged past the limit get no hook call: the next pass's
+            // re-screen drops them before the filter ever sees them. The
+            // context is rebuilt because the round and global model moved.
+            let sink_ref = self.sink.as_ref().map(|s| s.as_dyn());
+            let mut ctx = FilterContext::new(self.round, &self.global, self.staleness_limit);
+            if let Some(t) = &self.trusted_delta {
+                ctx = ctx.with_trusted_delta(t);
+            }
+            if let Some(s) = sink_ref {
+                ctx = ctx.with_sink(s);
+            }
+            for u in &mut deferred {
+                u.staleness = self.round.saturating_sub(u.base_round);
+                if u.staleness <= self.staleness_limit {
+                    self.filter.on_buffered(u, &ctx);
+                }
+            }
+        }
+        self.buffer.extend(deferred);
         self.emit(Event::GaugeSample {
             name: "deferred_queue_depth",
             value: self.buffer.len() as u64,
@@ -703,6 +738,69 @@ mod tests {
             mem.events().first(),
             Some(Event::UpdateReceived { .. })
         ));
+    }
+
+    /// Satellite regression for the incremental filter engine: once the
+    /// group estimates are warm and every buffered update was announced
+    /// through the arrival hook, the aggregation triggered by one new
+    /// arrival performs O(groups + 1) eq. 6 distance computations — one
+    /// at the triggering arrival, none inside the pass — not the
+    /// O(groups × Ω) a batch rebuild would cost.
+    #[test]
+    fn warm_aggregation_costs_marginal_distances_only() {
+        use asyncfl_telemetry::{MemorySink, MetricsRegistry, SharedSink, Sink};
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemorySink::new(4096));
+        let bound = 8usize;
+        // Middle-cluster deferral off so each pass drains the buffer fully
+        // and the fill arithmetic below stays exact.
+        let filter = AsyncFilter::new(asyncfl_core::AsyncFilterConfig {
+            middle_policy: asyncfl_core::asyncfilter::MiddlePolicy::Accept,
+            ..Default::default()
+        });
+        let mut s = BufferedServer::new(
+            Vector::zeros(2),
+            bound,
+            20,
+            Box::new(filter),
+            Box::new(MeanAggregator::new()),
+        )
+        .with_sink(SharedSink::from_arc(mem.clone()));
+
+        let distance_count = |mem: &MemorySink| {
+            let reg = MetricsRegistry::new();
+            for e in mem.events() {
+                reg.emit(&e);
+            }
+            reg.counter("filter_distances_computed")
+        };
+
+        // Round 0 warms the staleness-0 group estimate (its distances are
+        // bootstrap work, all pass-time).
+        for i in 0..bound {
+            s.receive(upd(i, 0, &[1.0 + 0.01 * i as f64, 1.0]));
+        }
+        // Fill the next buffer to one short of the bound; each arrival
+        // costs exactly one distance, counted as it happens.
+        for i in 0..bound - 1 {
+            s.receive(upd(i, 1, &[1.0 + 0.01 * i as f64, 1.0]));
+        }
+        let before = distance_count(&mem);
+        let groups = 1u64; // every arrival sits in the staleness-0 bucket
+        let report = s
+            .receive(upd(bound - 1, 1, &[1.05, 1.0]))
+            .expect("bound reached");
+        assert_eq!(report.accepted + report.rejected + report.deferred, bound);
+        let marginal = distance_count(&mem) - before;
+        assert!(
+            marginal <= groups + 1,
+            "one-arrival aggregation cost {marginal} distance computations \
+             (expected <= groups + 1 = {})",
+            groups + 1
+        );
+        // Sanity: the cold first pass did pay O(Ω) — the counter is live.
+        assert!(before >= bound as u64);
     }
 
     #[test]

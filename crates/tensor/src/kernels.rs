@@ -140,12 +140,60 @@ pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     }
 }
 
+/// Reduction-dimension tile for the blocked GEMM loops below. 32 columns
+/// of `f64` per row block keeps four B-row panels (`GEMM_TILE_K` × 8 B)
+/// comfortably inside L1 alongside the A row and output tile.
+const GEMM_TILE_K: usize = 32;
+
+/// Four dot products sharing one traversal of `a`: registers hold four
+/// accumulator blocks while `a` streams through once, quartering the
+/// `a`-side memory traffic of four [`dot`] calls. Each of the four results
+/// accumulates in *exactly* [`dot`]'s lane-and-tail order, so every output
+/// is bit-identical to the corresponding standalone `dot(a, bX)` call.
+#[inline]
+fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    debug_assert!(
+        a.len() == b0.len() && a.len() == b1.len() && a.len() == b2.len() && a.len() == b3.len()
+    );
+    let mut acc = [[0.0_f64; LANES]; 4];
+    let blocks = a.len() / LANES * LANES;
+    let mut base = 0;
+    while base < blocks {
+        for l in 0..LANES {
+            let x = a[base + l];
+            acc[0][l] += x * b0[base + l];
+            acc[1][l] += x * b1[base + l];
+            acc[2][l] += x * b2[base + l];
+            acc[3][l] += x * b3[base + l];
+        }
+        base += LANES;
+    }
+    let mut tail = [0.0_f64; 4];
+    for i in blocks..a.len() {
+        let x = a[i];
+        tail[0] += x * b0[i];
+        tail[1] += x * b1[i];
+        tail[2] += x * b2[i];
+        tail[3] += x * b3[i];
+    }
+    [
+        reduce(acc[0], tail[0]),
+        reduce(acc[1], tail[1]),
+        reduce(acc[2], tail[2]),
+        reduce(acc[3], tail[3]),
+    ]
+}
+
 /// GEMM (no-transpose × transpose): `out ← A·Bᵀ` where `A` is `m×k`,
 /// `B` is `n×k` and `out` is `m×n`, all row-major.
 ///
 /// Every output element is one [`dot`] of a row of `A` with a row of `B` —
 /// the cache-friendly orientation for row-major storage, and bit-identical
-/// to the per-sample `matvec` it batches.
+/// to the per-sample `matvec` it batches. Output columns are processed
+/// four at a time through [`dot4`], which streams the `A` row through the
+/// cache once per four `B` rows instead of once per row; `dot4` preserves
+/// `dot`'s exact per-element accumulation order, so blocking changes only
+/// *when* each output is computed, never its bits.
 ///
 /// # Panics
 ///
@@ -156,8 +204,21 @@ pub fn gemm_nt(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usi
     assert_eq!(out.len(), m * n, "gemm_nt: out is not {m}x{n}");
     for (i, out_row) in out.chunks_exact_mut(n.max(1)).enumerate().take(m) {
         let a_row = &a[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            *o = dot(a_row, &b[j * k..(j + 1) * k]);
+        let mut j = 0;
+        while j + 4 <= n {
+            let d = dot4(
+                a_row,
+                &b[j * k..(j + 1) * k],
+                &b[(j + 1) * k..(j + 2) * k],
+                &b[(j + 2) * k..(j + 3) * k],
+                &b[(j + 3) * k..(j + 4) * k],
+            );
+            out_row[j..j + 4].copy_from_slice(&d);
+            j += 4;
+        }
+        while j < n {
+            out_row[j] = dot(a_row, &b[j * k..(j + 1) * k]);
+            j += 1;
         }
     }
 }
@@ -167,7 +228,11 @@ pub fn gemm_nt(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usi
 ///
 /// Each output row is accumulated as `Σⱼ A[i][j]·B.row(j)` via [`axpy`],
 /// so per-element additions happen in ascending `j` order — the same
-/// order as the transposed mat-vec loop it batches.
+/// order as the transposed mat-vec loop it batches. The `j` loop is tiled
+/// in [`GEMM_TILE_K`]-row blocks of `B` with the row loop inside, so each
+/// `B` panel stays cache-resident across all `m` output rows; for a fixed
+/// output row the blocks still arrive in ascending `j` order, so the
+/// accumulation order (and hence every bit) is unchanged.
 ///
 /// # Panics
 ///
@@ -177,10 +242,15 @@ pub fn gemm_nn(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usi
     assert_eq!(b.len(), k * n, "gemm_nn: B is not {k}x{n}");
     assert_eq!(out.len(), m * n, "gemm_nn: out is not {m}x{n}");
     out.fill(0.0);
-    for (i, out_row) in out.chunks_exact_mut(n.max(1)).enumerate().take(m) {
-        for j in 0..k {
-            axpy(out_row, a[i * k + j], &b[j * n..(j + 1) * n]);
+    let mut j0 = 0;
+    while j0 < k {
+        let j1 = (j0 + GEMM_TILE_K).min(k);
+        for (i, out_row) in out.chunks_exact_mut(n.max(1)).enumerate().take(m) {
+            for j in j0..j1 {
+                axpy(out_row, a[i * k + j], &b[j * n..(j + 1) * n]);
+            }
         }
+        j0 = j1;
     }
 }
 
@@ -188,10 +258,13 @@ pub fn gemm_nn(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usi
 /// is `m×k`, `B` is `m×n` and `out` is `k×n`, all row-major.
 ///
 /// This is batched rank-1 accumulation — the gradient of a linear layer
-/// over a minibatch (`∂L/∂W += δᵀ·inputs`). The outer loop walks samples
-/// (rows of `A`/`B`) in order, so each output element sees its per-sample
+/// over a minibatch (`∂L/∂W += δᵀ·inputs`). Samples (rows of `A`/`B`) are
+/// walked in order, so each output element sees its per-sample
 /// contributions in exactly the order a per-sample `rank1_update` loop
-/// would produce.
+/// would produce. The output rows are tiled in [`GEMM_TILE_K`]-row blocks
+/// with the sample loop inside, so each output panel stays cache-resident
+/// across the whole minibatch; within one output element the sample order
+/// is still ascending `i`, so the accumulated bits are unchanged.
 ///
 /// # Panics
 ///
@@ -200,11 +273,16 @@ pub fn gemm_tn_acc(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n:
     assert_eq!(a.len(), m * k, "gemm_tn_acc: A is not {m}x{k}");
     assert_eq!(b.len(), m * n, "gemm_tn_acc: B is not {m}x{n}");
     assert_eq!(out.len(), k * n, "gemm_tn_acc: out is not {k}x{n}");
-    for i in 0..m {
-        let b_row = &b[i * n..(i + 1) * n];
-        for j in 0..k {
-            axpy(&mut out[j * n..(j + 1) * n], a[i * k + j], b_row);
+    let mut j0 = 0;
+    while j0 < k {
+        let j1 = (j0 + GEMM_TILE_K).min(k);
+        for i in 0..m {
+            let b_row = &b[i * n..(i + 1) * n];
+            for j in j0..j1 {
+                axpy(&mut out[j * n..(j + 1) * n], a[i * k + j], b_row);
+            }
         }
+        j0 = j1;
     }
 }
 
@@ -382,6 +460,91 @@ mod tests {
         let mut out = [0.0];
         gemm_nt(&mut out, &a, &b, 1, 23, 1);
         assert_eq!(out[0].to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn dot4_matches_dot_bitwise() {
+        for len in [0usize, 1, 3, 8, 9, 16, 70, 257] {
+            let (a, b0) = data(len);
+            let b1: Vec<f64> = b0.iter().map(|x| x * 1.5 - 0.25).collect();
+            let b2: Vec<f64> = b0.iter().map(|x| -x * 0.75).collect();
+            let b3: Vec<f64> = b0.iter().map(|x| x + 0.125).collect();
+            let got = dot4(&a, &b0, &b1, &b2, &b3);
+            for (g, b) in got.iter().zip([&b0, &b1, &b2, &b3]) {
+                assert_eq!(g.to_bits(), dot(&a, b).to_bits(), "len={len}");
+            }
+        }
+    }
+
+    /// The tiled/blocked GEMMs must be bit-identical to the untiled loops
+    /// they replaced — blocking may only reorder which output element is
+    /// computed when, never the accumulation order within one element.
+    /// Shapes straddle both blocking factors (4-wide dot4 columns,
+    /// `GEMM_TILE_K`-deep reduction tiles).
+    #[test]
+    fn gemm_tiling_is_bit_identical_to_untiled_loops() {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 4),
+            (2, 31, 5),
+            (3, 32, 9),
+            (2, 33, 11),
+            (4, 70, 6),
+            (5, 64, 3),
+        ] {
+            let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.13).sin()).collect();
+            let b_kn: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.29).cos()).collect();
+            let b_nk = transpose(&b_kn, k, n);
+
+            // gemm_nt vs. one dot per output element.
+            let mut nt = vec![0.0; m * n];
+            gemm_nt(&mut nt, &a, &b_nk, m, k, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let want = dot(&a[i * k..(i + 1) * k], &b_nk[j * k..(j + 1) * k]);
+                    assert_eq!(
+                        nt[i * n + j].to_bits(),
+                        want.to_bits(),
+                        "gemm_nt {m}x{k}x{n} @({i},{j})"
+                    );
+                }
+            }
+
+            // gemm_nn vs. the untiled ascending-j axpy loop.
+            let mut nn = vec![0.0; m * n];
+            gemm_nn(&mut nn, &a, &b_kn, m, k, n);
+            let mut nn_ref = vec![0.0; m * n];
+            for i in 0..m {
+                for j in 0..k {
+                    axpy(
+                        &mut nn_ref[i * n..(i + 1) * n],
+                        a[i * k + j],
+                        &b_kn[j * n..(j + 1) * n],
+                    );
+                }
+            }
+            for (got, want) in nn.iter().zip(&nn_ref) {
+                assert_eq!(got.to_bits(), want.to_bits(), "gemm_nn {m}x{k}x{n}");
+            }
+
+            // gemm_tn_acc vs. the untiled ascending-sample axpy loop,
+            // including a nonzero starting accumulator.
+            let a_t = transpose(&a, m, k);
+            let b_mn: Vec<f64> = (0..m * n).map(|i| (i as f64 * 0.41).sin()).collect();
+            let seed: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.07).cos()).collect();
+            let mut tn = seed.clone();
+            gemm_tn_acc(&mut tn, &a_t, &b_mn, m, k, n);
+            let mut tn_ref = seed;
+            for i in 0..m {
+                let b_row = &b_mn[i * n..(i + 1) * n];
+                for j in 0..k {
+                    axpy(&mut tn_ref[j * n..(j + 1) * n], a_t[i * k + j], b_row);
+                }
+            }
+            for (got, want) in tn.iter().zip(&tn_ref) {
+                assert_eq!(got.to_bits(), want.to_bits(), "gemm_tn_acc {m}x{k}x{n}");
+            }
+        }
     }
 
     #[test]

@@ -202,6 +202,15 @@ impl Vector {
             .sqrt()
     }
 
+    /// Overwrites `self` with `other`'s contents, reusing the existing
+    /// allocation whenever capacity allows — the in-place counterpart of
+    /// `clone()`. Dimensions may differ; `self` takes `other`'s. Hot-path
+    /// callers that refresh a stored vector every pass (filter scratch,
+    /// per-client history) use this to stay allocation-free in steady state.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.data.clone_from(&other.data);
+    }
+
     /// In-place scaled addition `self += alpha * other` (BLAS `axpy`).
     ///
     /// # Panics
@@ -573,6 +582,24 @@ mod tests {
         let mut a = v(&[1.0, 1.0]);
         a.axpy(2.0, &v(&[3.0, -1.0]));
         assert_eq!(a.as_slice(), &[7.0, -1.0]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone_and_reuses_capacity() {
+        let src = v(&[4.0, 5.0, 6.0]);
+        let mut dst = v(&[1.0, 2.0, 3.0]);
+        let buf = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(
+            dst.as_slice().as_ptr(),
+            buf,
+            "equal-capacity copy must reuse the allocation"
+        );
+        // Dimensions may differ: the destination takes the source's.
+        let mut shrunk = v(&[9.0]);
+        shrunk.copy_from(&src);
+        assert_eq!(shrunk, src);
     }
 
     #[test]
