@@ -18,8 +18,8 @@
 //! ```
 
 use asyncfl_bench::perf::{
-    counter_rows, gauge_rows, phase_rows, run_filter_wide_probe, run_rss_probe, run_scaling_probe,
-    run_training_probe, BenchJson,
+    counter_rows, gauge_rows, phase_rows, run_filter_wide_probe, run_rss_probe, run_scale_probe,
+    run_scaling_probe, run_training_probe, BenchJson,
 };
 use asyncfl_bench::{ExperimentId, RunOptions, TraceHandle};
 use asyncfl_telemetry::metrics::MetricsRegistry;
@@ -216,6 +216,27 @@ fn main() {
             ),
             None => println!("probe: dim {}, no filter spans observed", wide.dim),
         }
+        println!("Running million-client scale probe...");
+        let scale = run_scale_probe(opts.quick);
+        println!(
+            "probe: {} clients, {}/{} rounds, {} events in {:.2}s = {:.0} events/sec, \
+             resident max {} (cache {}), alloc peak {:.1} MiB, vm_hwm {}",
+            scale.clients,
+            scale.rounds_completed,
+            scale.rounds,
+            scale.loop_events,
+            scale.wall_secs,
+            scale.events_per_sec,
+            scale.resident_client_states_max,
+            scale.shard_cache_capacity,
+            scale.alloc_peak_live_bytes as f64 / (1024.0 * 1024.0),
+            scale
+                .vm_hwm_bytes
+                .map_or("unreadable".to_string(), |b| format!(
+                    "{:.1} MiB",
+                    b as f64 / (1024.0 * 1024.0)
+                )),
+        );
         let registry: Option<&MetricsRegistry> = trace
             .as_ref()
             .map(|h| h.registry())
@@ -236,6 +257,7 @@ fn main() {
             scaling: Some(probe),
             training: Some(training),
             filter_wide: Some(wide),
+            scale_1m: Some(scale),
             rss: Some(run_rss_probe()),
         };
         if let Err(e) = artifact.write(&path) {

@@ -248,6 +248,23 @@ pub struct PhaseMetrics {
     pub alloc_bytes_mean: Option<f64>,
 }
 
+/// The million-client scale probe's gate-relevant fields as read from an
+/// artifact's `scale_1m` member (absent in artifacts that predate it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScaleSummary {
+    /// Client population the probe simulated.
+    pub clients: f64,
+    /// Rounds the probe was configured to run.
+    pub rounds: f64,
+    /// Rounds it actually completed.
+    pub rounds_completed: f64,
+    /// Discrete events the engine's loop consumed.
+    pub loop_events: f64,
+    /// Allocator live-byte high-water mark at probe end — the memory
+    /// side of the lazy-materialization contract (DESIGN.md §11).
+    pub alloc_peak_live_bytes: f64,
+}
+
 /// Everything the differ reads out of one artifact.
 #[derive(Debug, Clone, Default)]
 pub struct BenchSummary {
@@ -261,6 +278,8 @@ pub struct BenchSummary {
     pub phases: BTreeMap<String, PhaseMetrics>,
     /// Allocator peak live bytes from `peak_rss_estimate` (v2, measured).
     pub peak_live_bytes: Option<f64>,
+    /// Million-client scale probe, when the artifact recorded one.
+    pub scale_1m: Option<ScaleSummary>,
 }
 
 /// Extracts the diffable summary from a parsed artifact.
@@ -308,6 +327,16 @@ pub fn summarize(doc: &Value) -> Result<BenchSummary, String> {
         .and_then(|r| r.get("alloc_peak_live_bytes"))
         .and_then(Value::as_f64)
         .filter(|&b| b > 0.0);
+    summary.scale_1m = doc.get("scale_1m").and_then(|p| {
+        let field = |k: &str| p.get(k).and_then(Value::as_f64);
+        Some(ScaleSummary {
+            clients: field("clients")?,
+            rounds: field("rounds").unwrap_or(0.0),
+            rounds_completed: field("rounds_completed").unwrap_or(0.0),
+            loop_events: field("loop_events").unwrap_or(0.0),
+            alloc_peak_live_bytes: field("alloc_peak_live_bytes").unwrap_or(0.0),
+        })
+    });
     Ok(summary)
 }
 
@@ -419,6 +448,62 @@ pub fn diff(
             }
         }
     }
+    // The million-client scale probe gates by presence and memory: once a
+    // baseline records it, every successor must still run it at no smaller
+    // a population, complete every round, and hold the allocator peak —
+    // the lazy-materialization contract (DESIGN.md §11). Reintroducing an
+    // eager per-client array adds ~1 KB × 10⁶ clients and trips the peak
+    // check immediately. A baseline without the probe disarms all of this
+    // (older artifacts never measured it).
+    if let Some(o) = &old.scale_1m {
+        match &new.scale_1m {
+            None => breaches.push(Breach {
+                phase: "scale_1m".to_string(),
+                metric: "probe_missing",
+                old: o.clients,
+                new: 0.0,
+                pct: 100.0,
+                threshold_pct: 0.0,
+            }),
+            Some(n) => {
+                if n.clients < o.clients {
+                    breaches.push(Breach {
+                        phase: "scale_1m".to_string(),
+                        metric: "clients",
+                        old: o.clients,
+                        new: n.clients,
+                        pct: pct_change(o.clients, n.clients).unwrap_or(0.0),
+                        threshold_pct: 0.0,
+                    });
+                }
+                if n.rounds_completed < n.rounds {
+                    breaches.push(Breach {
+                        phase: "scale_1m".to_string(),
+                        metric: "rounds_completed",
+                        old: n.rounds,
+                        new: n.rounds_completed,
+                        pct: pct_change(n.rounds, n.rounds_completed).unwrap_or(0.0),
+                        threshold_pct: 0.0,
+                    });
+                }
+                if o.alloc_peak_live_bytes > 0.0 && n.alloc_peak_live_bytes > 0.0 {
+                    if let Some(pct) = pct_change(o.alloc_peak_live_bytes, n.alloc_peak_live_bytes)
+                    {
+                        if pct > gate.max_alloc_regress_pct {
+                            breaches.push(Breach {
+                                phase: "scale_1m".to_string(),
+                                metric: "alloc_peak_live_bytes",
+                                old: o.alloc_peak_live_bytes,
+                                new: n.alloc_peak_live_bytes,
+                                pct,
+                                threshold_pct: gate.max_alloc_regress_pct,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
     DiffReport {
         old,
         new,
@@ -464,6 +549,23 @@ impl DiffReport {
                 o / (1024.0 * 1024.0),
                 n / (1024.0 * 1024.0),
                 fmt_delta(o, n)
+            );
+        }
+        if let (Some(o), Some(n)) = (&self.old.scale_1m, &self.new.scale_1m) {
+            let _ = writeln!(
+                s,
+                "Scale probe ({:.0} clients): alloc peak {:.1} MiB -> {:.1} MiB ({}), \
+                 {:.0} -> {:.0} loop events, rounds {:.0}/{:.0} -> {:.0}/{:.0}\n",
+                n.clients,
+                o.alloc_peak_live_bytes / (1024.0 * 1024.0),
+                n.alloc_peak_live_bytes / (1024.0 * 1024.0),
+                fmt_delta(o.alloc_peak_live_bytes, n.alloc_peak_live_bytes),
+                o.loop_events,
+                n.loop_events,
+                o.rounds_completed,
+                o.rounds,
+                n.rounds_completed,
+                n.rounds,
             );
         }
         let _ = writeln!(
@@ -537,6 +639,17 @@ impl DiffReport {
             s,
             "  \"old_total_secs\": {:.6},\n  \"new_total_secs\": {:.6},",
             self.old.total_secs, self.new.total_secs
+        );
+        let scale_peak = |side: &BenchSummary| {
+            side.scale_1m.as_ref().map_or("null".to_string(), |p| {
+                format!("{:.0}", p.alloc_peak_live_bytes)
+            })
+        };
+        let _ = writeln!(
+            s,
+            "  \"scale_1m_peak_old\": {},\n  \"scale_1m_peak_new\": {},",
+            scale_peak(&self.old),
+            scale_peak(&self.new)
         );
         s.push_str("  \"phases\": [\n");
         let all_phases: std::collections::BTreeSet<&String> = self
@@ -796,6 +909,118 @@ mod tests {
         let report = diff(old, new, &[], GateConfig::default());
         assert!(report.breaches.is_empty());
         assert!(report.render_markdown().contains("filter"));
+    }
+
+    /// A minimal v2 artifact carrying a `scale_1m` probe.
+    fn scale_doc(clients: f64, rounds_completed: f64, peak: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "asyncfl-bench-v2",
+  "binary": "repro",
+  "total_secs": 20.0,
+  "phases": [],
+  "scale_1m": {{"clients": {clients}, "rounds": 30, "aggregation_bound": 16384,
+    "participation": 0.5, "shard_cache_capacity": 4096,
+    "rounds_completed": {rounds_completed}, "updates_received": 491520,
+    "loop_events": 1966080, "wall_secs": 12.5, "events_per_sec": 157286.4,
+    "final_accuracy": 0.83, "resident_client_states_max": 4096,
+    "alloc_peak_live_bytes": {peak}, "vm_hwm_bytes": null}}
+}}
+"#
+        )
+    }
+
+    fn scale_summary(clients: f64, rounds_completed: f64, peak: f64) -> BenchSummary {
+        summarize(&parse_json(&scale_doc(clients, rounds_completed, peak)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn summarize_reads_the_scale_probe() {
+        let s = scale_summary(1_000_000.0, 30.0, 250e6);
+        let probe = s.scale_1m.expect("probe parsed");
+        assert_eq!(probe.clients, 1_000_000.0);
+        assert_eq!(probe.rounds, 30.0);
+        assert_eq!(probe.rounds_completed, 30.0);
+        assert_eq!(probe.loop_events, 1_966_080.0);
+        assert_eq!(probe.alloc_peak_live_bytes, 250e6);
+        // Artifacts that predate the probe read as absent, not as zeros.
+        let old = summarize(&parse_json(&v2_doc(1000.0, 3000.0, 1000.0)).unwrap()).unwrap();
+        assert_eq!(old.scale_1m, None);
+    }
+
+    #[test]
+    fn scale_gate_trips_on_peak_memory_regression() {
+        let old = scale_summary(1_000_000.0, 30.0, 250e6);
+        let ok = diff(
+            old.clone(),
+            scale_summary(1_000_000.0, 30.0, 260e6),
+            &[],
+            GateConfig::default(),
+        );
+        assert!(ok.breaches.is_empty(), "{:?}", ok.breaches);
+        let bad = diff(
+            old,
+            scale_summary(1_000_000.0, 30.0, 400e6),
+            &[],
+            GateConfig::default(),
+        );
+        assert_eq!(bad.breaches.len(), 1, "{:?}", bad.breaches);
+        assert_eq!(bad.breaches[0].metric, "alloc_peak_live_bytes");
+        assert_eq!(bad.breaches[0].phase, "scale_1m");
+    }
+
+    #[test]
+    fn scale_gate_trips_when_the_probe_disappears() {
+        let old = scale_summary(1_000_000.0, 30.0, 250e6);
+        let new = summarize(&parse_json(&v2_doc(1000.0, 3000.0, 1000.0)).unwrap()).unwrap();
+        let report = diff(old, new, &[], GateConfig::default());
+        assert_eq!(report.breaches.len(), 1);
+        assert_eq!(report.breaches[0].metric, "probe_missing");
+    }
+
+    #[test]
+    fn scale_gate_requires_full_population_and_rounds() {
+        let old = scale_summary(1_000_000.0, 30.0, 250e6);
+        let shrunk = diff(
+            old.clone(),
+            scale_summary(500_000.0, 30.0, 150e6),
+            &[],
+            GateConfig::default(),
+        );
+        assert!(shrunk.breaches.iter().any(|b| b.metric == "clients"));
+        let incomplete = diff(
+            old,
+            scale_summary(1_000_000.0, 20.0, 250e6),
+            &[],
+            GateConfig::default(),
+        );
+        assert!(incomplete
+            .breaches
+            .iter()
+            .any(|b| b.metric == "rounds_completed"));
+    }
+
+    #[test]
+    fn scale_gate_disarms_without_a_baseline_probe() {
+        // An old artifact that never measured the probe cannot gate it —
+        // a huge new measurement is data, not a regression.
+        let old = summarize(&parse_json(&v2_doc(1000.0, 3000.0, 1000.0)).unwrap()).unwrap();
+        let new = scale_summary(1_000_000.0, 30.0, 900e6);
+        let report = diff(old, new, &gated(), GateConfig::default());
+        assert!(report.breaches.is_empty(), "{:?}", report.breaches);
+    }
+
+    #[test]
+    fn scale_probe_delta_appears_in_both_renders() {
+        let old = scale_summary(1_000_000.0, 30.0, 250e6);
+        let new = scale_summary(1_000_000.0, 30.0, 260e6);
+        let report = diff(old, new, &[], GateConfig::default());
+        let md = report.render_markdown();
+        assert!(md.contains("Scale probe (1000000 clients)"), "{md}");
+        assert!(md.contains("loop events"), "{md}");
+        let js = report.render_json();
+        assert!(js.contains("\"scale_1m_peak_old\": 250000000"), "{js}");
+        assert!(js.contains("\"scale_1m_peak_new\": 260000000"), "{js}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! this crate as a consumer-side contract of the re-export.
 
 pub use asyncfl_rng::dist::{
-    categorical, dirichlet, gamma, normal, permutation, standard_normal, Zipf,
+    categorical, dirichlet, gamma, normal, permutation, select_prefix, standard_normal, Zipf,
 };
 
 #[cfg(test)]

@@ -213,6 +213,47 @@ pub fn permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
     idx
 }
 
+/// The first `m` values of `permutation(rng, n)`, as a sorted set, in
+/// O(m) memory — without materializing the permutation.
+///
+/// Byte-compatibility contract: the returned ids are exactly
+/// `{permutation(rng, n)[p] : p < m}`, and the generator is left in the
+/// same state as after a full `permutation` call (all `n − 1` draws
+/// consumed), so code before and after the call sees unchanged streams.
+/// The simulation engines rely on this to derive attacker assignments at
+/// million-client scale while every paper-scale golden holds.
+///
+/// How: `permutation` swaps positions `(i, jᵢ)` for `i = n−1 … 1`, so the
+/// final value at position `p` is `τ_{n-1}(…τ_1(p)…)` where `τ_s` is the
+/// `s`-th swap performed. Applying those transpositions to the *set*
+/// `{0..m}` in reverse order of performance (ascending `i`) tracks the
+/// prefix values; each swap's draw is fetched by an O(1)
+/// [`StdRng::advance`](crate::rngs::StdRng::advance) jump on a probe clone, so no draw is consumed out
+/// of order and none is materialized into an O(n) buffer.
+pub fn select_prefix(rng: &mut crate::rngs::StdRng, n: usize, m: usize) -> Vec<usize> {
+    let m = m.min(n);
+    let mut selected: std::collections::BTreeSet<usize> = (0..m).collect();
+    for i in 1..n {
+        // Swap `(i, jᵢ)` was the `(n − 1 − i)`-th draw of the stream.
+        let mut probe = rng.clone();
+        probe.advance((n - 1 - i) as u64);
+        let j = probe.random_range(0..=i);
+        if j != i {
+            let has_i = selected.contains(&i);
+            let has_j = selected.contains(&j);
+            if has_i && !has_j {
+                selected.remove(&i);
+                selected.insert(j);
+            } else if has_j && !has_i {
+                selected.remove(&j);
+                selected.insert(i);
+            }
+        }
+    }
+    rng.advance(n.saturating_sub(1) as u64);
+    selected.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +403,51 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert!(permutation(&mut rng, 0).is_empty());
+    }
+
+    /// The prefix-selection contract: same selected set as the full
+    /// permutation's first `m` values AND the same generator end state,
+    /// across sizes, prefix lengths and seeds (including the degenerate
+    /// n ∈ {0, 1} and m ∈ {0, n} corners).
+    #[test]
+    fn select_prefix_matches_permutation_prefix_and_stream() {
+        use crate::Rng;
+        for seed in [0u64, 7, 2024, 0xfeed_beef] {
+            for n in [0usize, 1, 2, 3, 6, 17, 100, 257] {
+                for m in [0usize, 1, 2, n / 2, n.saturating_sub(1), n, n + 3] {
+                    let mut a = StdRng::seed_from_u64(seed ^ n as u64);
+                    let mut b = a.clone();
+                    let selected = select_prefix(&mut a, n, m);
+                    let full = permutation(&mut b, n);
+                    let mut expected: Vec<usize> = full.iter().take(m).copied().collect();
+                    expected.sort_unstable();
+                    assert_eq!(selected, expected, "seed {seed} n {n} m {m}");
+                    // Stream parity: both paths consumed exactly n−1 draws.
+                    assert_eq!(
+                        a.next_u64(),
+                        b.next_u64(),
+                        "stream diverged: seed {seed} n {n} m {m}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pins the exact master-stream position the simulation engines use:
+    /// drawing a prefix after other master draws must equal taking the
+    /// prefix of the historical full-permutation call at that position.
+    #[test]
+    fn select_prefix_golden_at_engine_position() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let _ = standard_normal(&mut rng); // stand-ins for earlier master draws
+        let _ = gamma(&mut rng, 2.5);
+        let mut twin = rng.clone();
+        let selected = select_prefix(&mut rng, 100, 20);
+        let full = permutation(&mut twin, 100);
+        let mut expected: Vec<usize> = full[..20].to_vec();
+        expected.sort_unstable();
+        assert_eq!(selected, expected);
+        assert_eq!(selected.len(), 20);
     }
 
     #[test]

@@ -62,6 +62,14 @@ pub struct SimConfig {
     /// consumed in deterministic heap order, so results are byte-identical
     /// for every `N` (see DESIGN.md "Dispatch-time determinism").
     pub threads: usize,
+    /// Capacity of the spawner's dataset-shard cache — the number of
+    /// client shards kept materialized at once (DESIGN.md §11). `None`
+    /// (default) auto-sizes to `min(num_clients, 4096)`: every shard stays
+    /// resident at paper scales, while million-client runs stay bounded.
+    /// Cache state never affects results — an evicted shard is regenerated
+    /// byte-identically from seed + client id — only memory and the cost
+    /// of regeneration. `Some(0)` is invalid.
+    pub shard_cache_capacity: Option<usize>,
 }
 
 impl SimConfig {
@@ -86,6 +94,7 @@ impl SimConfig {
             dropout: 0.0,
             partition_jitter: 0.0,
             threads: 1,
+            shard_cache_capacity: None,
         }
     }
 
@@ -111,6 +120,7 @@ impl SimConfig {
             dropout: 0.0,
             partition_jitter: 0.0,
             threads: 1,
+            shard_cache_capacity: None,
         }
     }
 
@@ -118,6 +128,15 @@ impl SimConfig {
     pub fn effective_partition_size(&self) -> usize {
         self.partition_size
             .unwrap_or_else(|| self.profile.training_config().partition_size)
+    }
+
+    /// The shard-cache capacity in effect (override or the
+    /// `min(num_clients, 4096)` auto-size; see
+    /// [`shard_cache_capacity`](Self::shard_cache_capacity)).
+    pub fn effective_shard_cache_capacity(&self) -> usize {
+        self.shard_cache_capacity
+            .unwrap_or_else(|| self.num_clients.min(4096))
+            .max(1)
     }
 
     /// Validates the configuration.
@@ -173,6 +192,9 @@ impl SimConfig {
         }
         if self.threads == 0 {
             return Err("threads must be positive".into());
+        }
+        if self.shard_cache_capacity == Some(0) {
+            return Err("shard_cache_capacity override must be positive".into());
         }
         Ok(())
     }
@@ -310,7 +332,23 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(SimConfig {
+            shard_cache_capacity: Some(0),
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
         assert!(SimConfig { dropout: 1.0, ..ok }.validate().is_err());
+    }
+
+    #[test]
+    fn shard_cache_capacity_auto_sizes_to_population() {
+        let mut c = SimConfig::smoke_test();
+        assert_eq!(c.effective_shard_cache_capacity(), c.num_clients);
+        c.num_clients = 1_000_000;
+        assert_eq!(c.effective_shard_cache_capacity(), 4096);
+        c.shard_cache_capacity = Some(64);
+        assert_eq!(c.effective_shard_cache_capacity(), 64);
     }
 
     #[test]

@@ -42,9 +42,11 @@ pub mod metrics;
 pub mod pool;
 pub mod runner;
 pub mod server;
+pub mod spawner;
 pub mod threaded;
 
 pub use config::SimConfig;
 pub use metrics::{DetectionStats, RunResult};
 pub use runner::Simulation;
 pub use server::{AggregationReport, BufferedServer};
+pub use spawner::{ClientSpawner, ClientState, RngCheckedOut};

@@ -89,6 +89,10 @@ pub struct RunResult {
     pub round_reports: Vec<AggregationReport>,
     /// Final virtual clock value.
     pub sim_time: f64,
+    /// Discrete events the deterministic engine's loop consumed
+    /// (deterministic per seed; `0` for the threaded engine, which has no
+    /// event loop).
+    pub loop_events: u64,
 }
 
 impl RunResult {
@@ -167,6 +171,7 @@ mod tests {
                 })
                 .collect(),
             sim_time: 33.0,
+            loop_events: 640,
         }
     }
 

@@ -103,9 +103,11 @@ impl<T, R> PoolHandle<T, R> {
     }
 
     /// Closes the task queue, waits for every in-flight task to finish,
-    /// and returns all uncollected results in sequence-key order. Used at
-    /// run teardown to recover state (e.g. advanced client RNGs) from jobs
-    /// the event loop never consumed.
+    /// and returns all uncollected results in sequence-key order — for
+    /// callers that need every submitted job's output at teardown. The
+    /// simulation engine no longer needs this (client state is derived per
+    /// run, so abandoned jobs carry nothing worth recovering), but the
+    /// pool keeps the primitive for clean-shutdown use cases.
     pub fn drain(&mut self) -> Vec<R> {
         self.task_tx = None;
         while let Ok(msg) = self.result_rx.recv() {

@@ -25,6 +25,14 @@
 //! Everything stateful and order-sensitive — attack crafting against the
 //! shared collusion pool, the server's filter/aggregate pipeline,
 //! participation and dropout draws — stays on the event-loop thread.
+//!
+//! The client population is **materialized lazily**: a
+//! [`crate::spawner::ClientSpawner`] derives a client's full state (RNG
+//! stream, dataset shard, latency factor, attacker flag) on demand as a
+//! pure function of `seed + client id`, so resident memory is bounded by
+//! the in-flight set plus a fixed shard cache, not by `num_clients`
+//! (see DESIGN.md §11). A million-client run therefore fits in the same
+//! footprint as a hundred-client one, modulo the completion heap itself.
 
 use asyncfl_attacks::{Attack, AttackKind, GradientDeviationAttack};
 use asyncfl_core::aggregation::{Aggregator, MeanAggregator};
@@ -45,6 +53,7 @@ use crate::latency::LatencyModel;
 use crate::metrics::RunResult;
 use crate::pool::{with_worker_pool, PoolHandle};
 use crate::server::BufferedServer;
+use crate::spawner::{ClientSpawner, ClientState};
 
 /// An in-flight local training job, ordered by completion time (min-heap).
 /// The global-model snapshot is shared via `Arc` so an in-flight client
@@ -58,6 +67,10 @@ struct InFlight {
     /// A non-participating cycle (the client was not sampled): no training,
     /// no submission — just time passing.
     idle: bool,
+    /// The client's lazily materialized state (live RNG, latency factor,
+    /// weight, attacker flag). Each client has exactly one heap entry at
+    /// all times, so this is the state's single resident home.
+    state: ClientState,
 }
 
 impl PartialEq for InFlight {
@@ -93,9 +106,9 @@ struct TrainTask {
     rng: StdRng,
 }
 
-/// A finished honest update plus the client's advanced RNG stream.
+/// A finished honest update plus the client's advanced RNG stream
+/// (matched back to its client via the pool's sequence-number key).
 struct TrainOutput {
-    client: usize,
     delta: Vector,
     rng: StdRng,
 }
@@ -110,16 +123,24 @@ fn participates(cfg: &SimConfig, rng: &mut StdRng) -> bool {
 }
 
 /// In pool mode, eagerly ships a just-scheduled training job to the
-/// workers, taking the client's RNG with it. No-op in inline mode.
+/// workers, checking the client's RNG stream out of its in-flight state.
+/// The stream slot stays empty until the result is collected, so a second
+/// dispatch before return surfaces as an [`crate::spawner::RngCheckedOut`]
+/// error instead of silently training on a placeholder stream (the bug the
+/// old `mem::replace(..., seed_from_u64(0))` checkout allowed). No-op in
+/// inline mode.
 fn dispatch(
     pool: &mut Option<&mut PoolHandle<TrainTask, TrainOutput>>,
     seq: u64,
     client: usize,
     base: &Arc<Vector>,
-    client_rng: &mut [StdRng],
+    state: &mut ClientState,
 ) {
     if let Some(handle) = pool {
-        let rng = std::mem::replace(&mut client_rng[client], StdRng::seed_from_u64(0)); // lint:allow(P2) -- dispatch is called with client < num_clients
+        let rng = state.checkout_rng(client).unwrap_or_else(|e| {
+            // lint:allow(P1) -- a double checkout means the engine scheduled one client twice; abort loudly rather than train on the wrong stream
+            panic!("dispatch failed: {e}")
+        });
         let _ = handle.submit(TrainTask {
             seq,
             client,
@@ -127,6 +148,25 @@ fn dispatch(
             rng,
         });
     }
+}
+
+/// Runaway-loop backstop for the event loop, in saturating `u64`
+/// arithmetic with a hard cap (no overflow on any target).
+///
+/// The budget scales with the work a run is *allowed* to do — `rounds ×
+/// aggregation_bound` submissions with ×64 headroom for idle cycles,
+/// dropouts and stale discards — plus a one-off kickoff term for the
+/// initial `O(num_clients)` wave. It deliberately has no per-round
+/// `num_clients` multiplier: a million-client run is bounded by how many
+/// updates Ω rounds can consume, not by population size, so the backstop
+/// stays meaningful at scale.
+fn event_budget(cfg: &SimConfig) -> u64 {
+    let per_round = (cfg.aggregation_bound as u64).saturating_mul(64).max(4096);
+    cfg.rounds
+        .saturating_add(2)
+        .saturating_mul(per_round)
+        .saturating_add((cfg.num_clients as u64).saturating_mul(4))
+        .min(1 << 33)
 }
 
 /// Computes the trusted delta for clean-dataset baselines: one local
@@ -173,22 +213,21 @@ pub fn build_attack(kind: AttackKind, total: usize, malicious: usize) -> Box<dyn
 /// The deterministic discrete-event simulation.
 pub struct Simulation {
     config: SimConfig,
-    task: Task,
+    task: Arc<Task>,
     test_data: Dataset,
     root_data: Option<Dataset>,
-    client_data: Vec<Dataset>,
-    client_sizes: Vec<usize>,
-    client_factor: Vec<f64>,
-    client_rng: Vec<StdRng>,
-    malicious: Vec<bool>,
+    spawner: ClientSpawner,
     template: Box<dyn Model>,
     latency: LatencyModel,
     trainer: LocalTrainer,
 }
 
 impl Simulation {
-    /// Builds the population: task, test set, per-client partitions,
-    /// latency factors and the attacker assignment.
+    /// Builds the population: task, test set, the attacker assignment and
+    /// the lazy client spawner. Per-client state (partitions, latency
+    /// factors, RNG streams) is *not* precomputed — it is derived on
+    /// demand from `seed + client id`, so construction cost and resident
+    /// memory do not scale with `num_clients`.
     ///
     /// # Panics
     ///
@@ -200,7 +239,7 @@ impl Simulation {
             panic!("invalid SimConfig: {e}");
         }
         let mut master = StdRng::seed_from_u64(config.seed);
-        let task = config.profile.build_task(&mut master);
+        let task = Arc::new(config.profile.build_task(&mut master));
         let test_data = task.test_dataset(config.test_samples, &mut master);
         let root_data = if config.server_root_samples > 0 {
             Some(task.test_dataset(config.server_root_samples, &mut master))
@@ -211,43 +250,34 @@ impl Simulation {
         let template = build_model(&config.profile, &task, &mut master);
 
         // Attacker assignment: random subset of clients (§5.1 "we randomly
-        // sample 20 out of 100 of the clients as malicious ones").
-        let order = asyncfl_data::sampling::permutation(&mut master, config.num_clients);
-        let mut malicious = vec![false; config.num_clients];
-        for &c in order.iter().take(config.num_malicious) {
-            malicious[c] = true; // lint:allow(P2) -- the permutation only yields ids below num_clients
-        }
+        // sample 20 out of 100 of the clients as malicious ones"). The
+        // partial Fisher–Yates prefix consumes the same master-stream draws
+        // as the full permutation historically drawn here and selects the
+        // byte-identical id set, in O(num_malicious) memory.
+        let malicious_ids = asyncfl_data::sampling::select_prefix(
+            &mut master,
+            config.num_clients,
+            config.num_malicious,
+        );
 
-        let partition_size = config.effective_partition_size();
-        let mut client_data = Vec::with_capacity(config.num_clients);
-        let mut client_sizes = Vec::with_capacity(config.num_clients);
-        let mut client_factor = Vec::with_capacity(config.num_clients);
-        let mut client_rng = Vec::with_capacity(config.num_clients);
-        for c in 0..config.num_clients {
-            let mut rng = asyncfl_rng::stream::substream(config.seed, c as u64);
-            let size = if config.partition_jitter > 0.0 {
-                use asyncfl_rng::RngExt;
-                let factor = 1.0 + config.partition_jitter * (2.0 * rng.random::<f64>() - 1.0);
-                ((partition_size as f64 * factor).round() as usize).max(1)
-            } else {
-                partition_size
-            };
-            client_data.push(task.client_dataset(&config.partitioner, c, size, &mut rng));
-            client_sizes.push(size);
-            client_factor.push(latency.draw_factor(&mut rng));
-            client_rng.push(rng);
-        }
+        let spawner = ClientSpawner::new(
+            config.seed,
+            config.num_clients,
+            config.partitioner.clone(),
+            config.effective_partition_size(),
+            config.partition_jitter,
+            latency.clone(),
+            Arc::clone(&task),
+            malicious_ids,
+            config.effective_shard_cache_capacity(),
+        );
         let trainer = LocalTrainer::from_profile(&config.profile);
         Self {
             config,
             task,
             test_data,
             root_data,
-            client_data,
-            client_sizes,
-            client_factor,
-            client_rng,
-            malicious,
+            spawner,
             template,
             latency,
             trainer,
@@ -264,14 +294,10 @@ impl Simulation {
         &self.task
     }
 
-    /// Ground-truth attacker flags, index = client id.
-    pub fn malicious_flags(&self) -> &[bool] {
-        &self.malicious
-    }
-
-    /// Per-client latency factors.
-    pub fn latency_factors(&self) -> &[f64] {
-        &self.client_factor
+    /// The lazy client-materialization engine: attacker flags, latency
+    /// factors and dataset shards derived on demand from seed + client id.
+    pub fn spawner(&self) -> &ClientSpawner {
+        &self.spawner
     }
 
     /// Applies label-flip **data poisoning** to every malicious client's
@@ -280,11 +306,7 @@ impl Simulation {
     /// a different threat vector that exercises the same defense path.
     /// Combine with [`AttackKind::None`] to study data poisoning alone.
     pub fn poison_malicious_labels(&mut self) {
-        for (data, &mal) in self.client_data.iter_mut().zip(&self.malicious) {
-            if mal {
-                *data = data.with_flipped_labels();
-            }
-        }
+        self.spawner.set_poison_labels();
     }
 
     /// Runs with the given filter and attack, using the FedBuff mean
@@ -316,18 +338,14 @@ impl Simulation {
         sink: Option<SharedSink>,
     ) -> RunResult {
         // Split `self` into disjoint borrows: the worker pool reads the
-        // population (config, datasets, template) while the event loop
-        // keeps exclusive ownership of the RNG streams and the server.
+        // population (config, spawner, template) while the event loop
+        // keeps exclusive ownership of the server and the in-flight heap.
         let threads = self.config.threads.max(1);
         let Simulation {
             config,
             test_data,
             root_data,
-            client_data,
-            client_sizes,
-            client_factor,
-            client_rng,
-            malicious,
+            spawner,
             template,
             latency,
             trainer,
@@ -336,29 +354,25 @@ impl Simulation {
         let cfg: &SimConfig = config;
         let template: &dyn Model = template.as_ref();
         let root_data: Option<&Dataset> = root_data.as_ref();
-        let client_data: &[Dataset] = client_data;
-        let client_sizes: &[usize] = client_sizes;
-        let client_factor: &[f64] = client_factor;
-        let malicious: &[bool] = malicious;
+        let spawner: &ClientSpawner = spawner;
         let test_data: &Dataset = test_data;
         let latency: &LatencyModel = latency;
         let trainer: &LocalTrainer = trainer;
 
         // One honest local-training job; a pure function of the snapshot
         // and the RNG handed in, so it runs identically on the event-loop
-        // thread (inline mode) or a pool worker (dispatch mode).
+        // thread (inline mode) or a pool worker (dispatch mode). The shard
+        // is fetched from the spawner's cache (regenerated on miss) outside
+        // the training span, so `local_training` timing and allocation
+        // accounting stay comparable across cache states.
         let train_one = |base: &Vector, client: usize, rng: &mut StdRng| -> Vector {
             let mut model = template.clone_box();
             model.set_params(base);
             let mut optimizer = build_optimizer(&cfg.profile, model.num_params());
+            let data = spawner.dataset(client);
             {
                 let _span = Span::start(sink.as_ref().map(|s| s.as_dyn()), "local_training");
-                trainer.train(
-                    model.as_mut(),
-                    &client_data[client], // lint:allow(P2) -- client ids stay below num_clients by construction
-                    optimizer.as_mut(),
-                    rng,
-                );
+                trainer.train(model.as_mut(), &data, optimizer.as_mut(), rng);
             }
             model.params_ref() - base
         };
@@ -371,7 +385,7 @@ impl Simulation {
                 mut rng,
             } = task;
             let delta = train_one(&base, client, &mut rng);
-            (seq, TrainOutput { client, delta, rng })
+            (seq, TrainOutput { delta, rng })
         };
 
         // The event loop itself, parameterized only by where training
@@ -390,13 +404,25 @@ impl Simulation {
             let mut attack_rng = StdRng::seed_from_u64(cfg.seed ^ 0xA77A_C4E2_57A1_F00D);
             let mut eval_model = template.clone_box();
 
-            // Kick off every client at t = 0 from the initial model.
-            let mut heap: BinaryHeap<InFlight> = BinaryHeap::new();
+            // Kick off every client at t = 0 from the initial model. Each
+            // client's state is materialized here and then lives in its
+            // (single, permanent) heap entry; the heap is the only
+            // O(num_clients) structure a run keeps.
+            let mut heap: BinaryHeap<InFlight> =
+                BinaryHeap::with_capacity(cfg.num_clients.saturating_add(1));
             let mut seq = 0u64;
             let init_base = Arc::new(server.global().clone());
             for client in 0..cfg.num_clients {
-                let dur = latency.cycle_duration(client_factor[client], &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
-                dispatch(&mut pool, seq, client, &init_base, client_rng);
+                let mut state = spawner.spawn(client);
+                let factor = state.factor;
+                let dur = {
+                    let rng = state.rng_mut(client).unwrap_or_else(|e| {
+                        // lint:allow(P1) -- freshly spawned state always has its stream home; a miss is an engine bug
+                        panic!("kickoff: {e}")
+                    });
+                    latency.cycle_duration(factor, rng)
+                };
+                dispatch(&mut pool, seq, client, &init_base, &mut state);
                 heap.push(InFlight {
                     completes_at: dur,
                     seq,
@@ -404,6 +430,7 @@ impl Simulation {
                     base_round: 0,
                     base_params: Arc::clone(&init_base),
                     idle: false,
+                    state,
                 });
                 seq += 1;
             }
@@ -417,11 +444,10 @@ impl Simulation {
             let mut accuracy_history = Vec::new();
             let mut round_reports = Vec::new();
             let mut now = 0.0f64;
-            let max_events =
-                (cfg.rounds as usize + 2) * cfg.num_clients.max(cfg.aggregation_bound) * 64;
-            let mut events = 0usize;
+            let max_events = event_budget(cfg);
+            let mut events = 0u64;
 
-            while let Some(job) = heap.pop() {
+            while let Some(mut job) = heap.pop() {
                 events += 1;
                 if events > max_events {
                     break;
@@ -431,12 +457,18 @@ impl Simulation {
 
                 if job.idle {
                     // Not sampled last cycle: wake up and (maybe) participate.
-                    let dur =
-                        latency.cycle_duration(client_factor[client], &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
-                    let idle = !participates(cfg, &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
+                    let factor = job.state.factor;
+                    let (dur, idle) = {
+                        let rng = job.state.rng_mut(client).unwrap_or_else(|e| {
+                            // lint:allow(P1) -- idle entries never dispatch, so the stream is always home; a miss is an engine bug
+                            panic!("idle wake: {e}")
+                        });
+                        let dur = latency.cycle_duration(factor, rng);
+                        (dur, !participates(cfg, rng))
+                    };
                     let base = Arc::new(server.global().clone());
                     if !idle {
-                        dispatch(&mut pool, seq, client, &base, client_rng);
+                        dispatch(&mut pool, seq, client, &base, &mut job.state);
                     }
                     heap.push(InFlight {
                         completes_at: now + dur,
@@ -445,6 +477,7 @@ impl Simulation {
                         base_round: server.round(),
                         base_params: base,
                         idle,
+                        state: job.state,
                     });
                     seq += 1;
                     continue;
@@ -453,12 +486,20 @@ impl Simulation {
                 // Local training from the (possibly stale) snapshot: train
                 // now (inline mode) or collect the eagerly dispatched
                 // result by sequence number (pool mode). Either way the
-                // client's RNG ends up in the same state.
+                // client's RNG ends up checked back in, in the same state.
                 let honest_delta = match &mut pool {
-                    None => train_one(&job.base_params, client, &mut client_rng[client]), // lint:allow(P2) -- client ids stay below num_clients by construction
+                    None => {
+                        let mut rng = job.state.checkout_rng(client).unwrap_or_else(|e| {
+                            // lint:allow(P1) -- inline mode never ships the stream away; a miss is an engine bug
+                            panic!("inline training: {e}")
+                        });
+                        let delta = train_one(&job.base_params, client, &mut rng);
+                        job.state.check_in_rng(rng);
+                        delta
+                    }
                     Some(handle) => match handle.collect(job.seq) {
                         Ok(out) => {
-                            client_rng[out.client] = out.rng; // lint:allow(P2) -- pool outputs echo the client id they were submitted with
+                            job.state.check_in_rng(out.rng);
                             out.delta
                         }
                         Err(e) => {
@@ -468,8 +509,7 @@ impl Simulation {
                     },
                 };
 
-                // lint:allow(P2) -- client ids stay below num_clients by construction
-                let delta = if malicious[client] {
+                let delta = if job.state.malicious {
                     collusion.push_back(honest_delta.clone());
                     while collusion.len() > cfg.num_malicious.max(1) {
                         collusion.pop_front();
@@ -487,14 +527,18 @@ impl Simulation {
                     0,
                     &job.base_params,
                     delta,
-                    client_sizes[client], // lint:allow(P2) -- client ids stay below num_clients by construction
+                    job.state.size,
                 )
-                .with_truth_malicious(malicious[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
+                .with_truth_malicious(job.state.malicious);
 
                 // Failure injection: the update may be lost in transit.
                 let dropped = cfg.dropout > 0.0 && {
                     use asyncfl_rng::RngExt;
-                    client_rng[client].random::<f64>() < cfg.dropout // lint:allow(P2) -- client ids stay below num_clients by construction
+                    let rng = job.state.rng_mut(client).unwrap_or_else(|e| {
+                        // lint:allow(P1) -- the stream was checked back in just above; a miss is an engine bug
+                        panic!("dropout draw: {e}")
+                    });
+                    rng.random::<f64>() < cfg.dropout
                 };
                 let received = if dropped {
                     None
@@ -506,18 +550,19 @@ impl Simulation {
                     round_reports.push(report);
                     // Sample engine-level resource gauges once per
                     // aggregation (not per event): the completion-heap
-                    // depth, how many in-flight jobs hold a live model
-                    // snapshot, and the allocator's live bytes (zero when
+                    // depth, how many dataset shards the spawner holds
+                    // materialized (bounded by its cache capacity, not by
+                    // num_clients — the lazy-materialization scale
+                    // contract), and the allocator's live bytes (zero when
                     // no counting allocator is installed).
                     if let Some(s) = &sink {
                         s.emit(&Event::GaugeSample {
                             name: "event_queue_depth",
                             value: heap.len() as u64,
                         });
-                        let resident = heap.iter().filter(|j| !j.idle).count() as u64;
                         s.emit(&Event::GaugeSample {
                             name: "resident_client_states",
-                            value: resident,
+                            value: spawner.resident_states() as u64,
                         });
                         s.emit(&Event::GaugeSample {
                             name: "alloc_live_bytes",
@@ -549,11 +594,18 @@ impl Simulation {
                 // The client immediately starts its next cycle from the
                 // current global model (or idles this cycle if the sampler
                 // skips it).
-                let dur = latency.cycle_duration(client_factor[client], &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
-                let idle = !participates(cfg, &mut client_rng[client]); // lint:allow(P2) -- client ids stay below num_clients by construction
+                let factor = job.state.factor;
+                let (dur, idle) = {
+                    let rng = job.state.rng_mut(client).unwrap_or_else(|e| {
+                        // lint:allow(P1) -- the stream was checked back in above; a miss is an engine bug
+                        panic!("reschedule: {e}")
+                    });
+                    let dur = latency.cycle_duration(factor, rng);
+                    (dur, !participates(cfg, rng))
+                };
                 let base = Arc::new(server.global().clone());
                 if !idle {
-                    dispatch(&mut pool, seq, client, &base, client_rng);
+                    dispatch(&mut pool, seq, client, &base, &mut job.state);
                 }
                 heap.push(InFlight {
                     completes_at: now + dur,
@@ -562,18 +614,15 @@ impl Simulation {
                     base_round: server.round(),
                     base_params: base,
                     idle,
+                    state: job.state,
                 });
                 seq += 1;
             }
 
-            if let Some(handle) = pool {
-                // Recover the advanced RNG streams from jobs the loop never
-                // consumed, so post-run client state matches what the jobs
-                // actually drew.
-                for out in handle.drain() {
-                    client_rng[out.client] = out.rng; // lint:allow(P2) -- pool outputs echo the client id they were submitted with
-                }
-            }
+            // Jobs the loop never consumed are simply abandoned with the
+            // heap: client state is derived per run, so there is nothing to
+            // write back — the next run() re-derives every stream from
+            // seed + client id and replays identically.
 
             eval_model.set_params(server.global());
             let final_accuracy = evaluate(eval_model.as_ref(), test_data);
@@ -587,6 +636,7 @@ impl Simulation {
                 staleness_histogram: server.staleness_histogram().clone(),
                 round_reports,
                 sim_time: now,
+                loop_events: events,
             }
         };
 
@@ -617,6 +667,8 @@ mod tests {
         assert!(result.updates_received >= 8 * 8);
         assert!(!result.accuracy_history.is_empty());
         assert!(result.sim_time > 0.0);
+        assert!(result.loop_events > 0);
+        assert!(result.loop_events <= event_budget(sim.config()));
     }
 
     #[test]
@@ -706,9 +758,68 @@ mod tests {
     #[test]
     fn malicious_assignment_matches_config() {
         let sim = Simulation::new(SimConfig::smoke_test());
-        let m = sim.malicious_flags().iter().filter(|&&x| x).count();
+        let n = sim.config().num_clients;
+        let m = (0..n).filter(|&c| sim.spawner().is_malicious(c)).count();
         assert_eq!(m, sim.config().num_malicious);
-        assert_eq!(sim.latency_factors().len(), sim.config().num_clients);
+        for c in 0..n {
+            let state = sim.spawner().spawn(c);
+            assert_eq!(state.malicious, sim.spawner().is_malicious(c));
+            assert!(state.factor >= 1.0);
+        }
+    }
+
+    #[test]
+    fn attacker_selection_and_factors_match_precompute_goldens() {
+        // Captured from the eager implementation (full permutation + per-
+        // client precompute arrays) immediately before the lazy rewrite:
+        // the selected attacker sets and latency factors must stay
+        // byte-identical at paper scales.
+        let smoke = Simulation::new(SimConfig::smoke_test());
+        let ids: Vec<usize> = (0..16)
+            .filter(|&c| smoke.spawner().is_malicious(c))
+            .collect();
+        assert_eq!(ids, vec![4, 9, 12]);
+        let factors: Vec<f64> = (0..4).map(|c| smoke.spawner().spawn(c).factor).collect();
+        assert_eq!(factors, vec![3.0, 1.0, 4.0, 4.0]);
+
+        let paper = Simulation::new(SimConfig::paper_default(
+            asyncfl_data::DatasetProfile::Mnist,
+        ));
+        let ids: Vec<usize> = (0..100)
+            .filter(|&c| paper.spawner().is_malicious(c))
+            .collect();
+        assert_eq!(
+            ids,
+            vec![0, 1, 5, 7, 14, 15, 19, 25, 26, 31, 47, 61, 70, 77, 81, 86, 87, 89, 96, 99]
+        );
+        let factors: Vec<f64> = (0..4).map(|c| paper.spawner().spawn(c).factor).collect();
+        assert_eq!(factors, vec![1.0, 7.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn reruns_on_one_simulation_replay_identically() {
+        // Client state is derived fresh each run, so a second run() on the
+        // same Simulation replays the first bit-for-bit (the eager engine
+        // continued from advanced RNG streams instead).
+        let mut sim = Simulation::new(SimConfig::smoke_test());
+        let a = sim.run(Box::new(PassthroughFilter), AttackKind::Gd);
+        let b = sim.run(Box::new(PassthroughFilter), AttackKind::Gd);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_budget_saturates_and_ignores_population_scale() {
+        let mut cfg = SimConfig::smoke_test();
+        let small = event_budget(&cfg);
+        cfg.num_clients = 1_000_000;
+        let big = event_budget(&cfg);
+        // Population contributes only the one-off kickoff term, not a
+        // per-round multiplier.
+        assert_eq!(big - small, (1_000_000 - 16) * 4);
+        // Extreme settings saturate to the hard cap instead of overflowing.
+        cfg.rounds = u64::MAX;
+        cfg.aggregation_bound = usize::MAX;
+        assert_eq!(event_budget(&cfg), 1 << 33);
     }
 
     #[test]
@@ -745,13 +856,17 @@ mod tests {
         let mut cfg = SimConfig::smoke_test();
         cfg.partition_jitter = 0.5;
         let sim = Simulation::new(cfg);
-        let sizes: Vec<usize> = sim.client_data.iter().map(|d| d.len()).collect();
+        let n = sim.config().num_clients;
+        let sizes: Vec<usize> = (0..n).map(|c| sim.spawner().spawn(c).size).collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
         assert!(max > min, "jitter produced uniform sizes: {sizes:?}");
         assert!(sizes.iter().all(|&s| s >= 1));
-        // Weights follow the actual sizes.
-        assert_eq!(sim.client_sizes, sizes);
+        // The derived shard length (= aggregation weight) follows the
+        // jittered size.
+        for (c, &size) in sizes.iter().enumerate() {
+            assert_eq!(sim.spawner().dataset(c).len(), size);
+        }
     }
 
     #[test]

@@ -93,28 +93,29 @@ pub fn run_threaded_with_sink(
     let latency = LatencyModel::zipf(config.zipf_s, config.zipf_levels);
     let template = build_model(&config.profile, &task, &mut master);
 
-    let order = asyncfl_data::sampling::permutation(&mut master, config.num_clients);
-    let mut malicious = vec![false; config.num_clients];
-    for &c in order.iter().take(config.num_malicious) {
-        malicious[c] = true; // lint:allow(P2) -- the permutation only yields ids below num_clients
-    }
-
-    let partition = config.effective_partition_size();
-    let mut client_data = Vec::with_capacity(config.num_clients);
-    let mut client_seeds = Vec::with_capacity(config.num_clients);
-    let mut client_factor = Vec::with_capacity(config.num_clients);
-    for c in 0..config.num_clients {
-        let seed = asyncfl_rng::stream::substream_seed(config.seed, c as u64);
-        let mut rng = StdRng::seed_from_u64(seed);
-        client_data.push(Arc::new(task.client_dataset(
-            &config.partitioner,
-            c,
-            partition,
-            &mut rng,
-        )));
-        client_factor.push(latency.draw_factor(&mut rng));
-        client_seeds.push(seed ^ 0x7ead);
-    }
+    // Same master-stream draws and attacker set as the deterministic
+    // engine, in O(num_malicious) memory.
+    let malicious_ids = asyncfl_data::sampling::select_prefix(
+        &mut master,
+        config.num_clients,
+        config.num_malicious,
+    );
+    // Per-client state (shard, factor, weight, attacker flag) is derived
+    // lazily by the shared spawner, exactly as in the deterministic engine.
+    // One historical quirk is gone: this engine now honors
+    // `partition_jitter` instead of silently ignoring it (jitter is 0 in
+    // every paper configuration, so defaults are unaffected).
+    let spawner = crate::spawner::ClientSpawner::new(
+        config.seed,
+        config.num_clients,
+        config.partitioner.clone(),
+        config.effective_partition_size(),
+        config.partition_jitter,
+        latency.clone(),
+        Arc::new(task),
+        malicious_ids,
+        config.effective_shard_cache_capacity(),
+    );
 
     let mut buffered = BufferedServer::new(
         template.params(),
@@ -149,14 +150,16 @@ pub fn run_threaded_with_sink(
             let done = Arc::clone(&done);
             let collusion = Arc::clone(&collusion);
             let attack = Arc::clone(&attack);
-            let data = Arc::clone(&client_data[c]); // lint:allow(P2) -- one spawned worker per client id below num_clients
+            let state = spawner.spawn(c);
+            let data = spawner.dataset(c);
             let test_data = Arc::clone(&test_data);
             let accuracy_history = Arc::clone(&accuracy_history);
             let mut model = template.clone();
             let mut eval_model = template.clone();
-            let is_malicious = malicious[c]; // lint:allow(P2) -- one spawned worker per client id below num_clients
-            let factor = client_factor[c]; // lint:allow(P2) -- one spawned worker per client id below num_clients
-            let seed = client_seeds[c]; // lint:allow(P2) -- one spawned worker per client id below num_clients
+            let is_malicious = state.malicious;
+            let factor = state.factor;
+            let weight = state.size;
+            let seed = asyncfl_rng::stream::substream_seed(config.seed, c as u64) ^ 0x7ead;
             let cfg = &config;
             let report_tx = report_tx.clone();
             let sink = sink.clone();
@@ -201,7 +204,7 @@ pub fn run_threaded_with_sink(
                         honest
                     };
                     let update =
-                        ClientUpdate::from_delta(c, base_round, 0, &base_params, delta, partition)
+                        ClientUpdate::from_delta(c, base_round, 0, &base_params, delta, weight)
                             .with_truth_malicious(is_malicious);
                     // Failure injection: the update may be lost in transit.
                     if cfg.dropout > 0.0 && rng.random::<f64>() < cfg.dropout {
@@ -281,6 +284,8 @@ pub fn run_threaded_with_sink(
         // server's aggregate statistics; per-aggregation counts would race.
         round_reports: Vec::new(),
         sim_time: started.elapsed_secs(),
+        // No event loop here: clients free-run on OS threads.
+        loop_events: 0,
     }
 }
 

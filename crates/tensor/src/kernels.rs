@@ -190,7 +190,7 @@ fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
 /// Every output element is one [`dot`] of a row of `A` with a row of `B` —
 /// the cache-friendly orientation for row-major storage, and bit-identical
 /// to the per-sample `matvec` it batches. Output columns are processed
-/// four at a time through [`dot4`], which streams the `A` row through the
+/// four at a time through `dot4`, which streams the `A` row through the
 /// cache once per four `B` rows instead of once per row; `dot4` preserves
 /// `dot`'s exact per-element accumulation order, so blocking changes only
 /// *when* each output is computed, never its bits.
@@ -229,7 +229,7 @@ pub fn gemm_nt(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usi
 /// Each output row is accumulated as `Σⱼ A[i][j]·B.row(j)` via [`axpy`],
 /// so per-element additions happen in ascending `j` order — the same
 /// order as the transposed mat-vec loop it batches. The `j` loop is tiled
-/// in [`GEMM_TILE_K`]-row blocks of `B` with the row loop inside, so each
+/// in `GEMM_TILE_K`-row blocks of `B` with the row loop inside, so each
 /// `B` panel stays cache-resident across all `m` output rows; for a fixed
 /// output row the blocks still arrive in ascending `j` order, so the
 /// accumulation order (and hence every bit) is unchanged.
@@ -261,7 +261,7 @@ pub fn gemm_nn(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usi
 /// over a minibatch (`∂L/∂W += δᵀ·inputs`). Samples (rows of `A`/`B`) are
 /// walked in order, so each output element sees its per-sample
 /// contributions in exactly the order a per-sample `rank1_update` loop
-/// would produce. The output rows are tiled in [`GEMM_TILE_K`]-row blocks
+/// would produce. The output rows are tiled in `GEMM_TILE_K`-row blocks
 /// with the sample loop inside, so each output panel stays cache-resident
 /// across the whole minibatch; within one output element the sample order
 /// is still ascending `i`, so the accumulated bits are unchanged.
