@@ -21,7 +21,7 @@
 //! is fully determined when the job is dispatched (the global-model
 //! snapshot plus the client's own RNG stream), so jobs are shipped
 //! eagerly to a [`crate::pool`] worker pool and their results collected
-//! by sequence number in the exact order the completion heap pops them.
+//! by sequence number in the exact order the event queue pops them.
 //! Everything stateful and order-sensitive — attack crafting against the
 //! shared collusion pool, the server's filter/aggregate pipeline,
 //! participation and dropout draws — stays on the event-loop thread.
@@ -32,7 +32,9 @@
 //! pure function of `seed + client id`, so resident memory is bounded by
 //! the in-flight set plus a fixed shard cache, not by `num_clients`
 //! (see DESIGN.md §11). A million-client run therefore fits in the same
-//! footprint as a hundred-client one, modulo the completion heap itself.
+//! footprint as a hundred-client one, modulo the event queue itself —
+//! which sizes by occupancy too ([`crate::schedule`], DESIGN.md §12),
+//! never pre-allocating for the configured population.
 
 use asyncfl_attacks::{Attack, AttackKind, GradientDeviationAttack};
 use asyncfl_core::aggregation::{Aggregator, MeanAggregator};
@@ -45,19 +47,21 @@ use asyncfl_rng::rngs::StdRng;
 use asyncfl_rng::SeedableRng;
 use asyncfl_telemetry::{Event, SharedSink, Sink, Span};
 use asyncfl_tensor::Vector;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::config::SimConfig;
 use crate::latency::LatencyModel;
 use crate::metrics::RunResult;
 use crate::pool::{with_worker_pool, PoolHandle};
+use crate::schedule::{EventKey, EventQueue};
 use crate::server::BufferedServer;
 use crate::spawner::{ClientSpawner, ClientState};
 
-/// An in-flight local training job, ordered by completion time (min-heap).
-/// The global-model snapshot is shared via `Arc` so an in-flight client
-/// costs one reference count instead of a full parameter-vector clone.
+/// An in-flight local training job, ordered by `(completes_at, seq)` in
+/// the event queue ([`EventKey`]). The global-model snapshot is shared
+/// via `Arc` so an in-flight client costs one reference count instead of
+/// a full parameter-vector clone.
 struct InFlight {
     completes_at: f64,
     seq: u64,
@@ -73,24 +77,12 @@ struct InFlight {
     state: ClientState,
 }
 
-impl PartialEq for InFlight {
-    fn eq(&self, other: &Self) -> bool {
-        self.completes_at == other.completes_at && self.seq == other.seq
+impl EventKey for InFlight {
+    fn time(&self) -> f64 {
+        self.completes_at
     }
-}
-impl Eq for InFlight {}
-impl PartialOrd for InFlight {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for InFlight {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .completes_at
-            .total_cmp(&self.completes_at)
-            .then_with(|| other.seq.cmp(&self.seq))
+    fn seq(&self) -> u64 {
+        self.seq
     }
 }
 
@@ -391,7 +383,7 @@ impl Simulation {
         // The event loop itself, parameterized only by where training
         // results come from. Everything order-sensitive (attack crafting,
         // the server pipeline, participation/dropout draws) runs here, in
-        // deterministic completion-heap order.
+        // deterministic event-queue order.
         let drive = |mut pool: Option<&mut PoolHandle<TrainTask, TrainOutput>>| -> RunResult {
             let mut server = BufferedServer::new(
                 template.params(),
@@ -406,10 +398,12 @@ impl Simulation {
 
             // Kick off every client at t = 0 from the initial model. Each
             // client's state is materialized here and then lives in its
-            // (single, permanent) heap entry; the heap is the only
-            // O(num_clients) structure a run keeps.
-            let mut heap: BinaryHeap<InFlight> =
-                BinaryHeap::with_capacity(cfg.num_clients.saturating_add(1));
+            // (single, permanent) queue entry; the event queue is the only
+            // O(num_clients) structure a run keeps — and it sizes by
+            // occupancy as it fills, never pre-allocating for the
+            // configured population (the old heap reserved one ~200 B slot
+            // per client up front, ~200 MB at 10⁶ clients).
+            let mut queue: Box<dyn EventQueue<InFlight>> = cfg.scheduler.build();
             let mut seq = 0u64;
             let init_base = Arc::new(server.global().clone());
             for client in 0..cfg.num_clients {
@@ -423,7 +417,7 @@ impl Simulation {
                     latency.cycle_duration(factor, rng)
                 };
                 dispatch(&mut pool, seq, client, &init_base, &mut state);
-                heap.push(InFlight {
+                queue.push(InFlight {
                     completes_at: dur,
                     seq,
                     client,
@@ -447,7 +441,7 @@ impl Simulation {
             let max_events = event_budget(cfg);
             let mut events = 0u64;
 
-            while let Some(mut job) = heap.pop() {
+            while let Some(mut job) = queue.pop() {
                 events += 1;
                 if events > max_events {
                     break;
@@ -470,7 +464,7 @@ impl Simulation {
                     if !idle {
                         dispatch(&mut pool, seq, client, &base, &mut job.state);
                     }
-                    heap.push(InFlight {
+                    queue.push(InFlight {
                         completes_at: now + dur,
                         seq,
                         client,
@@ -549,7 +543,7 @@ impl Simulation {
                 if let Some(report) = received {
                     round_reports.push(report);
                     // Sample engine-level resource gauges once per
-                    // aggregation (not per event): the completion-heap
+                    // aggregation (not per event): the event-queue
                     // depth, how many dataset shards the spawner holds
                     // materialized (bounded by its cache capacity, not by
                     // num_clients — the lazy-materialization scale
@@ -558,7 +552,7 @@ impl Simulation {
                     if let Some(s) = &sink {
                         s.emit(&Event::GaugeSample {
                             name: "event_queue_depth",
-                            value: heap.len() as u64,
+                            value: queue.len() as u64,
                         });
                         s.emit(&Event::GaugeSample {
                             name: "resident_client_states",
@@ -607,7 +601,7 @@ impl Simulation {
                 if !idle {
                     dispatch(&mut pool, seq, client, &base, &mut job.state);
                 }
-                heap.push(InFlight {
+                queue.push(InFlight {
                     completes_at: now + dur,
                     seq,
                     client,
@@ -620,7 +614,7 @@ impl Simulation {
             }
 
             // Jobs the loop never consumed are simply abandoned with the
-            // heap: client state is derived per run, so there is nothing to
+            // queue: client state is derived per run, so there is nothing to
             // write back — the next run() re-derives every stream from
             // seed + client id and replays identically.
 
@@ -680,6 +674,16 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wheel_and_heap_schedulers_run_byte_identically() {
+        use crate::schedule::SchedulerKind;
+        let run = |kind| {
+            let mut sim = Simulation::new(SimConfig::smoke_test().with_scheduler(kind));
+            sim.run(Box::new(AsyncFilter::default()), AttackKind::Gd)
+        };
+        assert_eq!(run(SchedulerKind::Wheel), run(SchedulerKind::Heap));
     }
 
     #[test]

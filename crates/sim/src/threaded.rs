@@ -4,8 +4,12 @@
 //! thread in parallel" inside PLATO. This engine reproduces that
 //! architecture: every client is an OS thread that repeatedly snapshots the
 //! global model, trains locally, and submits through an `std::sync::mpsc`
-//! channel to a server thread owning the [`BufferedServer`]. Latency heterogeneity is
-//! emulated with short real sleeps proportional to the client's Zipf factor.
+//! channel to a server thread owning the [`BufferedServer`]. Latency
+//! heterogeneity is emulated with short real pauses proportional to the
+//! client's Zipf factor, paced by a `WakePacer`: one timer thread
+//! driving the same indexed event queue the deterministic engine
+//! schedules with ([`crate::schedule`]), instead of one OS sleep timer
+//! per client.
 //!
 //! Unlike [`crate::runner::Simulation`], arrival order depends on the OS
 //! scheduler, so **results are not bit-reproducible across runs** — the
@@ -25,18 +29,143 @@ use asyncfl_tensor::Vector;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
 use crate::config::SimConfig;
 use crate::latency::LatencyModel;
 use crate::metrics::RunResult;
 use crate::runner::build_attack;
+use crate::schedule::{EventKey, EventQueue, SchedulerKind};
 use crate::server::BufferedServer;
 
-/// Per-cycle sleep per latency-factor unit (keeps tests fast while still
+/// Per-cycle pause per latency-factor unit (keeps tests fast while still
 /// creating measurable staleness spread).
 const SLEEP_PER_FACTOR: Duration = Duration::from_micros(300);
+
+/// Slack added to a parked client's self-checking timeout: the pacer's
+/// unpark normally lands first, so the timeout is only the liveness
+/// backstop and a little headroom keeps it from racing the pacer.
+const PARK_BACKSTOP_SLACK: Duration = Duration::from_micros(200);
+
+/// Upper bound on how long the pacer blocks between shutdown checks.
+const PACER_MAX_WAIT: Duration = Duration::from_millis(5);
+
+/// One registered wake: a client thread parked until `deadline` (seconds
+/// on the pacer's stopwatch).
+struct WakeEntry {
+    deadline: f64,
+    seq: u64,
+    thread: std::thread::Thread,
+}
+
+impl EventKey for WakeEntry {
+    fn time(&self) -> f64 {
+        self.deadline
+    }
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// The pacer's mutex-guarded core: the shared event queue plus the
+/// registration counter that makes the queue's order total.
+struct PacerState {
+    queue: Box<dyn EventQueue<WakeEntry> + Send>,
+    next_seq: u64,
+}
+
+/// Latency pacer: client threads register a wake deadline in a shared
+/// [`EventQueue`] — the same scheduler the deterministic engine runs on,
+/// selected by [`SimConfig::scheduler`] — and park; one timer thread
+/// pops due entries and unparks their owners. This replaces the old
+/// per-client `thread::sleep`, so emulated latency costs one indexed
+/// queue instead of `num_clients` independent OS timers.
+///
+/// Liveness never depends on the pacer: a sleeping client re-checks its
+/// own deadline around `park_timeout`, so a backlogged (or finished)
+/// pacer degrades to plain timed sleeping instead of deadlocking.
+struct WakePacer {
+    clock: Stopwatch,
+    state: Mutex<PacerState>,
+    bell: Condvar,
+}
+
+impl WakePacer {
+    fn new(kind: SchedulerKind) -> Self {
+        Self {
+            clock: Stopwatch::start(),
+            state: Mutex::new(PacerState {
+                queue: kind.build_send(),
+                next_seq: 0,
+            }),
+            bell: Condvar::new(),
+        }
+    }
+
+    /// Blocks the calling client thread for `dur` of emulated latency.
+    fn sleep_for(&self, dur: Duration) {
+        let deadline = self.clock.elapsed_secs() + dur.as_secs_f64();
+        {
+            let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            s.queue.push(WakeEntry {
+                deadline,
+                seq,
+                thread: std::thread::current(),
+            });
+        }
+        self.bell.notify_one();
+        loop {
+            let now = self.clock.elapsed_secs();
+            if now >= deadline {
+                return;
+            }
+            // The unpark is the fast path; the timeout is the backstop.
+            // A stale unpark from an earlier registration only makes the
+            // loop re-check and park again.
+            std::thread::park_timeout(
+                Duration::from_secs_f64(deadline - now) + PARK_BACKSTOP_SLACK,
+            );
+        }
+    }
+
+    /// The timer loop: pops due wakes and unparks their threads until
+    /// `done`, then drains (and unparks) every remaining registration so
+    /// nothing is stranded. Runs on one scoped thread alongside the
+    /// clients.
+    fn run(&self, done: &AtomicBool) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while !done.load(Ordering::Acquire) {
+            let now = self.clock.elapsed_secs();
+            match s.queue.next_time() {
+                Some(t) if t <= now => {
+                    if let Some(entry) = s.queue.pop() {
+                        entry.thread.unpark();
+                    }
+                }
+                next => {
+                    // Nothing due: wait for the earliest deadline or for
+                    // a new registration to ring the bell, bounded so a
+                    // bell-less shutdown is still observed promptly.
+                    let wait = next
+                        .map(|t| Duration::from_secs_f64((t - now).max(0.0)))
+                        .unwrap_or(PACER_MAX_WAIT)
+                        .min(PACER_MAX_WAIT);
+                    let (guard, _) = self
+                        .bell
+                        .wait_timeout(s, wait)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    s = guard;
+                }
+            }
+        }
+        while let Some(entry) = s.queue.pop() {
+            entry.thread.unpark();
+        }
+    }
+}
 
 /// Snapshot clients pull before each local round. The parameter vector is
 /// behind an `Arc` so every puller shares one allocation — the write lock
@@ -142,8 +271,14 @@ pub fn run_threaded_with_sink(
 
     let trainer = LocalTrainer::from_profile(&config.profile);
     let (report_tx, report_rx) = mpsc::channel::<u64>();
+    let pacer = WakePacer::new(config.scheduler);
 
     std::thread::scope(|scope| {
+        {
+            let pacer = &pacer;
+            let done = Arc::clone(&done);
+            scope.spawn(move || pacer.run(&done));
+        }
         for c in 0..config.num_clients {
             let server = Arc::clone(&server);
             let view = Arc::clone(&view);
@@ -163,13 +298,14 @@ pub fn run_threaded_with_sink(
             let cfg = &config;
             let report_tx = report_tx.clone();
             let sink = sink.clone();
+            let pacer = &pacer;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
                 while !done.load(Ordering::Acquire) {
                     // Server-side sampling: sit this cycle out with
                     // probability 1 − participation.
                     if cfg.participation < 1.0 && rng.random::<f64>() >= cfg.participation {
-                        std::thread::sleep(SLEEP_PER_FACTOR.mul_f64(factor));
+                        pacer.sleep_for(SLEEP_PER_FACTOR.mul_f64(factor));
                         continue;
                     }
                     // Snapshot the latest global model.
@@ -177,8 +313,9 @@ pub fn run_threaded_with_sink(
                         let v = view.read().unwrap_or_else(PoisonError::into_inner);
                         (v.params.clone(), v.round)
                     };
-                    // Emulated processing latency.
-                    std::thread::sleep(SLEEP_PER_FACTOR.mul_f64(factor));
+                    // Emulated processing latency, paced by the shared
+                    // event queue.
+                    pacer.sleep_for(SLEEP_PER_FACTOR.mul_f64(factor));
                     model.set_params(&base_params);
                     let mut optimizer = build_optimizer(&cfg.profile, model.num_params());
                     {

@@ -17,6 +17,19 @@
 //! and per-sample code paths produce bit-identical accumulations: every
 //! output element sees its per-sample contributions in the same order
 //! either way.
+//!
+//! # SIMD-width dispatch
+//!
+//! The distance kernels (`dot`, `norm_squared`, `distance_squared`,
+//! `lerp_norm_squared`) additionally go through runtime ISA dispatch on
+//! x86-64: the portable `*_impl` body is compiled once per instruction-set
+//! level (baseline / AVX2 / AVX-512F) via `#[target_feature]` wrappers,
+//! and the level is detected once and cached. This changes *register
+//! width only* — the eight-lane accumulator layout and the fixed
+//! `reduce` tree are the same source code in every wrapper, and rustc
+//! emits no FMA contraction or reassociation, so every level produces
+//! bit-identical results (pinned by tests). Non-x86-64 targets compile
+//! the portable body directly.
 
 /// Accumulator width. Eight `f64` lanes = two AVX2 registers / one
 /// AVX-512 register; also fine on NEON (four 2-wide registers).
@@ -28,12 +41,10 @@ fn reduce(acc: [f64; LANES], tail: f64) -> f64 {
     ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
 }
 
-/// Dot product `Σ aᵢ·bᵢ` over equal-length slices.
-///
-/// The reduction order is a fixed function of the slice length, so the
-/// result is bit-identical run to run.
-#[inline]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+/// Portable body of [`dot`]; `#[inline(always)]` so each
+/// `#[target_feature]` wrapper compiles its own copy at that ISA level.
+#[inline(always)]
+fn dot_impl(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0_f64; LANES];
     let mut ca = a.chunks_exact(LANES);
@@ -50,9 +61,19 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     reduce(acc, tail)
 }
 
-/// Squared ℓ2 norm `Σ aᵢ²`.
+/// Dot product `Σ aᵢ·bᵢ` over equal-length slices.
+///
+/// The reduction order is a fixed function of the slice length, so the
+/// result is bit-identical run to run (and across ISA levels — see the
+/// module docs on SIMD-width dispatch).
 #[inline]
-pub(crate) fn norm_squared(a: &[f64]) -> f64 {
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    dispatch::dot(a, b)
+}
+
+/// Portable body of [`norm_squared`].
+#[inline(always)]
+fn norm_squared_impl(a: &[f64]) -> f64 {
     let mut acc = [0.0_f64; LANES];
     let mut ca = a.chunks_exact(LANES);
     for xa in &mut ca {
@@ -67,9 +88,15 @@ pub(crate) fn norm_squared(a: &[f64]) -> f64 {
     reduce(acc, tail)
 }
 
-/// Fused squared ℓ2 distance `Σ (aᵢ − bᵢ)²` over equal-length slices.
+/// Squared ℓ2 norm `Σ aᵢ²`.
 #[inline]
-pub(crate) fn distance_squared(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn norm_squared(a: &[f64]) -> f64 {
+    dispatch::norm_squared(a)
+}
+
+/// Portable body of [`distance_squared`].
+#[inline(always)]
+fn distance_squared_impl(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0_f64; LANES];
     let mut ca = a.chunks_exact(LANES);
@@ -86,6 +113,154 @@ pub(crate) fn distance_squared(a: &[f64], b: &[f64]) -> f64 {
         tail += d * d;
     }
     reduce(acc, tail)
+}
+
+/// Fused squared ℓ2 distance `Σ (aᵢ − bᵢ)²` over equal-length slices.
+#[inline]
+pub(crate) fn distance_squared(a: &[f64], b: &[f64]) -> f64 {
+    dispatch::distance_squared(a, b)
+}
+
+/// Portable body of [`lerp_norm_squared`].
+#[inline(always)]
+fn lerp_norm_squared_impl(a: &mut [f64], b: &[f64], t: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0_f64; LANES];
+    let mut ca = a.chunks_exact_mut(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            let v = (1.0 - t) * xa[l] + t * xb[l];
+            xa[l] = v;
+            acc[l] += v * v;
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
+        let v = (1.0 - t) * *x + t * y;
+        *x = v;
+        tail += v * v;
+    }
+    reduce(acc, tail)
+}
+
+/// Fused interpolate-and-measure: `a ← (1−t)·a + t·b` element-wise,
+/// returning the updated `‖a‖²` from the same traversal.
+///
+/// The write-back is exactly `Vector::lerp`'s formula and the
+/// accumulation runs in exactly [`norm_squared`]'s lane-and-tail order,
+/// so the result is **bit-identical** to a `lerp` followed by a
+/// standalone `norm_squared` — in one pass over the data instead of two.
+/// This is what lets AsyncFilter keep its `‖MA‖²` cache exact across
+/// `absorb` without re-reducing the estimate (DESIGN.md §10).
+#[inline]
+pub(crate) fn lerp_norm_squared(a: &mut [f64], b: &[f64], t: f64) -> f64 {
+    dispatch::lerp_norm_squared(a, b, t)
+}
+
+/// Runtime ISA dispatch for the distance kernels (x86-64): the portable
+/// `*_impl` bodies are recompiled per instruction-set level through
+/// `#[target_feature]` wrappers — wider registers, same source, same
+/// fixed reduction tree, bit-identical results. The `unsafe` here is
+/// exactly the `#[target_feature]` calling contract, discharged by the
+/// cached runtime detection; no pointers are touched.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod dispatch {
+    use super::{distance_squared_impl, dot_impl, lerp_norm_squared_impl, norm_squared_impl};
+    use std::sync::OnceLock;
+
+    /// Detected level, cached once per process: 0 = baseline (whatever
+    /// the target was compiled for), 1 = AVX2, 2 = AVX-512F.
+    fn level() -> u8 {
+        static LEVEL: OnceLock<u8> = OnceLock::new();
+        *LEVEL.get_or_init(|| {
+            if is_x86_feature_detected!("avx512f") {
+                2
+            } else if is_x86_feature_detected!("avx2") {
+                1
+            } else {
+                0
+            }
+        })
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_avx2(a: &[f64], b: &[f64]) -> f64 {
+        dot_impl(a, b)
+    }
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dot_avx512(a: &[f64], b: &[f64]) -> f64 {
+        dot_impl(a, b)
+    }
+    pub(super) fn dot(a: &[f64], b: &[f64]) -> f64 {
+        match level() {
+            // SAFETY: level() verified the feature on this CPU.
+            2 => unsafe { dot_avx512(a, b) },
+            1 => unsafe { dot_avx2(a, b) },
+            _ => dot_impl(a, b),
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn norm_squared_avx2(a: &[f64]) -> f64 {
+        norm_squared_impl(a)
+    }
+    #[target_feature(enable = "avx512f")]
+    unsafe fn norm_squared_avx512(a: &[f64]) -> f64 {
+        norm_squared_impl(a)
+    }
+    pub(super) fn norm_squared(a: &[f64]) -> f64 {
+        match level() {
+            // SAFETY: level() verified the feature on this CPU.
+            2 => unsafe { norm_squared_avx512(a) },
+            1 => unsafe { norm_squared_avx2(a) },
+            _ => norm_squared_impl(a),
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn distance_squared_avx2(a: &[f64], b: &[f64]) -> f64 {
+        distance_squared_impl(a, b)
+    }
+    #[target_feature(enable = "avx512f")]
+    unsafe fn distance_squared_avx512(a: &[f64], b: &[f64]) -> f64 {
+        distance_squared_impl(a, b)
+    }
+    pub(super) fn distance_squared(a: &[f64], b: &[f64]) -> f64 {
+        match level() {
+            // SAFETY: level() verified the feature on this CPU.
+            2 => unsafe { distance_squared_avx512(a, b) },
+            1 => unsafe { distance_squared_avx2(a, b) },
+            _ => distance_squared_impl(a, b),
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn lerp_norm_squared_avx2(a: &mut [f64], b: &[f64], t: f64) -> f64 {
+        lerp_norm_squared_impl(a, b, t)
+    }
+    #[target_feature(enable = "avx512f")]
+    unsafe fn lerp_norm_squared_avx512(a: &mut [f64], b: &[f64], t: f64) -> f64 {
+        lerp_norm_squared_impl(a, b, t)
+    }
+    pub(super) fn lerp_norm_squared(a: &mut [f64], b: &[f64], t: f64) -> f64 {
+        match level() {
+            // SAFETY: level() verified the feature on this CPU.
+            2 => unsafe { lerp_norm_squared_avx512(a, b, t) },
+            1 => unsafe { lerp_norm_squared_avx2(a, b, t) },
+            _ => lerp_norm_squared_impl(a, b, t),
+        }
+    }
+}
+
+/// Non-x86-64 targets: the portable bodies *are* the dispatch.
+#[cfg(not(target_arch = "x86_64"))]
+mod dispatch {
+    pub(super) use super::distance_squared_impl as distance_squared;
+    pub(super) use super::dot_impl as dot;
+    pub(super) use super::lerp_norm_squared_impl as lerp_norm_squared;
+    pub(super) use super::norm_squared_impl as norm_squared;
 }
 
 /// Plain sum `Σ aᵢ`.
@@ -391,6 +566,61 @@ mod tests {
         let first = dot(&a, &b);
         for _ in 0..8 {
             assert_eq!(first.to_bits(), dot(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_dispatch_is_bit_identical_to_portable_bodies() {
+        // The public entry points run whatever ISA level the host
+        // supports; the `*_impl` calls are the baseline bodies. Wider
+        // registers may only change speed, never a single bit.
+        for n in [0usize, 1, 7, 8, 9, 16, 63, 64, 65, 330, 1001] {
+            let (a, b) = data(n);
+            assert_eq!(dot(&a, &b).to_bits(), dot_impl(&a, &b).to_bits(), "n={n}");
+            assert_eq!(
+                norm_squared(&a).to_bits(),
+                norm_squared_impl(&a).to_bits(),
+                "n={n}"
+            );
+            assert_eq!(
+                distance_squared(&a, &b).to_bits(),
+                distance_squared_impl(&a, &b).to_bits(),
+                "n={n}"
+            );
+            let mut fast = a.clone();
+            let mut slow = a.clone();
+            let fast_n = lerp_norm_squared(&mut fast, &b, 0.2);
+            let slow_n = lerp_norm_squared_impl(&mut slow, &b, 0.2);
+            assert_eq!(fast_n.to_bits(), slow_n.to_bits(), "n={n}");
+            for (x, y) in fast.iter().zip(&slow) {
+                assert_eq!(x.to_bits(), y.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lerp_norm_squared_fuses_without_changing_bits() {
+        // The fused kernel must equal lerp-then-norm exactly: same
+        // element-wise formula, same lane-and-tail accumulation order.
+        for n in [0usize, 1, 7, 8, 9, 16, 65, 330] {
+            let (a, b) = data(n);
+            for t in [0.0, 0.2, 0.5, 1.0, -0.25, 1.5] {
+                let mut fused = a.clone();
+                let fused_norm = lerp_norm_squared(&mut fused, &b, t);
+                let two_pass: Vec<f64> = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(x, y)| (1.0 - t) * x + t * y)
+                    .collect();
+                for (x, y) in fused.iter().zip(&two_pass) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "n={n} t={t}");
+                }
+                assert_eq!(
+                    fused_norm.to_bits(),
+                    norm_squared(&two_pass).to_bits(),
+                    "n={n} t={t}"
+                );
+            }
         }
     }
 

@@ -263,6 +263,27 @@ impl Vector {
         }
     }
 
+    /// Fused [`lerp`](Self::lerp) that also returns the updated
+    /// `‖self‖²` from the same traversal — bit-identical to calling
+    /// `lerp` followed by [`norm_squared`](Self::norm_squared), in one
+    /// pass instead of two. AsyncFilter's incremental estimate
+    /// maintenance absorbs updates through this so its cached norm stays
+    /// exact without a separate re-reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn lerp_norm_squared(&mut self, other: &Self, t: f64) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "lerp_norm_squared: dimension mismatch ({} vs {})",
+            self.len(),
+            other.len()
+        );
+        crate::kernels::lerp_norm_squared(&mut self.data, &other.data, t)
+    }
+
     /// Component-wise (Hadamard) product.
     ///
     /// # Panics
@@ -618,6 +639,33 @@ mod tests {
         let mut a = v(&[0.0, 4.0]);
         a.lerp(&v(&[2.0, 0.0]), 0.5);
         assert_eq!(a.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn lerp_norm_squared_matches_lerp_then_norm_bitwise() {
+        for n in [1usize, 7, 8, 9, 65] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+            for t in [0.0, 0.2, 0.5, 1.0] {
+                let mut fused = Vector::from(a.clone());
+                let fused_norm = fused.lerp_norm_squared(&Vector::from(b.clone()), t);
+                let mut two_pass = Vector::from(a.clone());
+                two_pass.lerp(&Vector::from(b.clone()), t);
+                assert_eq!(fused.as_slice(), two_pass.as_slice(), "n={n} t={t}");
+                assert_eq!(
+                    fused_norm.to_bits(),
+                    two_pass.norm_squared().to_bits(),
+                    "n={n} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lerp_norm_squared: dimension mismatch")]
+    fn lerp_norm_squared_dimension_mismatch_panics() {
+        let mut a = v(&[1.0, 2.0]);
+        let _ = a.lerp_norm_squared(&v(&[1.0]), 0.5);
     }
 
     #[test]
